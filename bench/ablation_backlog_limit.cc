@@ -1,0 +1,92 @@
+// Ablation: why small packets are the weapon in backlog contention.
+//
+// Two studies around the pCPU backlog (Fig. 10's mechanism):
+//  (a) flood packet-size sweep at a FIXED flood bit rate — the per-core
+//      backlog is slot- and per-packet-service-limited, so the same bit
+//      rate in 64 B packets is ~23x the packets of a 1500 B flood and
+//      crushes the victim, while the 1500 B flood is harmless;
+//  (b) backlog depth sweep — under sustained overload the steady-state
+//      drop fraction is (lambda-mu)/lambda regardless of queue depth, so
+//      raising netdev_max_backlog does NOT rescue the victim (a negative
+//      result worth knowing before "tuning" the limit).
+#include "bench_util.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+using namespace perfsight;
+using namespace perfsight::literals;
+using namespace perfsight::bench;
+
+namespace {
+
+double victim_mbps(uint32_t flood_pkt_size, uint64_t backlog_pkts) {
+  sim::Simulator sim(Duration::millis(1));
+  dp::StackParams params;
+  params.pnic_rate = 1_gbps;
+  params.softirq_cost_per_pkt = 3.2e-6;
+  params.qemu_cost_per_pkt = 0.25e-6;
+  params.pcpu_backlog_pkts = backlog_pkts;
+  vm::PhysicalMachine m("m0", params, &sim);
+  int rx = m.add_vm({"vm0", 1.0});
+  int fl = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(rx);
+  FlowSpec fin;
+  fin.id = FlowId{1};
+  fin.packet_size = 1500;
+  m.route_flow_to_vm(fin, rx);
+  m.add_ingress_source("rx", fin, 500_mbps);
+  FlowSpec ff;
+  ff.id = FlowId{2};
+  ff.packet_size = flood_pkt_size;
+  dp::SourceApp::Config cfg;
+  cfg.flow = ff;
+  cfg.rate = 1_gbps;  // fixed BIT rate; packet rate varies with size
+  cfg.cost_per_pkt = 0.05e-6;
+  m.set_source_app(fl, cfg);
+  m.route_flow_to_wire(ff.id, "flood");
+  m.pin_flow_to_core(fin.id, 0);
+  m.pin_flow_to_core(ff.id, 0);
+  sim.run_for(Duration::seconds(1.0));
+  uint64_t before = m.app(rx)->stats().bytes_in.value();
+  sim.run_for(Duration::seconds(2.0));
+  return static_cast<double>(m.app(rx)->stats().bytes_in.value() - before) *
+         8 / 2.0 / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: backlog contention — packet size, not bytes or depth",
+          "design-choice study behind Fig. 10");
+  note("victim: 500 Mbps of 1500 B pkts; flood: 1 Gbps offered, size swept");
+
+  std::printf("\n(a) flood packet-size sweep (backlog = 300 slots)\n");
+  row({"flood-pkt(B)", "victim(Mbps)"});
+  double v64 = 0, v1500 = 0;
+  for (uint32_t size : {64u, 128u, 256u, 512u, 1500u}) {
+    double v = victim_mbps(size, 300);
+    if (size == 64) v64 = v;
+    if (size == 1500) v1500 = v;
+    row({fmt("%.0f", static_cast<double>(size)), fmt("%.1f", v)});
+  }
+
+  std::printf("\n(b) backlog depth sweep (64 B flood)\n");
+  row({"backlog(pkts)", "victim(Mbps)"});
+  double depth_min = 1e12, depth_max = 0;
+  for (uint64_t depth : {100ull, 300ull, 1000ull, 10000ull}) {
+    double v = victim_mbps(64, depth);
+    depth_min = std::min(depth_min, v);
+    depth_max = std::max(depth_max, v);
+    row({fmt("%.0f", static_cast<double>(depth)), fmt("%.1f", v)});
+  }
+
+  shape_check(v64 < 0.3 * v1500,
+              "same bit rate: a 64 B flood crushes the victim, a 1500 B "
+              "flood barely touches it (slots + per-packet service)");
+  shape_check(v1500 > 400,
+              "the full-MTU flood leaves the victim essentially intact");
+  shape_check(depth_max - depth_min < 0.15 * depth_max + 5,
+              "raising netdev_max_backlog does not rescue the victim under "
+              "sustained overload (steady-state loss is rate-determined)");
+  return 0;
+}

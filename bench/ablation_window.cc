@@ -1,0 +1,48 @@
+// Ablation: Algorithm 2's measurement window.
+//
+// The paper samples each middlebox twice, `T` apart.  Too short a window
+// and the b/t ratios are dominated by scheduling granularity (here, tick
+// granularity); long windows are robust but slow to react.  This bench
+// sweeps T on the Fig. 12(d) buggy-NFS scenario and reports whether the
+// root cause is still uniquely identified.
+#include "bench_util.h"
+#include "cluster/scenarios.h"
+
+using namespace perfsight;
+using namespace perfsight::bench;
+using cluster::PropagationScenario;
+
+namespace {
+
+bool correct_at(Duration window) {
+  PropagationScenario s(PropagationScenario::Case::kBuggyNfs);
+  s.settle(Duration::seconds(4.0));
+  RootCauseReport r = s.diagnose(window);
+  return r.root_causes.size() == 1 && r.root_causes[0] == s.nfs->id();
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: Algorithm 2 measurement window",
+          "design-choice study behind Sec. 5.2 (Fig. 12d scenario)");
+  row({"window", "unique root cause?"}, 18);
+  struct Case {
+    const char* label;
+    Duration window;
+  };
+  const Case cases[] = {
+      {"5 ms", Duration::millis(5)},    {"20 ms", Duration::millis(20)},
+      {"100 ms", Duration::millis(100)}, {"500 ms", Duration::millis(500)},
+      {"1 s", Duration::seconds(1.0)},  {"2 s", Duration::seconds(2.0)},
+  };
+  bool ok_100ms_up = true;
+  for (const Case& c : cases) {
+    bool ok = correct_at(c.window);
+    row({c.label, ok ? "yes" : "no"}, 18);
+    if (c.window >= Duration::millis(100)) ok_100ms_up = ok_100ms_up && ok;
+  }
+  shape_check(ok_100ms_up,
+              "windows of 100 ms and above always identify the buggy NFS");
+  return 0;
+}

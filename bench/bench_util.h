@@ -1,0 +1,46 @@
+// Shared formatting helpers for the reproduction benches.  Every bench
+// prints (a) the scenario parameters it used, (b) the series/rows matching
+// the paper's figure or table, and (c) a SHAPE-CHECK line summarising
+// whether the qualitative result matches the paper.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace perfsight::bench {
+
+inline void heading(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void shape_check(bool ok, const std::string& what) {
+  std::printf("SHAPE-CHECK %s: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+// Fixed-width row printer for simple tables.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace perfsight::bench

@@ -1,0 +1,102 @@
+// Figure 8: throughput and packet-drop locations during a timeline of
+// injected performance problems.
+//
+// Paper phases (10 s each; here compressed to 2 s per phase):
+//   10-20 s  rx flood into the machine      -> drops at the pNIC
+//   30-40 s  tenant egress small-pkt flood  -> drops at pCPU backlog enqueue
+//   50-60 s  tenant VMs CPU-intensive       -> all VMs drop at their TUNs
+//   70-80 s  tenant VMs memory-intensive    -> all VMs drop at their TUNs
+//   90-100 s CPU hog inside one mbox VM     -> only that VM's TUN drops
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/scenarios.h"
+
+using namespace perfsight;
+using namespace perfsight::literals;
+using namespace perfsight::bench;
+using perfsight::cluster::Fig8Scenario;
+
+namespace {
+
+struct DropSnapshot {
+  uint64_t pnic = 0, backlog = 0, tun_mb0 = 0, tun_mb1 = 0, tun_others = 0;
+};
+
+DropSnapshot snapshot(vm::PhysicalMachine& m) {
+  DropSnapshot s;
+  s.pnic = m.pnic()->stats().drop_pkts.value();
+  s.backlog = m.backlog()->stats().drop_pkts.value();
+  s.tun_mb0 = m.tun(0)->stats().drop_pkts.value();
+  s.tun_mb1 = m.tun(1)->stats().drop_pkts.value();
+  for (int i = 2; i < m.num_vms(); ++i) {
+    s.tun_others += m.tun(i)->stats().drop_pkts.value();
+  }
+  return s;
+}
+
+std::string dominant(const DropSnapshot& a, const DropSnapshot& b) {
+  struct Loc {
+    const char* name;
+    uint64_t delta;
+  };
+  std::vector<Loc> locs = {
+      {"pNIC", b.pnic - a.pnic},
+      {"pCPU-backlog", b.backlog - a.backlog},
+      {"TUN(mb0)", b.tun_mb0 - a.tun_mb0},
+      {"TUN(mb1)", b.tun_mb1 - a.tun_mb1},
+      {"TUN(tenants)", b.tun_others - a.tun_others},
+  };
+  const Loc* best = &locs[0];
+  uint64_t total = 0;
+  for (const Loc& l : locs) {
+    total += l.delta;
+    if (l.delta > best->delta) best = &l;
+  }
+  // Ignore phase-boundary spill (queues draining for a few ticks after an
+  // injection ends).
+  if (total < 3000) return "none";
+  return best->name;
+}
+
+}  // namespace
+
+int main() {
+  heading("Figure 8: throughput and drop locations under injected problems",
+          "PerfSight (IMC'15) Fig. 8 / Sec. 7.1");
+  const Duration phase = Duration::seconds(2.0);
+  Fig8Scenario s;
+  s.schedule_phases(phase);
+  note("8 VMs (2 middlebox LBs + 6 tenants); phases of %gs", phase.sec());
+
+  row({"t(s)", "mb-tput(Mbps)", "drops@", ""});
+  std::vector<std::string> phase_dominant;
+  DropSnapshot prev = snapshot(s.machine());
+  s.mb_throughput(phase);  // reset the meter
+  for (int p = 0; p < 11; ++p) {
+    s.sim().run_for(phase);
+    DropSnapshot cur = snapshot(s.machine());
+    double tput = s.mb_throughput(phase).mbits_per_sec();
+    std::string where = dominant(prev, cur);
+    phase_dominant.push_back(where);
+    row({fmt("%.0f", phase.sec() * (p + 1)), fmt("%.0f", tput), where, ""});
+    prev = cur;
+  }
+
+  // The paper's expectations, phase by phase (odd phases are quiet).
+  shape_check(phase_dominant[0] == "none", "baseline: no loss");
+  shape_check(phase_dominant[1] == "pNIC", "rx flood drops at the pNIC");
+  shape_check(phase_dominant[2] == "none", "recovery after rx flood");
+  shape_check(phase_dominant[3] == "pCPU-backlog",
+              "egress small-packet flood drops at backlog enqueue");
+  shape_check(
+      phase_dominant[5].rfind("TUN", 0) == 0 && phase_dominant[5] != "TUN(mb0)",
+      "host CPU contention drops at TUNs across VMs");
+  shape_check(
+      phase_dominant[7].rfind("TUN", 0) == 0,
+      "memory-bandwidth contention drops at TUNs across VMs");
+  shape_check(phase_dominant[9] == "TUN(mb0)",
+              "CPU hog inside mb0 drops only at mb0's TUN");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 11: memory-bandwidth contention in the virtualization stack.
+//
+// Network-intensive VMs run at ~3.25 Gbps total.  At t = 20 s (here 2 s) a
+// set of memory-intensive VMs starts; total network throughput falls to
+// ~1.7 Gbps.  PerfSight observes that the machine drops packets at the
+// network VMs' TUNs (92% of drops in the paper), implicating memory or
+// outgoing bandwidth (Table 1); aux signals rule out the NIC, leaving
+// memory bandwidth.
+#include "bench_util.h"
+#include "cluster/deployment.h"
+#include "perfsight/contention.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+using namespace perfsight;
+using namespace perfsight::literals;
+using namespace perfsight::bench;
+
+int main() {
+  heading("Figure 11: memory-bandwidth contention",
+          "PerfSight (IMC'15) Fig. 11 / Sec. 7.2 case 2");
+  sim::Simulator sim(Duration::millis(1));
+  vm::PhysicalMachine m("m0", dp::StackParams{}, &sim);
+  cluster::Deployment dep(&sim);
+
+  // Four network-intensive VMs receive ~0.82 Gbps each (3.25 Gbps total).
+  const int kNetVms = 4;
+  for (int i = 0; i < kNetVms; ++i) {
+    int v = m.add_vm({"vm" + std::to_string(i), 1.0});
+    m.set_sink_app(v);
+    FlowSpec f;
+    f.id = FlowId{static_cast<uint32_t>(i + 1)};
+    f.packet_size = 1500;
+    m.route_flow_to_vm(f, v);
+    m.add_ingress_source("s" + std::to_string(i), f, DataRate::mbps(812));
+  }
+  // Memory-intensive VMs (idle until t=2s).
+  std::vector<vm::MemHog*> hogs;
+  for (int i = 0; i < 3; ++i) {
+    m.add_vm({"memvm" + std::to_string(i), 1.0});
+    hogs.push_back(m.add_mem_hog("memhog" + std::to_string(i)));
+  }
+  Agent* agent = dep.add_agent("agent-m0");
+  dep.attach(&m, agent);
+  PS_CHECK(dep.assign(TenantId{1}, m.tun(0)->id(), agent).is_ok());
+
+  sim.at(SimTime::seconds(2.0), [&] {
+    for (auto* h : hogs) h->set_demand_bytes_per_sec(20e9);
+  });
+
+  row({"t(s)", "net(Gbps)"});
+  uint64_t app_last = 0;
+  double before = 0, after = 0;
+  int nb = 0, na = 0;
+  for (int t = 0; t < 12; ++t) {
+    sim.run_for(Duration::millis(500));
+    uint64_t bytes = 0;
+    for (int i = 0; i < kNetVms; ++i) {
+      bytes += m.app(i)->stats().bytes_in.value();
+    }
+    double gbps = static_cast<double>(bytes - app_last) * 8 / 0.5 / 1e9;
+    app_last = bytes;
+    row({fmt("%.1f", (t + 1) * 0.5), fmt("%.2f", gbps)});
+    if (t < 4) {
+      before += gbps;
+      ++nb;
+    } else if (t >= 6) {
+      after += gbps;
+      ++na;
+    }
+  }
+  before /= nb;
+  after /= na;
+
+  // Where did the packets die?
+  uint64_t tun_drops = 0;
+  for (int i = 0; i < kNetVms; ++i) {
+    tun_drops += m.tun(i)->stats().drop_pkts.value();
+  }
+  uint64_t other_drops = m.pnic()->stats().drop_pkts.value() +
+                         m.backlog()->stats().drop_pkts.value() +
+                         m.vswitch()->stats().drop_pkts.value();
+  double tun_share = tun_drops + other_drops == 0
+                         ? 0
+                         : 100.0 * static_cast<double>(tun_drops) /
+                               static_cast<double>(tun_drops + other_drops);
+  note("drop split: TUN(aggregated) %.1f%%, other %.1f%% (paper: 92%% / 8%%)",
+       tun_share, 100 - tun_share);
+
+  ContentionDetector detector(dep.controller(), RuleBook::standard());
+  ContentionReport r =
+      detector.diagnose(TenantId{1}, Duration::seconds(1.0), m.aux_signals());
+  std::printf("%s", to_text(r).c_str());
+
+  shape_check(before > 3.0, "network VMs run at ~3.25 Gbps before contention");
+  shape_check(after < 0.7 * before,
+              "memory hogs cut total network throughput sharply");
+  shape_check(tun_share > 80, "drops concentrate at the TUNs (aggregated)");
+  bool blames_membw = false;
+  for (ResourceKind res : r.candidate_resources) {
+    if (res == ResourceKind::kMemoryBandwidth) blames_membw = true;
+  }
+  shape_check(r.problem_found && r.primary_location == ElementKind::kTun &&
+                  r.spread == LossSpread::kMultiVm && blames_membw,
+              "PerfSight: multi-VM TUN drops -> memory-bandwidth contention");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figures 13/14: a multi-tenant operator workflow.
+//
+// Two tenants, each client -> LB -> server, both LBs on one physical
+// machine.  Tenant 1 offers 180 Mbps; tenant 2 offers 360 Mbps but its LB
+// processes only 200 Mbps.  Timeline (paper used 10 s phases; 2 s here):
+//   phase 1: tenant 2 capped at ~200 Mbps; PerfSight shows LB2's TUN
+//            dropping and LB2 Overloaded (busy, not blocked) -> bottleneck.
+//   phase 2: a memory-intensive management task lands on the LB machine;
+//            both tenants collapse; both LB VMs drop at their TUNs and the
+//            LB apps turn ReadBlocked -> memory-bandwidth contention.
+//   phase 3: the operator migrates the task away -> throughput recovers.
+//   phase 4: the operator scales LB2 out and reroutes half of tenant 2's
+//            traffic -> tenant 2 reaches its full 360 Mbps.
+#include "bench_util.h"
+#include "cluster/scenarios.h"
+
+using namespace perfsight;
+using namespace perfsight::bench;
+using cluster::MultiTenantScenario;
+
+int main() {
+  heading("Figures 13/14: multi-tenant bottleneck, contention, scale-out",
+          "PerfSight (IMC'15) Fig. 13 & 14 / Sec. 7.3");
+  MultiTenantScenario s;
+  const Duration half = Duration::millis(500);
+
+  // Phase schedule (on the scenario's simulator clock).
+  s.sim().at(SimTime::seconds(2.0), [&] { s.start_management_task(30e9); });
+  s.sim().at(SimTime::seconds(4.0), [&] { s.stop_management_task(); });
+  s.sim().at(SimTime::seconds(6.0), [&] { s.scale_out_tenant2(); });
+
+  row({"t(s)", "tenant1(Mbps)", "tenant2(Mbps)", "phase"});
+  auto phase_name = [](double t) {
+    if (t <= 2.0) return "bottleneck";
+    if (t <= 4.0) return "mem-task";
+    if (t <= 6.0) return "migrated";
+    return "scaled-out";
+  };
+  double t1_sum[4] = {0}, t2_sum[4] = {0};
+  int n_sum[4] = {0};
+  for (int i = 0; i < 16; ++i) {
+    s.sim().run_for(half);
+    double t = (i + 1) * 0.5;
+    double t1 = s.tenant1_throughput(half).mbits_per_sec();
+    double t2 = s.tenant2_throughput(half).mbits_per_sec();
+    row({fmt("%.1f", t), fmt("%.0f", t1), fmt("%.0f", t2), phase_name(t)});
+    int phase = std::min(3, static_cast<int>((t - 0.01) / 2.0));
+    // Skip the first sample of each phase (transition transient).
+    if (i % 4 != 0) {
+      t1_sum[phase] += t1;
+      t2_sum[phase] += t2;
+      n_sum[phase] += 1;
+    }
+  }
+  double t1_avg[4], t2_avg[4];
+  for (int p = 0; p < 4; ++p) {
+    t1_avg[p] = t1_sum[p] / n_sum[p];
+    t2_avg[p] = t2_sum[p] / n_sum[p];
+  }
+
+  note("LB2 TUN drops: %llu pkts (tenant 2's bottleneck symptom)",
+       (unsigned long long)s.lb2_vm->tun()->stats().drop_pkts.value());
+  note("LB1 TUN drops: %llu pkts (appeared during the management task)",
+       (unsigned long long)s.lb1_vm->tun()->stats().drop_pkts.value());
+
+  shape_check(t1_avg[0] > 160 && t2_avg[0] > 175 && t2_avg[0] < 235,
+              "phase 1: tenant1 ~180, tenant2 capped at ~200 by its LB");
+  shape_check(t1_avg[1] < 0.8 * t1_avg[0] && t2_avg[1] < 0.8 * t2_avg[0],
+              "phase 2: the memory task degrades both tenants");
+  shape_check(t1_avg[2] > 160 && t2_avg[2] > 175,
+              "phase 3: migrating the task restores throughput");
+  shape_check(t2_avg[3] > 320, "phase 4: scale-out lifts tenant 2 to ~360");
+  shape_check(s.lb2_vm->tun()->stats().drop_pkts.value() > 100,
+              "LB2's TUN shows the drops the operator keys off");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Deployment: wires PerfSight over a simulated cluster.
+//
+// One Agent per physical machine, one Controller for the operator, plus the
+// tenant bookkeeping the controller needs (which elements belong to which
+// tenant, which middleboxes form which chain).  The controller's
+// "sleep(T)" is bound to the simulator, so Fig. 6's interval-based
+// utilities advance simulated time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mbox/app.h"
+#include "mbox/stream.h"
+#include "perfsight/agent.h"
+#include "perfsight/contention.h"
+#include "perfsight/controller.h"
+#include "perfsight/rootcause.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+namespace perfsight::cluster {
+
+class Deployment {
+ public:
+  explicit Deployment(sim::Simulator* sim)
+      : sim_(sim),
+        controller_(
+            [sim](Duration d) {
+              sim->run_for(d);
+              return sim->now();
+            },
+            [sim] { return sim->now(); }) {}
+
+  sim::Simulator* simulator() { return sim_; }
+  Controller* controller() { return &controller_; }
+
+  Agent* add_agent(const std::string& name) {
+    agents_.push_back(std::make_unique<Agent>(name));
+    controller_.register_agent(agents_.back().get());
+    return agents_.back().get();
+  }
+
+  // Registers every element of a packet-path machine with `agent` and
+  // declares its virtualization-stack elements to the controller.
+  void attach(vm::PhysicalMachine* machine, Agent* agent) {
+    for (const ElementId& id : machine->register_elements(agent)) {
+      controller_.register_stack_element(agent, id);
+    }
+  }
+  // Same for a stream machine.
+  void attach(mbox::StreamMachine* machine, Agent* agent) {
+    for (const ElementId& id : machine->register_elements(agent)) {
+      controller_.register_stack_element(agent, id);
+    }
+  }
+
+  // Tenant bookkeeping.
+  Status assign(TenantId tenant, const ElementId& id, Agent* agent) {
+    return controller_.register_element(tenant, id, agent);
+  }
+  // Declares a stream app a middlebox of `tenant` (node of its chain).
+  Status add_middlebox(TenantId tenant, const mbox::StreamApp* app,
+                       Agent* agent) {
+    Status st = controller_.register_element(tenant, app->id(), agent);
+    if (!st.is_ok()) return st;
+    controller_.register_middlebox(tenant, app->id());
+    return Status::ok();
+  }
+  void chain(TenantId tenant, const mbox::StreamApp* from,
+             const mbox::StreamApp* to) {
+    controller_.add_chain_edge(tenant, from->id(), to->id());
+  }
+
+ private:
+  sim::Simulator* sim_;
+  Controller controller_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+};
+
+}  // namespace perfsight::cluster

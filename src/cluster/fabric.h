@@ -1,0 +1,67 @@
+// SwitchFabric: the hardware network connecting physical machines (and the
+// cloud gateway to the outside world).
+//
+// The paper treats the fabric as a given — packets leave one server's pNIC
+// and arrive at another's (Fig. 2) — so the model is a non-blocking switch:
+// a transmitted batch is steered by its flow id either to the destination
+// machine's pNIC (where line rate and ring capacity apply) or out of the
+// cloud (counted per flow: this is where end-to-end tenant goodput is
+// measured).  Cross-machine middlebox chains on the packet path hang
+// together through this class.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "packet/flow.h"
+#include "vm/machine.h"
+
+namespace perfsight::cluster {
+
+class SwitchFabric {
+ public:
+  // Takes over `m`'s pNIC tx sink; call once per machine, before routing.
+  void attach(vm::PhysicalMachine* m) {
+    m->pnic()->set_tx_sink([this](PacketBatch b) { deliver(std::move(b)); });
+  }
+
+  // Traffic of `flow` goes to `dst`'s pNIC.
+  void route_flow(FlowId flow, vm::PhysicalMachine* dst) {
+    routes_[flow] = dst;
+  }
+  // Traffic of `flow` leaves the cloud (gateway egress); counted.
+  void route_flow_external(FlowId flow) { routes_[flow] = nullptr; }
+
+  uint64_t external_bytes(FlowId flow) const {
+    auto it = external_bytes_.find(flow);
+    return it == external_bytes_.end() ? 0 : it->second;
+  }
+  uint64_t external_packets(FlowId flow) const {
+    auto it = external_pkts_.find(flow);
+    return it == external_pkts_.end() ? 0 : it->second;
+  }
+  // Packets whose flow had no route (configuration error surface).
+  uint64_t unrouted_packets() const { return unrouted_pkts_; }
+
+ private:
+  void deliver(PacketBatch b) {
+    auto it = routes_.find(b.flow);
+    if (it == routes_.end()) {
+      unrouted_pkts_ += b.packets;
+      return;
+    }
+    if (it->second == nullptr) {
+      external_pkts_[b.flow] += b.packets;
+      external_bytes_[b.flow] += b.bytes;
+      return;
+    }
+    it->second->pnic()->offer_rx(std::move(b));
+  }
+
+  std::unordered_map<FlowId, vm::PhysicalMachine*> routes_;
+  std::unordered_map<FlowId, uint64_t> external_bytes_;
+  std::unordered_map<FlowId, uint64_t> external_pkts_;
+  uint64_t unrouted_pkts_ = 0;
+};
+
+}  // namespace perfsight::cluster

@@ -1,0 +1,370 @@
+#include "cluster/scenarios.h"
+
+namespace perfsight::cluster {
+
+using namespace literals;
+using mbox::StreamAppConfig;
+using mbox::StreamConnConfig;
+using mbox::StreamVmConfig;
+
+// ---------------------------------------------------------------------------
+// PropagationScenario (Fig. 12)
+// ---------------------------------------------------------------------------
+
+PropagationScenario::PropagationScenario(Case c)
+    : sim_(Duration::millis(1)) {
+  machine_ = std::make_unique<mbox::StreamMachine>(
+      mbox::StreamMachineConfig{"m0", 8, 25.0e9, 16.0}, &sim_);
+  deployment_ = std::make_unique<Deployment>(&sim_);
+
+  auto vm = [&](const std::string& vm_name) {
+    StreamVmConfig cfg;
+    cfg.name = vm_name;
+    cfg.vnic = 100_mbps;
+    return machine_->add_vm(cfg);
+  };
+  mbox::StreamVm* vm_client = vm("vm-client");
+  mbox::StreamVm* vm_lb = vm("vm-lb");
+  mbox::StreamVm* vm_cf1 = vm("vm-cf1");
+  mbox::StreamVm* vm_cf2 = vm("vm-cf2");
+  mbox::StreamVm* vm_nfs = vm("vm-nfs");
+  mbox::StreamVm* vm_s1 = vm("vm-s1");
+  mbox::StreamVm* vm_s2 = vm("vm-s2");
+
+  auto conn = [&](const std::string& cname, mbox::StreamVm* s,
+                  mbox::StreamVm* d) {
+    StreamConnConfig cfg;
+    cfg.name = cname;
+    return machine_->connect(s, d, cfg);
+  };
+  mbox::StreamConn* c_client_lb = conn("client-lb", vm_client, vm_lb);
+  mbox::StreamConn* c_lb_cf1 = conn("lb-cf1", vm_lb, vm_cf1);
+  mbox::StreamConn* c_lb_cf2 = conn("lb-cf2", vm_lb, vm_cf2);
+  mbox::StreamConn* c_cf1_s1 = conn("cf1-s1", vm_cf1, vm_s1);
+  mbox::StreamConn* c_cf2_s2 = conn("cf2-s2", vm_cf2, vm_s2);
+  mbox::StreamConn* c_cf1_nfs = conn("cf1-nfs", vm_cf1, vm_nfs);
+  mbox::StreamConn* c_cf2_nfs = conn("cf2-nfs", vm_cf2, vm_nfs);
+
+  // Apps.  The measured traffic runs through branch 1 (client POSTs target
+  // server 1, as in the paper's dashed box).
+  StreamAppConfig client_cfg;
+  switch (c) {
+    case Case::kUnderloadedClient:
+      client_cfg = mbox::presets::client(15_mbps);
+      break;
+    case Case::kHealthy:
+      // Comfortable operating point: the chain keeps up with the offer.
+      client_cfg = mbox::presets::client(60_mbps);
+      break;
+    default:
+      client_cfg = mbox::presets::client_unbounded();
+  }
+  client = machine_->add_app(vm_client, "client", client_cfg);
+  client->add_output(c_client_lb, 1.0);
+
+  lb = machine_->add_app(vm_lb, "lb", mbox::presets::load_balancer());
+  lb->add_input(c_client_lb);
+  lb->add_output(c_lb_cf1, 1.0);
+  lb->add_output(c_lb_cf2, 0.0);
+
+  cf1 = machine_->add_app(vm_cf1, "cf1", mbox::presets::content_filter());
+  cf1->add_input(c_lb_cf1);
+  cf1->add_output(c_cf1_s1, 1.0);
+  cf1->add_output(c_cf1_nfs, 0.1);  // synchronous logging, 10% of volume
+
+  cf2 = machine_->add_app(vm_cf2, "cf2", mbox::presets::content_filter());
+  cf2->add_input(c_lb_cf2);
+  cf2->add_output(c_cf2_s2, 1.0);
+  cf2->add_output(c_cf2_nfs, 0.1);
+
+  DataRate s1_rate =
+      c == Case::kOverloadedServer ? 30_mbps : DataRate::mbps(10000);
+  server1 = machine_->add_app(vm_s1, "server1", mbox::presets::server(s1_rate));
+  server1->add_input(c_cf1_s1);
+  server2 = machine_->add_app(vm_s2, "server2",
+                              mbox::presets::server(DataRate::mbps(10000)));
+  server2->add_input(c_cf2_s2);
+
+  DataRate nfs_rate =
+      c == Case::kBuggyNfs ? DataRate::mbps(1) : DataRate::mbps(10000);
+  nfs = machine_->add_app(vm_nfs, "nfs", mbox::presets::server(nfs_rate));
+  nfs->add_input(c_cf1_nfs);
+  nfs->add_input(c_cf2_nfs);
+
+  // PerfSight wiring.
+  Agent* agent = deployment_->add_agent("agent-m0");
+  deployment_->attach(machine_.get(), agent);
+  for (mbox::StreamApp* app :
+       {client, lb, cf1, cf2, nfs, server1, server2}) {
+    Status st = deployment_->add_middlebox(kTenant, app, agent);
+    PS_CHECK(st.is_ok());
+  }
+  deployment_->chain(kTenant, client, lb);
+  deployment_->chain(kTenant, lb, cf1);
+  deployment_->chain(kTenant, lb, cf2);
+  deployment_->chain(kTenant, cf1, server1);
+  deployment_->chain(kTenant, cf2, server2);
+  deployment_->chain(kTenant, cf1, nfs);
+  deployment_->chain(kTenant, cf2, nfs);
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantScenario (Fig. 13/14)
+// ---------------------------------------------------------------------------
+
+MultiTenantScenario::MultiTenantScenario() : sim_(Duration::millis(1)) {
+  edge_machine_ = std::make_unique<mbox::StreamMachine>(
+      mbox::StreamMachineConfig{"edge", 16, 50.0e9, 16.0}, &sim_);
+  lb_machine_ = std::make_unique<mbox::StreamMachine>(
+      mbox::StreamMachineConfig{"m-lb", 8, 25.0e9, 16.0}, &sim_);
+  deployment_ = std::make_unique<Deployment>(&sim_);
+
+  auto edge_vm = [&](const std::string& n, DataRate r) {
+    StreamVmConfig cfg;
+    cfg.name = n;
+    cfg.vnic = r;
+    return edge_machine_->add_vm(cfg);
+  };
+  auto lb_vm = [&](const std::string& n, DataRate r) {
+    StreamVmConfig cfg;
+    cfg.name = n;
+    cfg.vnic = r;
+    return lb_machine_->add_vm(cfg);
+  };
+
+  mbox::StreamVm* vm_c1 = edge_vm("vm-client1", 500_mbps);
+  mbox::StreamVm* vm_c2 = edge_vm("vm-client2", 500_mbps);
+  mbox::StreamVm* vm_s1 = edge_vm("vm-server1", 500_mbps);
+  mbox::StreamVm* vm_s2 = edge_vm("vm-server2", 500_mbps);
+  lb1_vm = lb_vm("vm-lb1", 500_mbps);
+  lb2_vm = lb_vm("vm-lb2", 500_mbps);
+  mbox::StreamVm* vm_lb2b = lb_vm("vm-lb2b", 500_mbps);
+
+  auto conn = [&](const std::string& n, mbox::StreamVm* s, mbox::StreamVm* d) {
+    StreamConnConfig cfg;
+    cfg.name = n;
+    // Cross-machine connections are owned by the LB machine for stepping.
+    return lb_machine_->connect(s, d, cfg);
+  };
+  mbox::StreamConn* c1_lb1 = conn("c1-lb1", vm_c1, lb1_vm);
+  mbox::StreamConn* lb1_s1 = conn("lb1-s1", lb1_vm, vm_s1);
+  mbox::StreamConn* c2_lb2 = conn("c2-lb2", vm_c2, lb2_vm);
+  mbox::StreamConn* lb2_s2 = conn("lb2-s2", lb2_vm, vm_s2);
+  mbox::StreamConn* c2_lb2b = conn("c2-lb2b", vm_c2, vm_lb2b);
+  mbox::StreamConn* lb2b_s2 = conn("lb2b-s2", vm_lb2b, vm_s2);
+  t1_server_conn_ = lb1_s1;
+  t2_server_conn_ = lb2_s2;
+  t2_server_conn_b_ = lb2b_s2;
+
+  client1 = lb_machine_->add_app(vm_c1, "client1",
+                                 mbox::presets::client(180_mbps));
+  client1->add_output(c1_lb1, 1.0);
+  lb1 = lb_machine_->add_app(lb1_vm, "lb1", mbox::presets::load_balancer());
+  lb1->add_input(c1_lb1);
+  lb1->add_output(lb1_s1, 1.0);
+  server1 = lb_machine_->add_app(vm_s1, "server1",
+                                 mbox::presets::server(DataRate::gbps(10)));
+  server1->add_input(lb1_s1);
+
+  client2 = lb_machine_->add_app(vm_c2, "client2",
+                                 mbox::presets::client(360_mbps));
+  // Until scale-out, everything goes to lb2.
+  client2->add_output(c2_lb2, 1.0);
+  client2->add_output(c2_lb2b, 0.0);
+  StreamAppConfig lb2_cfg = mbox::presets::load_balancer();
+  lb2_cfg.proc_bytes_per_sec = (200_mbps).bytes_per_sec();  // the bottleneck
+  lb2 = lb_machine_->add_app(lb2_vm, "lb2", lb2_cfg);
+  lb2->add_input(c2_lb2);
+  lb2->add_output(lb2_s2, 1.0);
+  lb2b = lb_machine_->add_app(vm_lb2b, "lb2b", lb2_cfg);
+  lb2b->add_input(c2_lb2b);
+  lb2b->add_output(lb2b_s2, 1.0);
+  server2 = lb_machine_->add_app(vm_s2, "server2",
+                                 mbox::presets::server(DataRate::gbps(10)));
+  server2->add_input(lb2_s2);
+  server2->add_input(lb2b_s2);
+
+  Agent* lb_agent = deployment_->add_agent("agent-m-lb");
+  Agent* edge_agent = deployment_->add_agent("agent-edge");
+  deployment_->attach(lb_machine_.get(), lb_agent);
+  deployment_->attach(edge_machine_.get(), edge_agent);
+
+  // NOTE: apps were added through lb_machine_, so they register there.
+  for (auto [tenant, app] :
+       {std::pair{kTenant1, client1}, {kTenant1, lb1}, {kTenant1, server1}}) {
+    PS_CHECK(deployment_->add_middlebox(tenant, app, lb_agent).is_ok());
+  }
+  for (auto [tenant, app] : {std::pair{kTenant2, client2}, {kTenant2, lb2},
+                             {kTenant2, lb2b}, {kTenant2, server2}}) {
+    PS_CHECK(deployment_->add_middlebox(tenant, app, lb_agent).is_ok());
+  }
+  deployment_->chain(kTenant1, client1, lb1);
+  deployment_->chain(kTenant1, lb1, server1);
+  deployment_->chain(kTenant2, client2, lb2);
+  deployment_->chain(kTenant2, lb2, server2);
+  deployment_->chain(kTenant2, client2, lb2b);
+  deployment_->chain(kTenant2, lb2b, server2);
+}
+
+void MultiTenantScenario::start_management_task(double bytes_per_sec) {
+  if (mgmt_task_ == nullptr) {
+    mgmt_task_ = lb_machine_->add_mem_hog("mgmt-task");
+  }
+  mgmt_task_->set_demand_bytes_per_sec(bytes_per_sec);
+}
+
+void MultiTenantScenario::stop_management_task() {
+  if (mgmt_task_ != nullptr) mgmt_task_->set_demand_bytes_per_sec(0);
+}
+
+void MultiTenantScenario::scale_out_tenant2() {
+  // Reroute half of tenant 2's traffic to the new instance.  The client's
+  // outputs are independent, so this is a share change.
+  client2->set_output_share(0, 0.5);
+  client2->set_output_share(1, 0.5);
+}
+
+DataRate MultiTenantScenario::tenant1_throughput(Duration dt) {
+  uint64_t now_bytes = t1_server_conn_->delivered_bytes();
+  uint64_t delta = now_bytes - t1_last_;
+  t1_last_ = now_bytes;
+  return rate_of(delta, dt);
+}
+
+DataRate MultiTenantScenario::tenant2_throughput(Duration dt) {
+  uint64_t now_bytes =
+      t2_server_conn_->delivered_bytes() + t2_server_conn_b_->delivered_bytes();
+  uint64_t delta = now_bytes - t2_last_;
+  t2_last_ = now_bytes;
+  return rate_of(delta, dt);
+}
+
+// ---------------------------------------------------------------------------
+// Fig8Scenario
+// ---------------------------------------------------------------------------
+
+Fig8Scenario::Fig8Scenario() : sim_(Duration::millis(1)) {
+  dp::StackParams params;
+  params.pnic_rate = 10_gbps;
+  // Fast virtio enqueue path, so a guest small-packet flood can outrun the
+  // per-core backlog processing rate (the Fig. 8 / Fig. 10 mechanism).
+  params.qemu_cost_per_pkt = 0.25e-6;
+  machine_ = std::make_unique<vm::PhysicalMachine>("m0", params, &sim_);
+  deployment_ = std::make_unique<Deployment>(&sim_);
+
+  // 8 VMs: vm0, vm1 are middlebox (load-balancer) VMs; vm2..vm7 tenants.
+  for (int i = 0; i < 8; ++i) {
+    machine_->add_vm({"vm" + std::to_string(i), 1.0});
+  }
+
+  // Long-lived flows traversing the two middlebox VMs (forward and leave).
+  uint32_t next_flow = 1;
+  for (int i = 0; i < kNumMb; ++i) {
+    FlowSpec in;
+    in.id = FlowId{next_flow++};
+    in.label = "mb" + std::to_string(i) + "-in";
+    in.packet_size = 1500;
+    FlowId out{next_flow++};
+    dp::ForwardApp::Config fwd;
+    fwd.capacity = DataRate::gbps(5);  // LB software itself is not a limit
+    fwd.egress_flow = out;
+    machine_->set_forward_app(i, fwd);
+    machine_->route_flow_to_vm(in, i);
+    machine_->route_flow_to_wire(out, in.label + "-out");
+    mb_sources_.push_back(
+        machine_->add_ingress_source(in.label, in, 400_mbps));
+  }
+
+  // Tenant sink VMs receive background traffic (victims of the rx flood).
+  // vm6 is reserved as the egress flooder below (one app per VM).
+  for (int i = kNumMb; i < 8; ++i) {
+    if (i == 6) continue;
+    machine_->set_sink_app(i);
+    FlowSpec f;
+    f.id = FlowId{next_flow++};
+    f.label = "tenant" + std::to_string(i);
+    f.packet_size = 1500;
+    machine_->route_flow_to_vm(f, i);
+    machine_->add_ingress_source(f.label, f, 200_mbps);
+  }
+
+  // Injection machinery (idle until scheduled).
+  FlowSpec flood;
+  flood.id = FlowId{next_flow++};
+  flood.label = "rx-flood";
+  flood.packet_size = 1500;
+  machine_->route_flow_to_vm(flood, 5);  // received by a non-mb VM
+  flood_source_ = machine_->add_ingress_source("rx-flood", flood,
+                                               DataRate::zero());
+
+  FlowSpec egress_flood;
+  egress_flood.id = FlowId{next_flow++};
+  egress_flood.label = "tx-flood";
+  egress_flood.packet_size = 64;
+  egress_flood.direction = FlowDirection::kEgress;
+  dp::SourceApp::Config src_cfg;
+  src_cfg.flow = egress_flood;
+  src_cfg.rate = DataRate::zero();
+  src_cfg.cost_per_pkt = 0.05e-6;
+  egress_flood_ = machine_->set_source_app(6, src_cfg);
+  machine_->route_flow_to_wire(egress_flood.id, "tx-flood-out");
+  // The flood and one middlebox flow share a backlog core.
+  machine_->pin_flow_to_core(egress_flood.id, 0);
+  machine_->pin_flow_to_core(FlowId{1}, 0);
+
+  for (int i = 2; i < 5; ++i) {
+    tenant_cpu_hogs_.push_back(machine_->add_vm_cpu_hog(i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    tenant_mem_hogs_.push_back(
+        machine_->add_mem_hog("tenant-mem-hog" + std::to_string(i)));
+  }
+  mb_internal_hog_ = machine_->add_vm_cpu_hog(0);
+
+  Agent* agent = deployment_->add_agent("agent-m0");
+  deployment_->attach(machine_.get(), agent);
+}
+
+void Fig8Scenario::schedule_phases(Duration phase) {
+  auto at_phase = [&](int n, std::function<void()> fn) {
+    sim_.at(SimTime::nanos(phase.ns() * n), std::move(fn));
+  };
+  // Phase 1 (10-20 s): rx flood overwhelms the pNIC.
+  at_phase(1, [this] { flood_source_->set_rate(DataRate::gbps(12)); });
+  at_phase(2, [this] { flood_source_->set_rate(DataRate::zero()); });
+  // Phase 3 (30-40 s): tenant VM floods small egress packets.
+  at_phase(3, [this] { egress_flood_->set_rate(DataRate::gbps(2)); });
+  at_phase(4, [this] { egress_flood_->set_rate(DataRate::zero()); });
+  // Phase 5 (50-60 s): tenant VMs run CPU-intensive workloads.  Demanding
+  // far beyond their vCPUs oversubscribes the host.
+  at_phase(5, [this] {
+    for (auto* h : tenant_cpu_hogs_) h->set_demand_cores(8.0);
+  });
+  at_phase(6, [this] {
+    for (auto* h : tenant_cpu_hogs_) h->set_demand_cores(0.0);
+  });
+  // Phase 7 (70-80 s): tenant VMs hammer the memory bus.  Demands well
+  // beyond the bus capacity: proportional arbitration lets a determined
+  // memcpy stream squeeze the copy-heavy hypervisor I/O handlers.
+  at_phase(7, [this] {
+    for (auto* h : tenant_mem_hogs_) h->set_demand_bytes_per_sec(20e9);
+  });
+  at_phase(8, [this] {
+    for (auto* h : tenant_mem_hogs_) h->set_demand_bytes_per_sec(0);
+  });
+  // Phase 9 (90-100 s): CPU hog inside one middlebox VM.
+  at_phase(9, [this] { mb_internal_hog_->set_demand_cores(1.0); });
+  at_phase(10, [this] { mb_internal_hog_->set_demand_cores(0.0); });
+}
+
+DataRate Fig8Scenario::mb_throughput(Duration dt) {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumMb; ++i) {
+    total += machine_->app(i)->stats().bytes_out.value();
+  }
+  uint64_t delta = total - mb_bytes_last_;
+  mb_bytes_last_ = total;
+  return rate_of(delta, dt);
+}
+
+}  // namespace perfsight::cluster

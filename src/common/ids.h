@@ -1,0 +1,65 @@
+// Identifier types for the entities PerfSight reasons about.
+//
+// Element identifiers are hierarchical strings ("m0/tun.vm2", "m1/pnic") so
+// that agents and the controller can address them without a shared numeric
+// registry — matching the paper's record format where an element is named by
+// a device-like string (e.g. "eth0").  Machine / VM / tenant / flow ids are
+// small integer handles used inside the simulator where speed matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace perfsight {
+
+// Strongly typed integral handle.  Tag makes MachineId, VmId, ... distinct.
+template <typename Tag>
+class Handle {
+ public:
+  constexpr Handle() = default;
+  explicit constexpr Handle(uint32_t v) : v_(v) {}
+  constexpr uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const Handle&) const = default;
+
+ private:
+  uint32_t v_ = 0;
+};
+
+struct MachineTag {};
+struct VmTag {};
+struct TenantTag {};
+struct FlowTag {};
+struct AppTag {};
+
+using MachineId = Handle<MachineTag>;
+using VmId = Handle<VmTag>;
+using TenantId = Handle<TenantTag>;
+using FlowId = Handle<FlowTag>;
+using AppId = Handle<AppTag>;
+
+// Name of one software-dataplane element, unique within the cluster.
+struct ElementId {
+  std::string name;
+
+  bool operator==(const ElementId&) const = default;
+  auto operator<=>(const ElementId&) const = default;
+};
+
+inline ElementId element_id(std::string name) { return ElementId{std::move(name)}; }
+
+}  // namespace perfsight
+
+template <typename Tag>
+struct std::hash<perfsight::Handle<Tag>> {
+  size_t operator()(perfsight::Handle<Tag> h) const noexcept {
+    return std::hash<uint32_t>{}(h.value());
+  }
+};
+
+template <>
+struct std::hash<perfsight::ElementId> {
+  size_t operator()(const perfsight::ElementId& e) const noexcept {
+    return std::hash<std::string>{}(e.name);
+  }
+};

@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+
+namespace perfsight {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_impl(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char line[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof(line), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), line);
+}
+
+}  // namespace perfsight

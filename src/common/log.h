@@ -1,0 +1,33 @@
+// Tiny leveled logger.
+//
+// The simulator is single-threaded; benches may log from a polling thread,
+// so emission is a single stdio call (atomic enough for line-oriented logs).
+// Level is process-global and defaults to kWarn so tests stay quiet.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace perfsight {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_impl(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace perfsight
+
+#define PS_LOG_DEBUG(...) \
+  ::perfsight::log_impl(::perfsight::LogLevel::kDebug, __VA_ARGS__)
+#define PS_LOG_INFO(...) \
+  ::perfsight::log_impl(::perfsight::LogLevel::kInfo, __VA_ARGS__)
+#define PS_LOG_WARN(...) \
+  ::perfsight::log_impl(::perfsight::LogLevel::kWarn, __VA_ARGS__)
+#define PS_LOG_ERROR(...) \
+  ::perfsight::log_impl(::perfsight::LogLevel::kError, __VA_ARGS__)

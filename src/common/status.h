@@ -1,0 +1,102 @@
+// Minimal Status / Result types for recoverable errors.
+//
+// The query path (controller → agent → element) can fail in expected ways —
+// unknown element, unknown attribute, channel timeout — which callers must
+// handle; those paths return Status / Result<T>.  Programming errors
+// (violated invariants) use PS_CHECK and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace perfsight {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kUnavailable,
+  kFailedPrecondition,
+};
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status not_found(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status invalid_argument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status failed_precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    return message_.empty() ? "error" : message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-status.  `value()` asserts success; check `ok()` first on paths
+// where failure is expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!value_) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.to_string().c_str());
+      std::abort();
+    }
+    return *value_;
+  }
+  T& value() & {
+    return const_cast<T&>(static_cast<const Result*>(this)->value());
+  }
+  T&& take() && {
+    value();  // abort on error
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace perfsight
+
+// Invariant check: aborts with location on failure.  Used for programmer
+// errors only, never for input validation.
+#define PS_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PS_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,25 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace perfsight {
+
+namespace {
+std::string format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(SimTime t) { return format("%.3fms", t.ms()); }
+
+std::string to_string(Duration d) { return format("%.3fms", d.ms()); }
+
+std::string to_string(DataRate r) {
+  if (r.bits_per_sec() >= 1e9) return format("%.2fGbps", r.gbits_per_sec());
+  if (r.bits_per_sec() >= 1e6) return format("%.2fMbps", r.mbits_per_sec());
+  return format("%.2fKbps", r.bits_per_sec() / 1e3);
+}
+
+}  // namespace perfsight

@@ -1,0 +1,171 @@
+// Strong unit types shared across the PerfSight codebase.
+//
+// The simulator and the diagnosis library both traffic in bytes, packets,
+// data rates and simulated time.  Raw integers invite unit bugs (bits vs
+// bytes, ns vs us), so each quantity gets a distinct type with explicit,
+// named conversions.  All types are trivially copyable value types.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace perfsight {
+
+// Simulated time, in nanoseconds since simulation start.  Signed so that
+// differences are representable without surprises.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime nanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime micros(int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime millis(int64_t ms) { return SimTime(ms * 1000000); }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// A span of simulated time.  Kept distinct from SimTime (a point) so that
+// "time + duration" type-checks but "time + time" does not.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration millis(int64_t ms) {
+    return Duration(ms * 1000000);
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ns_ + o.ns_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ns_ - o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * f));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+constexpr SimTime operator+(SimTime t, Duration d) {
+  return SimTime::nanos(t.ns() + d.ns());
+}
+constexpr SimTime operator-(SimTime t, Duration d) {
+  return SimTime::nanos(t.ns() - d.ns());
+}
+constexpr Duration operator-(SimTime a, SimTime b) {
+  return Duration::nanos(a.ns() - b.ns());
+}
+
+// Data rate in bits per second.  Stored as double: rates are the product of
+// arbitration and calibration arithmetic, and exactness in bits/s is not
+// meaningful.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bps(double v) { return DataRate(v); }
+  static constexpr DataRate kbps(double v) { return DataRate(v * 1e3); }
+  static constexpr DataRate mbps(double v) { return DataRate(v * 1e6); }
+  static constexpr DataRate gbps(double v) { return DataRate(v * 1e9); }
+  static constexpr DataRate zero() { return DataRate(0); }
+
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double mbits_per_sec() const { return bps_ / 1e6; }
+  constexpr double gbits_per_sec() const { return bps_ / 1e9; }
+  constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  // Bytes transferable in `d` at this rate (floor).
+  constexpr uint64_t bytes_in(Duration d) const {
+    double b = bps_ / 8.0 * d.sec();
+    return b <= 0 ? 0 : static_cast<uint64_t>(b);
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+  constexpr DataRate operator+(DataRate o) const {
+    return DataRate(bps_ + o.bps_);
+  }
+  constexpr DataRate operator-(DataRate o) const {
+    return DataRate(bps_ - o.bps_);
+  }
+  constexpr DataRate operator*(double f) const { return DataRate(bps_ * f); }
+
+ private:
+  explicit constexpr DataRate(double bps) : bps_(bps) {}
+  double bps_ = 0;
+};
+
+// Rate implied by moving `bytes` over `d`.  Returns zero rate for empty
+// intervals rather than dividing by zero: callers compare against capacity
+// thresholds and a zero interval carries no information.
+constexpr DataRate rate_of(uint64_t bytes, Duration d) {
+  if (d.ns() <= 0) return DataRate::zero();
+  return DataRate::bps(static_cast<double>(bytes) * 8.0 / d.sec());
+}
+
+// User-defined literals for readable scenario code: 100_mbps, 10_gbps, ...
+namespace literals {
+constexpr DataRate operator""_mbps(unsigned long long v) {
+  return DataRate::mbps(static_cast<double>(v));
+}
+constexpr DataRate operator""_gbps(unsigned long long v) {
+  return DataRate::gbps(static_cast<double>(v));
+}
+constexpr DataRate operator""_kbps(unsigned long long v) {
+  return DataRate::kbps(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<double>(v));
+}
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v * 1024; }
+constexpr uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024 * 1024;
+}
+}  // namespace literals
+
+std::string to_string(SimTime t);
+std::string to_string(Duration d);
+std::string to_string(DataRate r);
+
+}  // namespace perfsight

@@ -1,0 +1,196 @@
+// Packet-level applications running inside VMs (the "middlebox software"
+// element of Fig. 5 for open-loop workloads).
+//
+// Stream-oriented middleboxes with TCP backpressure (Fig. 12–14) live in
+// src/mbox; the apps here are the packet-path workloads of the contention
+// experiments: sinks, rate-limited forwarders (a middlebox whose processing
+// capacity can be exceeded — the "bottleneck middlebox"), and sources
+// (tenant VMs generating egress, including small-packet floods).
+#pragma once
+
+#include <algorithm>
+
+#include "dataplane/element.h"
+#include "dataplane/queues.h"
+#include "packet/flow.h"
+#include "resources/pool.h"
+#include "sim/simulator.h"
+
+namespace perfsight::dp {
+
+class PacketApp : public Element, public sim::Steppable {
+ public:
+  PacketApp(ElementId id, int vm, GuestSocket* in, VNic* out,
+            ResourcePool* cpu, ResourcePool::ConsumerId vcpu)
+      : Element(std::move(id), ElementKind::kMiddleboxApp, vm),
+        in_(in),
+        out_(out),
+        cpu_(cpu),
+        vcpu_(vcpu) {}
+
+  std::string name() const override { return id().name; }
+
+ protected:
+  GuestSocket* in_;
+  VNic* out_;
+  ResourcePool* cpu_;
+  ResourcePool::ConsumerId vcpu_;
+};
+
+// Consumes everything that reaches it (an application endpoint).
+struct SinkAppConfig {
+  double cost_per_pkt = 0.3e-6;
+};
+
+class SinkApp : public PacketApp {
+ public:
+  using Config = SinkAppConfig;
+
+  SinkApp(ElementId id, int vm, GuestSocket* in, ResourcePool* cpu,
+          ResourcePool::ConsumerId vcpu, Config cfg = Config())
+      : PacketApp(std::move(id), vm, in, nullptr, cpu, vcpu), cfg_(cfg) {}
+
+  void step(SimTime /*now*/, Duration /*dt*/) override {
+    uint64_t pkts = in_->queued_packets();
+    if (pkts == 0) return;
+    double want =
+        static_cast<double>(pkts) * cfg_.cost_per_pkt;
+    double grant = cpu_->request(vcpu_, want);
+    uint64_t budget =
+        static_cast<uint64_t>(grant / cfg_.cost_per_pkt + 0.5);
+    while (budget > 0) {
+      PacketBatch b = in_->fetch(budget, UINT64_MAX);
+      if (b.empty()) break;
+      budget -= b.packets;
+      note_in(b);
+    }
+  }
+
+ private:
+  Config cfg_;
+};
+
+// Rate-limited forwarding middlebox: reads from its socket, "processes" at
+// up to `capacity`, re-tags onto the egress flow and writes to the vNIC tx
+// ring.  When offered load exceeds `capacity`, the socket overflows —
+// drops confined to this VM, the bottleneck-middlebox signature.
+class ForwardApp : public PacketApp {
+ public:
+  struct Config {
+    DataRate capacity = DataRate::mbps(1000);  // processing rate
+    double cost_per_pkt = 0.8e-6;
+    FlowId egress_flow;  // identity of traffic after this middlebox
+  };
+
+  ForwardApp(ElementId id, int vm, GuestSocket* in, VNic* out,
+             ResourcePool* cpu, ResourcePool::ConsumerId vcpu, Config cfg)
+      : PacketApp(std::move(id), vm, in, out, cpu, vcpu), cfg_(cfg) {}
+
+  void set_capacity(DataRate c) { cfg_.capacity = c; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    uint64_t byte_budget = cfg_.capacity.bytes_in(dt) + carry_;
+    uint64_t pkts = in_->queued_packets();
+    if (pkts == 0 || byte_budget == 0) {
+      carry_ = std::min<uint64_t>(byte_budget, cfg_.capacity.bytes_in(dt));
+      return;
+    }
+    double want =
+        static_cast<double>(pkts) * cfg_.cost_per_pkt;
+    double grant = cpu_->request(vcpu_, want);
+    uint64_t pkt_budget =
+        static_cast<uint64_t>(grant / cfg_.cost_per_pkt + 0.5);
+    while (pkt_budget > 0 && byte_budget > 0) {
+      PacketBatch b = in_->fetch(pkt_budget, byte_budget);
+      if (b.empty()) break;
+      pkt_budget -= b.packets;
+      byte_budget -= std::min(byte_budget, b.bytes);
+      note_in(b);
+      PacketBatch fwd{cfg_.egress_flow, b.packets, b.bytes};
+      note_out(fwd);
+      out_->push_tx(std::move(fwd));
+    }
+    carry_ = 0;
+  }
+
+ private:
+  Config cfg_;
+  uint64_t carry_ = 0;  // unused byte budget, smooths sub-packet rates
+};
+
+// Egress traffic generator inside a VM (tenant VM sending traffic, or the
+// small-packet flooder of Fig. 10).  Writes straight into the vNIC tx ring
+// as a guest application would.
+class SourceApp : public PacketApp {
+ public:
+  struct Config {
+    FlowSpec flow;
+    DataRate rate = DataRate::zero();  // offered load
+    double cost_per_pkt = 0.3e-6;
+  };
+
+  SourceApp(ElementId id, int vm, VNic* out, ResourcePool* cpu,
+            ResourcePool::ConsumerId vcpu, Config cfg)
+      : PacketApp(std::move(id), vm, nullptr, out, cpu, vcpu), cfg_(cfg) {}
+
+  void set_rate(DataRate r) { cfg_.rate = r; }
+  DataRate rate() const { return cfg_.rate; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    double offered = static_cast<double>(cfg_.rate.bytes_in(dt)) + carry_;
+    uint64_t pkts =
+        static_cast<uint64_t>(offered / cfg_.flow.packet_size);
+    carry_ = offered - static_cast<double>(pkts * cfg_.flow.packet_size);
+    if (pkts == 0) return;
+    double want =
+        static_cast<double>(pkts) * cfg_.cost_per_pkt;
+    double grant = cpu_->request(vcpu_, want);
+    uint64_t budget =
+        static_cast<uint64_t>(grant / cfg_.cost_per_pkt + 0.5);
+    pkts = std::min(pkts, budget);
+    if (pkts == 0) return;
+    PacketBatch b = cfg_.flow.make_batch(pkts);
+    note_out(b);
+    out_->push_tx(std::move(b));
+  }
+
+ private:
+  Config cfg_;
+  double carry_ = 0;
+};
+
+// The video transcoder of §2.3: non-blocking I/O plus busy-waiting, so its
+// CPU utilization reads 100% regardless of offered load — the middlebox
+// that breaks utilization-based bottleneck detection.  It processes
+// traffic perfectly well; it just never yields the vCPU.
+class BusyWaitSinkApp : public PacketApp {
+ public:
+  struct Config {
+    double cost_per_pkt = 0.3e-6;
+  };
+
+  BusyWaitSinkApp(ElementId id, int vm, GuestSocket* in, ResourcePool* cpu,
+                  ResourcePool::ConsumerId vcpu, Config cfg)
+      : PacketApp(std::move(id), vm, in, nullptr, cpu, vcpu), cfg_(cfg) {}
+
+  void step(SimTime /*now*/, Duration dt) override {
+    // Real work first...
+    uint64_t pkts = in_->queued_packets();
+    double want_work = static_cast<double>(pkts) * cfg_.cost_per_pkt;
+    double grant = cpu_->request(vcpu_, want_work);
+    uint64_t budget = static_cast<uint64_t>(grant / cfg_.cost_per_pkt + 0.5);
+    while (budget > 0) {
+      PacketBatch b = in_->fetch(budget, UINT64_MAX);
+      if (b.empty()) break;
+      budget -= b.packets;
+      note_in(b);
+    }
+    // ...then burn the rest of the allocation polling for more input.
+    cpu_->request(vcpu_, dt.sec());
+  }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace perfsight::dp

@@ -1,0 +1,70 @@
+// Calibration constants of the virtualization-stack model.
+//
+// Defaults approximate the paper's testbed (Dell T5500: 8 cores, 16 GB RAM,
+// 10 GbE, Linux 3.2 + OVS + QEMU/KVM).  Two constants do the heavy lifting:
+//
+//  * `softirq_cost_per_pkt`: host softirq work per packet.  With the 1.0 µs
+//    default, one core sustains ~1 Mpps — 10 GbE at 1500 B MTU fits in one
+//    softirq core, while small-packet floods exceed it (Fig. 10's backlog
+//    contention).
+//  * `napi/qemu_mem_per_byte`: memory-bus bytes moved per wire byte across
+//    the stack (copies, descriptor churn, cache misses).  The sum (18.2)
+//    is calibrated against Fig. 3's measured slope — 439 Mbps of network
+//    throughput lost per 1 GB/s of competing memory traffic — i.e.
+//    1 GB/s / (439 Mb/s / 8 b per B) ≈ 18.2 bus bytes per wire byte.
+//
+// Every scenario may override any field; benches print the values they use.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace perfsight::dp {
+
+struct StackParams {
+  // --- host hardware ------------------------------------------------------
+  int cores = 8;
+  double membus_bytes_per_sec = 25.0e9;  // aggregate copy bandwidth
+  DataRate pnic_rate = DataRate::gbps(10);
+  uint64_t buffer_memory_bytes = 64ull * 1024 * 1024;  // kernel buffer budget
+
+  // --- CPU costs (cpu-seconds) --------------------------------------------
+  double softirq_cost_per_pkt = 1.0e-6;  // driver + NAPI + vswitch, per pkt
+  double softirq_cores_cap = 2.0;        // softirq parallelism limit
+  double qemu_cost_per_pkt = 1.2e-6;     // hypervisor I/O handler, per pkt
+  double qemu_cost_per_byte = 0.15e-9;
+  double qemu_cores_cap = 1.0;           // one I/O thread per VM
+  double guest_cost_per_pkt = 1.0e-6;    // guest stack, per pkt
+  double guest_cost_per_byte = 0.1e-9;
+
+  // --- memory-bus cost (bus bytes per wire byte) --------------------------
+  // The kernel receive path barely touches DRAM (DDIO delivers packets into
+  // LLC; NAPI is pointer work), while the QEMU/guest copies stream through
+  // it.  Their sum (18.2) is the Fig. 3 calibration constant.
+  double napi_mem_per_byte = 0.5;
+  double qemu_mem_per_byte = 17.7;
+  double hog_weight = 16.0;  // memcpy streams hit the bus unthrottled
+
+  // --- queues ---------------------------------------------------------------
+  uint64_t pnic_ring_pkts = 4096;        // rx DMA ring
+  uint64_t pnic_txring_pkts = 4096;
+  uint64_t pcpu_backlog_pkts = 300;  // per core (netdev_max_backlog)
+  // TUN queue depth must exceed one tick's burst at line rate or the tick
+  // quantisation itself causes drops; starvation still fills it within a
+  // few ticks, preserving the drop-location semantics.
+  uint64_t tun_queue_pkts = 4096;  // TUN/TAP socket queue
+  uint64_t tun_queue_bytes = 4 * 1024 * 1024;
+  // Guest-side buffers are exchanged once per tick, so their depth bounds
+  // per-VM throughput at (depth / tick).  Sized for >4 Mpps per VM at 1 ms
+  // ticks; backpressure semantics (full ring stalls the producer) are what
+  // matters, not the absolute depth.
+  uint64_t vnic_ring_pkts = 4096;
+  uint64_t guest_backlog_pkts = 4096;
+  uint64_t guest_socket_bytes = 2 * 1024 * 1024;
+
+  // --- per-stream memcpy speed (for I/O-time accounting) -------------------
+  double memcpy_bytes_per_sec = 3.2e9;
+};
+
+}  // namespace perfsight::dp

@@ -1,0 +1,84 @@
+// Physical NIC model: line-rate limited rx with a DMA ring, and a tx ring
+// drained at line rate toward the switch fabric.
+//
+// Drop semantics follow real hardware: rx traffic beyond line rate, or
+// arriving while the DMA ring is full because the host is not polling fast
+// enough, is lost at the pNIC (the Table 1 symptom of an incoming-bandwidth
+// shortage, and of Fig. 8's rx-flood phase); egress beyond line rate backs
+// up in the tx ring and overflow is charged here as tx drops (outgoing-
+// bandwidth shortage).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "dataplane/element.h"
+#include "packet/queue.h"
+#include "sim/simulator.h"
+
+namespace perfsight::dp {
+
+class PNic : public Element, public sim::Steppable, public PortIn {
+ public:
+  struct Config {
+    DataRate line_rate = DataRate::gbps(10);
+    uint64_t rx_ring_pkts = 4096;
+    uint64_t tx_ring_pkts = 4096;
+  };
+  using TxSink = std::function<void(PacketBatch)>;
+
+  PNic(ElementId id, Config cfg)
+      : Element(std::move(id), ElementKind::kPNic),
+        cfg_(cfg),
+        rx_ring_(QueueCaps{cfg.rx_ring_pkts, UINT64_MAX}),
+        tx_ring_(QueueCaps{cfg.tx_ring_pkts, UINT64_MAX}) {}
+
+  // --- fabric side ---------------------------------------------------------
+  // Packets arriving on the wire.  Offers are staged and admitted at the
+  // next step(): when the tick's offers exceed the line-rate budget, every
+  // offer is clamped proportionally (wire arrivals interleave, so no single
+  // sender can monopolise the line); the excess and any DMA-ring overflow
+  // are rx drops charged to the pNIC.
+  void offer_rx(PacketBatch b);
+
+  // Where transmitted packets go (fabric, another machine, a sink).
+  void set_tx_sink(TxSink sink) { tx_sink_ = std::move(sink); }
+
+  // --- host side -----------------------------------------------------------
+  // NAPI poll: pull received packets out of the DMA ring.
+  PacketBatch fetch_rx(uint64_t max_pkts, uint64_t max_bytes);
+  bool rx_empty() const { return rx_ring_.empty(); }
+  uint64_t rx_queued_packets() const { return rx_ring_.packets(); }
+
+  // Virtual switch output port: queue for transmission.
+  void accept(PacketBatch b) override;
+
+  void step(SimTime now, Duration dt) override;
+  std::string name() const override { return id().name; }
+
+  DataRate line_rate() const { return cfg_.line_rate; }
+  uint64_t rx_dropped_packets() const { return rx_drop_pkts_; }
+  uint64_t tx_dropped_packets() const { return tx_drop_pkts_; }
+  uint64_t tx_wire_bytes() const { return tx_wire_bytes_; }
+  uint64_t rx_wire_bytes() const { return rx_wire_bytes_; }
+
+ protected:
+  void extra_attrs(StatsRecord& r) const override;
+
+ private:
+  void admit_rx(Duration dt);
+
+  Config cfg_;
+  BoundedPacketQueue rx_ring_;
+  BoundedPacketQueue tx_ring_;
+  TxSink tx_sink_;
+  std::vector<PacketBatch> rx_staging_;  // offers since last step
+  uint64_t rx_staged_bytes_ = 0;
+  uint64_t rx_drop_pkts_ = 0;
+  uint64_t tx_drop_pkts_ = 0;
+  uint64_t rx_wire_bytes_ = 0;  // accepted off the wire
+  uint64_t tx_wire_bytes_ = 0;  // delivered to the wire
+};
+
+}  // namespace perfsight::dp

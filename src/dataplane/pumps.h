@@ -1,0 +1,125 @@
+// Active ("pump") elements that move traffic between buffers each tick,
+// consuming shared resources to do so:
+//
+//  * NapiPoll — the NAPI receive path: polls the pNIC DMA ring and feeds
+//    the per-core pCPU backlog.  CPU-limited (softirq consumer); when it
+//    starves, the DMA ring overflows and the pNIC drops (Fig. 8, 10–20 s).
+//  * HypervisorIo — the QEMU I/O handler of one VM: moves packets TUN→vNIC
+//    (receive) and vNIC→backlog (transmit; "the TAP transmit function
+//    enqueues the packets into the pCPU backlog queue", §6).  Consumes its
+//    VM's I/O-thread CPU slice and the memory bus (payload copies).  When
+//    starved of either, the TUN overflows — the aggregated-TUN-drop symptom
+//    of CPU or memory-bandwidth contention.
+#pragma once
+
+#include "dataplane/backlog.h"
+#include "dataplane/element.h"
+#include "dataplane/pnic.h"
+#include "dataplane/queues.h"
+#include "resources/pool.h"
+#include "sim/simulator.h"
+
+namespace perfsight::dp {
+
+class NapiPoll : public Element, public sim::Steppable {
+ public:
+  struct Config {
+    double cost_per_pkt = 0.6e-6;  // cpu-seconds per polled packet
+  };
+
+  NapiPoll(ElementId id, Config cfg, PNic* pnic, PCpuBacklog* backlog,
+           ResourcePool* cpu, ResourcePool::ConsumerId cpu_consumer)
+      : Element(std::move(id), ElementKind::kNapi),
+        cfg_(cfg),
+        pnic_(pnic),
+        backlog_(backlog),
+        cpu_(cpu),
+        cpu_consumer_(cpu_consumer) {}
+
+  void step(SimTime now, Duration dt) override;
+  std::string name() const override { return id().name; }
+
+ private:
+  Config cfg_;
+  PNic* pnic_;
+  PCpuBacklog* backlog_;
+  ResourcePool* cpu_;
+  ResourcePool::ConsumerId cpu_consumer_;
+};
+
+class HypervisorIo : public Element, public sim::Steppable {
+ public:
+  struct Config {
+    double cost_per_pkt = 1.2e-6;
+    double cost_per_byte = 0.15e-9;
+    double mem_per_byte = 17.2;  // bus bytes per wire byte (copy-heavy)
+    double memcpy_bytes_per_sec = 3.2e9;  // for I/O-time accounting
+    // Per-tick work bound: an I/O thread can only issue so much per
+    // scheduling quantum, so a deep backlog must drain over several ticks
+    // rather than inflating one tick's resource demand without limit.
+    double max_bytes_per_sec = 2.5e9;
+  };
+
+  HypervisorIo(ElementId id, int vm, Config cfg, Tun* tun, VNic* vnic,
+               PCpuBacklog* backlog, ResourcePool* cpu,
+               ResourcePool::ConsumerId cpu_consumer, ResourcePool* membus,
+               ResourcePool::ConsumerId mem_consumer)
+      : Element(std::move(id), ElementKind::kHypervisorIo, vm),
+        cfg_(cfg),
+        tun_(tun),
+        vnic_(vnic),
+        backlog_(backlog),
+        cpu_(cpu),
+        cpu_consumer_(cpu_consumer),
+        membus_(membus),
+        mem_consumer_(mem_consumer) {}
+
+  void step(SimTime now, Duration dt) override;
+  std::string name() const override { return id().name; }
+
+ private:
+  Config cfg_;
+  Tun* tun_;
+  VNic* vnic_;
+  PCpuBacklog* backlog_;
+  ResourcePool* cpu_;
+  ResourcePool::ConsumerId cpu_consumer_;
+  ResourcePool* membus_;
+  ResourcePool::ConsumerId mem_consumer_;
+};
+
+// Guest kernel datapath of one VM: vNIC rx ring → guest backlog → guest
+// socket buffer, paced by the VM's vCPU allocation.  (The application side
+// — reading the socket, producing egress — is the PacketApp hierarchy.)
+class GuestStack : public sim::Steppable {
+ public:
+  struct Config {
+    double cost_per_pkt = 1.0e-6;
+    double cost_per_byte = 0.1e-9;
+  };
+
+  GuestStack(std::string name, Config cfg, VNic* vnic, GuestBacklog* backlog,
+             GuestSocket* socket, ResourcePool* cpu,
+             ResourcePool::ConsumerId vcpu_consumer)
+      : name_(std::move(name)),
+        cfg_(cfg),
+        vnic_(vnic),
+        backlog_(backlog),
+        socket_(socket),
+        cpu_(cpu),
+        vcpu_consumer_(vcpu_consumer) {}
+
+  void step(SimTime now, Duration dt) override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Config cfg_;
+  VNic* vnic_;
+  GuestBacklog* backlog_;
+  GuestSocket* socket_;
+  ResourcePool* cpu_;
+  ResourcePool::ConsumerId vcpu_consumer_;
+};
+
+}  // namespace perfsight::dp

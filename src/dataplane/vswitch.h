@@ -1,0 +1,75 @@
+// Virtual switch (Open vSwitch stand-in).
+//
+// Invoked by backlog processing as a function call (no buffer of its own —
+// Fig. 5), the switch matches each batch's flow against its rule table and
+// forwards to the matching output port: a VM's TUN, the pNIC tx ring, or
+// another port object.  Per-rule packet/byte counters mirror OVS's per-rule
+// statistics, exported through the OVS control channel kind.  Packets with
+// no matching rule are dropped and charged to the switch itself.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/element.h"
+
+namespace perfsight::dp {
+
+class VirtualSwitch : public Element, public PortIn {
+ public:
+  explicit VirtualSwitch(ElementId id)
+      : Element(std::move(id), ElementKind::kVSwitch) {}
+
+  // Installs a forwarding rule for `flow`.  Later installs override.
+  void add_rule(FlowId flow, PortIn* out, std::string rule_name) {
+    auto it = rule_index_.find(flow);
+    if (it != rule_index_.end()) {
+      rules_[it->second].out = out;
+      rules_[it->second].name = std::move(rule_name);
+      return;
+    }
+    rule_index_[flow] = rules_.size();
+    rules_.push_back(Rule{std::move(rule_name), out, 0, 0});
+  }
+
+  // Frame-handling entry point (called by the backlog / NAPI routine).
+  void accept(PacketBatch b) override {
+    if (b.empty()) return;
+    note_in(b);
+    auto it = rule_index_.find(b.flow);
+    if (it == rule_index_.end()) {
+      note_drop(b.packets, b.bytes);
+      return;
+    }
+    Rule& r = rules_[it->second];
+    r.pkts += b.packets;
+    r.bytes += b.bytes;
+    note_out(b);
+    r.out->accept(std::move(b));
+  }
+
+  struct Rule {
+    std::string name;
+    PortIn* out = nullptr;
+    uint64_t pkts = 0;
+    uint64_t bytes = 0;
+  };
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ protected:
+  void extra_attrs(StatsRecord& r) const override {
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      r.set("rule." + rules_[i].name + ".pkts",
+            static_cast<double>(rules_[i].pkts));
+      r.set("rule." + rules_[i].name + ".bytes",
+            static_cast<double>(rules_[i].bytes));
+    }
+  }
+
+ private:
+  std::unordered_map<FlowId, size_t> rule_index_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace perfsight::dp

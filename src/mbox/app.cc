@@ -1,0 +1,156 @@
+#include "mbox/app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace perfsight::mbox {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr uint32_t kMss = 1448;  // for byte->packet counter conversion
+
+PacketBatch as_batch(uint64_t bytes) {
+  return PacketBatch{FlowId{0}, bytes / kMss + (bytes % kMss ? 1 : 0), bytes};
+}
+}  // namespace
+
+void StreamApp::step(SimTime /*now*/, Duration dt) {
+  // --- how much could each side move this tick? ---------------------------
+  double avail;
+  if (is_source()) {
+    avail = kInf;  // generation is accounted as processing capacity
+  } else {
+    uint64_t r = 0;
+    for (StreamConn* c : inputs_) r += c->readable();
+    avail = static_cast<double>(r);
+  }
+
+  double rate = is_source()
+                    ? std::min(cfg_.gen_bytes_per_sec, cfg_.proc_bytes_per_sec)
+                    : cfg_.proc_bytes_per_sec;
+  double proc_cap = std::min(rate * dt.sec() + proc_carry_, 2 * rate * dt.sec());
+
+  double out_cap = kInf;
+  double total_share = 0;
+  if (!outputs_.empty()) {
+    for (const Output& o : outputs_) total_share += o.share;
+    if (cfg_.coupling == OutputCoupling::kCoupled) {
+      for (const Output& o : outputs_) {
+        if (o.share <= 0) continue;
+        out_cap = std::min(out_cap,
+                           static_cast<double>(o.conn->writable()) / o.share);
+      }
+    }
+  }
+
+  // --- move the bytes -------------------------------------------------------
+  double processed = std::min(avail, proc_cap);
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  double blocked_out_share = 0;  // for independent outputs
+
+  if (cfg_.coupling == OutputCoupling::kCoupled || outputs_.empty()) {
+    processed = std::min(processed, out_cap);
+    uint64_t b = static_cast<uint64_t>(processed);
+    if (!is_source()) read_bytes = b;
+    for (const Output& o : outputs_) {
+      uint64_t w = static_cast<uint64_t>(static_cast<double>(b) * o.share);
+      uint64_t accepted = o.conn->write(w);
+      written_bytes += accepted;
+    }
+  } else {
+    // Independent outputs: each backend takes its share; a stalled backend
+    // only loses its own portion.
+    uint64_t b_total = 0;
+    for (const Output& o : outputs_) {
+      double desired = processed * (total_share > 0 ? o.share / total_share : 0) *
+                       total_share;  // = processed * o.share
+      uint64_t w = static_cast<uint64_t>(
+          std::min(desired, static_cast<double>(o.conn->writable())));
+      uint64_t accepted = o.conn->write(w);
+      written_bytes += accepted;
+      b_total += accepted;
+      if (static_cast<double>(accepted) + 1.0 < desired) {
+        blocked_out_share += o.share;
+      }
+    }
+    if (!is_source()) read_bytes = b_total;
+    processed = static_cast<double>(b_total);
+  }
+
+  // Drain inputs proportionally for the bytes consumed.
+  if (!is_source() && read_bytes > 0) {
+    uint64_t remaining = read_bytes;
+    for (StreamConn* c : inputs_) {
+      uint64_t take = std::min<uint64_t>(remaining, c->readable());
+      c->read(take);
+      remaining -= take;
+      if (remaining == 0) break;
+    }
+  }
+  proc_carry_ = std::max(0.0, proc_cap - processed);
+  if (rate < 1e14) {
+    proc_carry_ = std::min(proc_carry_, rate * dt.sec());
+  } else {
+    proc_carry_ = 0;
+  }
+
+  // --- time accounting --------------------------------------------------------
+  double t_copy_in = inputs_.empty()
+                         ? 0
+                         : static_cast<double>(read_bytes) / cfg_.memcpy_bytes_per_sec;
+  double t_copy_out = outputs_.empty()
+                          ? 0
+                          : static_cast<double>(written_bytes) /
+                                cfg_.memcpy_bytes_per_sec;
+  double t_proc = rate < 1e14 ? processed / rate : 0;
+  double leftover = std::max(0.0, dt.sec() - t_copy_in - t_copy_out - t_proc);
+
+  // Charge the idle remainder to the binding side.  Input is binding only
+  // when reading actually drained the receive buffers dry while more could
+  // have been processed; otherwise a stalled output (full send buffer) is.
+  bool input_exhausted = !is_source() && !inputs_.empty() &&
+                         static_cast<double>(read_bytes) + 0.5 >= avail;
+  bool could_do_more = processed < proc_cap - 0.5;
+  bool input_bound = input_exhausted && could_do_more;
+  bool output_bound = false;
+  if (!input_bound) {
+    if (cfg_.coupling == OutputCoupling::kCoupled) {
+      output_bound =
+          !outputs_.empty() && out_cap < std::min(avail, proc_cap) - 0.5;
+    } else {
+      output_bound = blocked_out_share > 0;
+    }
+  }
+
+  double in_block = 0, out_block = 0;
+  if (input_bound) {
+    in_block = leftover;
+  } else if (output_bound) {
+    if (cfg_.coupling == OutputCoupling::kIndependent && total_share > 0) {
+      out_block = leftover * std::min(1.0, blocked_out_share / total_share);
+    } else {
+      out_block = leftover;
+    }
+  }
+
+  if (!inputs_.empty()) {
+    note_in(as_batch(read_bytes));
+    note_in_time(Duration::seconds(t_copy_in + in_block));
+  }
+  if (!outputs_.empty()) {
+    note_out(as_batch(written_bytes));
+    note_out_time(Duration::seconds(t_copy_out + out_block));
+  }
+}
+
+StatsRecord StreamApp::collect(SimTime now) const {
+  StatsRecord r = dp::Element::collect(now);
+  r.set(attr::kInBytes, static_cast<double>(stats_.bytes_in.value()));
+  r.set(attr::kOutBytes, static_cast<double>(stats_.bytes_out.value()));
+  r.set(attr::kCapacityMbps, home_->vnic_rate().mbits_per_sec());
+  return r;
+}
+
+}  // namespace perfsight::mbox

@@ -1,0 +1,95 @@
+// Stream middlebox application with the I/O-time accounting Algorithm 2
+// consumes (§5.2).
+//
+// Per tick the app reads from its input connections, "processes" at up to
+// its capacity, and fans processed bytes onto its output connections.  Time
+// splits across t_input + t_process + t_output: memory-copy time follows
+// the bytes moved; the tick's residual idle time is charged to the *binding
+// constraint* — the input side when the receive buffers ran dry (upstream
+// too slow), the output side when the send buffers were full (downstream
+// too slow), and processing otherwise (the app itself is the limiter, e.g.
+// an Overloaded server).  This yields exactly the paper's states:
+//
+//   ReadBlocked   b_in/t_in  < C   (starved)
+//   WriteBlocked  b_out/t_out < C  (backpressured)
+//   neither       while busy processing — an Overloaded node does NOT look
+//                 blocked, which is why Algorithm 2's filtering leaves it
+//                 standing as the root cause.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/element.h"
+#include "mbox/stream.h"
+
+namespace perfsight::mbox {
+
+// How a multi-output app reacts to one stalled output.
+enum class OutputCoupling {
+  // All outputs advance in fixed ratio; one full output stalls everything
+  // (synchronous logging: a content filter blocked on its NFS log).
+  kCoupled,
+  // Outputs progress independently (a load balancer's backends).
+  kIndependent,
+};
+
+struct StreamAppConfig {
+  // Processing capacity in bytes/second; huge = pure relay.
+  double proc_bytes_per_sec = 1e15;
+  // Source mode: generate this many bytes/second instead of reading inputs
+  // (0 = not a source).  Use a huge value for "as fast as possible".
+  double gen_bytes_per_sec = 0;
+  double memcpy_bytes_per_sec = 3.2e9;
+  OutputCoupling coupling = OutputCoupling::kCoupled;
+};
+
+class StreamApp : public dp::Element, public sim::Steppable {
+ public:
+  StreamApp(ElementId id, StreamVm* home, StreamAppConfig cfg)
+      : dp::Element(std::move(id), ElementKind::kMiddleboxApp),
+        home_(home),
+        cfg_(cfg) {}
+
+  void add_input(StreamConn* c) { inputs_.push_back(c); }
+  void add_output(StreamConn* c, double share) {
+    outputs_.push_back(Output{c, share});
+  }
+  // Re-weights an existing output (e.g. rerouting after a scale-out).
+  void set_output_share(size_t index, double share) {
+    PS_CHECK(index < outputs_.size());
+    outputs_[index].share = share;
+  }
+
+  // Fault injection / scaling knobs.
+  void set_proc_rate(double bytes_per_sec) {
+    cfg_.proc_bytes_per_sec = bytes_per_sec;
+  }
+  double proc_rate() const { return cfg_.proc_bytes_per_sec; }
+  void set_gen_rate(double bytes_per_sec) {
+    cfg_.gen_bytes_per_sec = bytes_per_sec;
+  }
+
+  void step(SimTime now, Duration dt) override;
+  std::string name() const override { return id().name; }
+
+  StatsRecord collect(SimTime now) const override;
+
+  StreamVm* home() const { return home_; }
+  bool is_source() const { return cfg_.gen_bytes_per_sec > 0; }
+  bool is_sink() const { return outputs_.empty(); }
+
+ private:
+  struct Output {
+    StreamConn* conn;
+    double share;
+  };
+
+  StreamVm* home_;
+  StreamAppConfig cfg_;
+  std::vector<StreamConn*> inputs_;
+  std::vector<Output> outputs_;
+  double proc_carry_ = 0;
+};
+
+}  // namespace perfsight::mbox

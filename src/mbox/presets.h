@@ -1,0 +1,48 @@
+// Preset configurations for the middlebox kinds the paper deploys: the
+// Balance load balancer, CherryProxy content filter, NFS server, HTTP
+// server/client.  Thin helpers over StreamAppConfig so scenario code reads
+// like the paper's topology descriptions.
+#pragma once
+
+#include "mbox/app.h"
+
+namespace perfsight::mbox::presets {
+
+// A TCP proxy / load balancer: pure relay, independent backends.
+inline StreamAppConfig load_balancer() {
+  StreamAppConfig cfg;
+  cfg.coupling = OutputCoupling::kIndependent;
+  return cfg;
+}
+
+// A content filter that synchronously logs to a file server: the log
+// output is coupled to the main output, so a stalled log store stalls the
+// filter (Fig. 12(d)'s propagation source).
+inline StreamAppConfig content_filter(double proc_bytes_per_sec = 1e15) {
+  StreamAppConfig cfg;
+  cfg.proc_bytes_per_sec = proc_bytes_per_sec;
+  cfg.coupling = OutputCoupling::kCoupled;
+  return cfg;
+}
+
+// NFS / HTTP server endpoints: sinks with a service-rate capacity.
+inline StreamAppConfig server(DataRate service_rate) {
+  StreamAppConfig cfg;
+  cfg.proc_bytes_per_sec = service_rate.bytes_per_sec();
+  return cfg;
+}
+
+// Client uploading at `rate`; use client_unbounded() for "as fast as
+// possible".
+inline StreamAppConfig client(DataRate rate) {
+  StreamAppConfig cfg;
+  cfg.gen_bytes_per_sec = rate.bytes_per_sec();
+  return cfg;
+}
+inline StreamAppConfig client_unbounded() {
+  StreamAppConfig cfg;
+  cfg.gen_bytes_per_sec = 1e15;
+  return cfg;
+}
+
+}  // namespace perfsight::mbox::presets

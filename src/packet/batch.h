@@ -1,0 +1,58 @@
+// PacketBatch: the unit of traffic in the simulator.
+//
+// Moving individual packet objects through a 100-second, multi-Gbps scenario
+// would dominate runtime without changing any statistic PerfSight collects —
+// the instrumentation only ever needs packet counts, byte counts and drop
+// counts per element.  A batch is an aggregate of same-flow packets
+// (count + bytes); queues and elements split batches exactly, conserving
+// both packets and bytes, so every counter is identical to a packet-level
+// run of the same fluid schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace perfsight {
+
+struct PacketBatch {
+  FlowId flow;
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+
+  bool empty() const { return packets == 0; }
+  // Average packet size; batches are same-flow so this is the flow's MTU-ish
+  // packet size, not a lossy mixture.
+  double avg_packet_size() const {
+    return packets == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(packets);
+  }
+};
+
+// Splits `b` into a front part of at most `max_packets` / `max_bytes`
+// (whichever binds first) and leaves the remainder in `b`.  Byte split is
+// proportional to packets taken, rounded so that packets and bytes are both
+// conserved exactly across the two parts.
+inline PacketBatch take_front(PacketBatch& b, uint64_t max_packets,
+                              uint64_t max_bytes) {
+  PS_CHECK(b.packets > 0);
+  double pkt_size = b.avg_packet_size();
+  uint64_t by_pkts = max_packets;
+  uint64_t by_bytes =
+      pkt_size > 0 ? static_cast<uint64_t>(static_cast<double>(max_bytes) / pkt_size) : b.packets;
+  uint64_t n = by_pkts < by_bytes ? by_pkts : by_bytes;
+  if (n >= b.packets) {
+    PacketBatch all = b;
+    b = PacketBatch{b.flow, 0, 0};
+    return all;
+  }
+  uint64_t taken_bytes =
+      static_cast<uint64_t>(static_cast<double>(b.bytes) * static_cast<double>(n) /
+                            static_cast<double>(b.packets));
+  PacketBatch front{b.flow, n, taken_bytes};
+  b.packets -= n;
+  b.bytes -= taken_bytes;
+  return front;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,45 @@
+// Flow descriptors.
+//
+// A flow is a unidirectional stream of same-sized packets between two
+// endpoints of the virtual topology.  The simulator routes batches by
+// FlowId; FlowSpec carries the routing and shaping metadata the scenario
+// declared (destination VM, packet size, offered rate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "packet/batch.h"
+
+namespace perfsight {
+
+enum class FlowDirection {
+  kIngress,  // fabric → pNIC → ... → VM
+  kEgress,   // VM → ... → pNIC → fabric
+};
+
+struct FlowSpec {
+  FlowId id;
+  std::string label;          // for reports/traces
+  TenantId tenant;
+  VmId dst_vm;                // VM whose TUN the ingress path targets
+  VmId src_vm;                // for egress flows
+  FlowDirection direction = FlowDirection::kIngress;
+  uint32_t packet_size = 1500;  // bytes on the wire
+
+  // Batch of `n` packets of this flow.
+  PacketBatch make_batch(uint64_t n) const {
+    return PacketBatch{id, n, n * packet_size};
+  }
+  // Batch carrying ~`bytes` of this flow (whole packets, at least 1 if
+  // bytes > 0).
+  PacketBatch make_batch_bytes(uint64_t bytes) const {
+    uint64_t n = bytes / packet_size;
+    if (n == 0 && bytes > 0) n = 1;
+    return make_batch(n);
+  }
+};
+
+}  // namespace perfsight

@@ -1,0 +1,117 @@
+#include "perfsight/agent.h"
+
+#include <algorithm>
+
+namespace perfsight {
+
+const char* to_string(ChannelKind k) {
+  switch (k) {
+    case ChannelKind::kNetDeviceFile:
+      return "net_device";
+    case ChannelKind::kProcFs:
+      return "procfs";
+    case ChannelKind::kOvsChannel:
+      return "ovs_channel";
+    case ChannelKind::kQemuLog:
+      return "qemu_log";
+    case ChannelKind::kGuestProc:
+      return "guest_proc";
+    case ChannelKind::kMbSocket:
+      return "mb_socket";
+  }
+  return "unknown";
+}
+
+ChannelLatencyModel default_latency(ChannelKind kind) {
+  using namespace literals;
+  // Calibrated to Fig. 9: net-device file reads ~2 ms; everything else
+  // completes within 500 us.
+  switch (kind) {
+    case ChannelKind::kNetDeviceFile:
+      return {Duration::micros(1900), Duration::micros(400)};
+    case ChannelKind::kProcFs:
+      return {Duration::micros(120), Duration::micros(60)};
+    case ChannelKind::kOvsChannel:
+      return {Duration::micros(350), Duration::micros(120)};
+    case ChannelKind::kQemuLog:
+      return {Duration::micros(400), Duration::micros(100)};
+    case ChannelKind::kGuestProc:
+      return {Duration::micros(250), Duration::micros(100)};
+    case ChannelKind::kMbSocket:
+      return {Duration::micros(180), Duration::micros(80)};
+  }
+  return {Duration::micros(500), Duration::micros(100)};
+}
+
+Status Agent::add_element(const StatsSource* source) {
+  PS_CHECK(source != nullptr);
+  auto [it, inserted] = sources_.emplace(source->id(), source);
+  (void)it;
+  if (!inserted) {
+    return Status::invalid_argument("duplicate element id: " +
+                                    source->id().name);
+  }
+  return Status::ok();
+}
+
+std::vector<ElementId> Agent::element_ids() const {
+  std::vector<ElementId> ids;
+  ids.reserve(sources_.size());
+  for (const auto& [id, src] : sources_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Duration Agent::channel_delay(ChannelKind kind) {
+  ChannelLatencyModel m = has_override_[static_cast<size_t>(kind)]
+                              ? latency_override_[static_cast<size_t>(kind)]
+                              : default_latency(kind);
+  return m.base + m.jitter * rng_.next_double();
+}
+
+Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
+  auto it = sources_.find(id);
+  if (it == sources_.end()) {
+    return Status::not_found("agent " + name_ + ": no element " + id.name);
+  }
+  QueryResponse resp;
+  resp.record = it->second->collect(now);
+  resp.response_time = channel_delay(it->second->channel_kind());
+  return resp;
+}
+
+Result<QueryResponse> Agent::query_attrs(const ElementId& id,
+                                         const std::vector<std::string>& attrs,
+                                         SimTime now) {
+  Result<QueryResponse> full = query(id, now);
+  if (!full.ok()) return full.status();
+  QueryResponse resp = full.value();
+  resp.record = project(resp.record, attrs);
+  return resp;
+}
+
+Result<QueryResponse> Agent::query_cached(const ElementId& id, SimTime now,
+                                          Duration max_age) {
+  auto it = cache_.find(id);
+  if (it != cache_.end() && now - it->second.record.timestamp <= max_age) {
+    ++cache_hits_;
+    QueryResponse hit = it->second;
+    hit.response_time = Duration::nanos(0);  // served locally
+    return hit;
+  }
+  Result<QueryResponse> fresh = query(id, now);
+  if (fresh.ok()) cache_[id] = fresh.value();
+  return fresh;
+}
+
+std::vector<QueryResponse> Agent::poll_all(SimTime now) {
+  std::vector<QueryResponse> out;
+  out.reserve(sources_.size());
+  for (const ElementId& id : element_ids()) {
+    Result<QueryResponse> r = query(id, now);
+    if (r.ok()) out.push_back(r.value());
+  }
+  return out;
+}
+
+}  // namespace perfsight

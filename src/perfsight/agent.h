@@ -1,0 +1,92 @@
+// The per-server PerfSight agent (§4.2).
+//
+// One agent runs on each physical server.  It owns a registry of the
+// server's instrumented elements and, on demand, pulls counter values over
+// element-specific channels and returns them in the unified record format.
+// Pull-only by design: elements pay nothing while nobody is diagnosing.
+//
+// Channel latencies are modelled per kind (calibrated against Fig. 9:
+// net-device file reads ≈2 ms; /proc, OVS, QEMU-log and middlebox-socket
+// reads ≤500 µs) with a small deterministic jitter, so response-time
+// behaviour can be studied in simulated time.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "perfsight/stats.h"
+#include "perfsight/stats_source.h"
+
+namespace perfsight {
+
+// Modelled one-way agent→element→agent fetch latency for a channel kind.
+struct ChannelLatencyModel {
+  Duration base;
+  Duration jitter;  // uniform [0, jitter) added per query
+};
+
+ChannelLatencyModel default_latency(ChannelKind kind);
+
+struct QueryResponse {
+  StatsRecord record;
+  Duration response_time;  // modelled element-fetch latency
+};
+
+class Agent {
+ public:
+  explicit Agent(std::string name, uint64_t seed = 1)
+      : name_(std::move(name)), rng_(seed) {}
+
+  const std::string& name() const { return name_; }
+
+  // Registers an element; not owned.  Fails if the id is already taken.
+  Status add_element(const StatsSource* source);
+
+  bool has_element(const ElementId& id) const {
+    return sources_.count(id) > 0;
+  }
+  std::vector<ElementId> element_ids() const;
+
+  // Fetches all counters of one element.
+  Result<QueryResponse> query(const ElementId& id, SimTime now);
+
+  // Fetches a projection (the paper's GetAttr reaches this).
+  Result<QueryResponse> query_attrs(const ElementId& id,
+                                    const std::vector<std::string>& attrs,
+                                    SimTime now);
+
+  // Cached fetch: reuses the last record if it is no older than `max_age`,
+  // saving the channel round trip (response_time 0 on a hit).  Diagnosis
+  // sweeps that touch the same element repeatedly within a window use this
+  // to keep the per-query cost of Fig. 9 from multiplying.
+  Result<QueryResponse> query_cached(const ElementId& id, SimTime now,
+                                     Duration max_age);
+  uint64_t cache_hits() const { return cache_hits_; }
+
+  // Fetches every element on this server (one poll sweep, Fig. 16 workload).
+  std::vector<QueryResponse> poll_all(SimTime now);
+
+  // Overrides the latency model for a channel kind (tests / calibration).
+  void set_latency(ChannelKind kind, ChannelLatencyModel m) {
+    latency_override_[static_cast<size_t>(kind)] = m;
+    has_override_[static_cast<size_t>(kind)] = true;
+  }
+
+ private:
+  Duration channel_delay(ChannelKind kind);
+
+  std::string name_;
+  Pcg32 rng_;
+  std::unordered_map<ElementId, const StatsSource*> sources_;
+  std::unordered_map<ElementId, QueryResponse> cache_;
+  uint64_t cache_hits_ = 0;
+  ChannelLatencyModel latency_override_[6] = {};
+  bool has_override_[6] = {};
+};
+
+}  // namespace perfsight

@@ -1,0 +1,67 @@
+// The utilization-monitoring baseline PerfSight argues against (§2.3).
+//
+// "A common approach to detect bottlenecks is to monitor the resource
+// utilization on VMs.  While this may work in some cases, there are a
+// variety of middleboxes for which resource utilization does not reflect
+// workload intensity" — e.g. a transcoder using non-blocking I/O busy-waits
+// at 100% CPU while perfectly healthy, and memory-bandwidth contention
+// shows no elevated utilization anywhere.  This detector implements that
+// baseline faithfully so benches/tests can compare its verdicts against
+// PerfSight's element-level diagnosis on the same scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfsight {
+
+struct VmUtilization {
+  std::string vm_name;
+  double cpu = 0;  // 0..1 of the VM's allocation
+};
+
+struct UtilizationSnapshot {
+  double host_cpu = 0;  // 0..1 of all cores
+  std::vector<VmUtilization> vms;
+};
+
+struct BaselineVerdict {
+  bool problem_found = false;
+  // VMs whose utilization exceeds the threshold — the baseline's
+  // "suspicious set" (§5.1 uses the same notion as a pre-filter).
+  std::vector<std::string> suspected_vms;
+  bool suspects_host = false;
+  std::string narrative;
+};
+
+class NaiveUtilizationDetector {
+ public:
+  explicit NaiveUtilizationDetector(double vm_threshold = 0.9,
+                                    double host_threshold = 0.9)
+      : vm_threshold_(vm_threshold), host_threshold_(host_threshold) {}
+
+  BaselineVerdict diagnose(const UtilizationSnapshot& snap) const {
+    BaselineVerdict v;
+    for (const VmUtilization& vm : snap.vms) {
+      if (vm.cpu >= vm_threshold_) {
+        v.suspected_vms.push_back(vm.vm_name);
+      }
+    }
+    v.suspects_host = snap.host_cpu >= host_threshold_;
+    v.problem_found = v.suspects_host || !v.suspected_vms.empty();
+    if (!v.problem_found) {
+      v.narrative = "all utilizations nominal: no problem suspected";
+    } else {
+      v.narrative = "high utilization at:";
+      if (v.suspects_host) v.narrative += " host-cpu";
+      for (const std::string& n : v.suspected_vms) v.narrative += " " + n;
+    }
+    return v;
+  }
+
+ private:
+  double vm_threshold_;
+  double host_threshold_;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,77 @@
+#include "perfsight/bottleneck.h"
+
+#include <unordered_map>
+
+namespace perfsight {
+
+namespace {
+
+double util_of(const UtilizationSnapshot& snap, const std::string& vm) {
+  for (const VmUtilization& u : snap.vms) {
+    if (u.vm_name == vm) return u.cpu;
+  }
+  return 0;
+}
+
+}  // namespace
+
+BottleneckReport BottleneckDetector::diagnose(
+    TenantId tenant, const UtilizationSnapshot& utilization,
+    const std::vector<SuspectVm>& vms, Duration window,
+    bool degenerate) const {
+  BottleneckReport report;
+
+  // Build the suspicious set.
+  std::vector<const SuspectVm*> suspects;
+  for (const SuspectVm& vm : vms) {
+    if (degenerate || util_of(utilization, vm.vm_name) >= threshold_) {
+      suspects.push_back(&vm);
+    }
+  }
+
+  // One shared window for every suspect's datapath elements.
+  std::unordered_map<ElementId, double> first;
+  std::vector<std::string> attrs{attr::kDropPkts};
+  for (const SuspectVm* vm : suspects) {
+    for (const ElementId& e : vm->datapath) {
+      Result<StatsRecord> r = controller_->get_attr(tenant, e, attrs);
+      if (r.ok()) first[e] = r.value().get_or(attr::kDropPkts, 0);
+    }
+  }
+  controller_->advance(window);
+
+  for (const SuspectVm* vm : suspects) {
+    BottleneckVerdict v;
+    v.vm_name = vm->vm_name;
+    v.cpu_utilization = util_of(utilization, vm->vm_name);
+    for (const ElementId& e : vm->datapath) {
+      Result<StatsRecord> r = controller_->get_attr(tenant, e, attrs);
+      if (!r.ok()) continue;
+      auto it = first.find(e);
+      if (it == first.end()) continue;
+      v.loss_pkts += static_cast<int64_t>(
+          r.value().get_or(attr::kDropPkts, 0) - it->second);
+    }
+    v.confirmed = v.loss_pkts > 0;
+    if (v.confirmed) {
+      report.confirmed.push_back(v.vm_name);
+    } else {
+      report.exonerated.push_back(v.vm_name);
+    }
+    report.verdicts.push_back(std::move(v));
+  }
+  return report;
+}
+
+std::string to_text(const BottleneckReport& report) {
+  std::string out = "=== bottleneck-middlebox report ===\n";
+  for (const BottleneckVerdict& v : report.verdicts) {
+    out += "  " + v.vm_name + ": cpu=" +
+           std::to_string(static_cast<int>(v.cpu_utilization * 100)) +
+           "% loss=" + std::to_string(v.loss_pkts) + " pkts -> " +
+           (v.confirmed ? "BOTTLENECK" : "busy-but-healthy") + "\n";
+  }
+  return out;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,164 @@
+#include "perfsight/contention.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace perfsight {
+
+namespace {
+
+struct Sample {
+  double drops = 0;
+  double in_pkts = 0;
+  double out_pkts = 0;
+  ElementKind kind = ElementKind::kOther;
+  int vm = -1;
+  bool valid = false;
+  bool has_drop_counter = false;
+};
+
+Sample take_sample(const Controller& c, TenantId tenant, const ElementId& id) {
+  Sample s;
+  Result<StatsRecord> r = c.get_attr(
+      tenant, id,
+      {attr::kDropPkts, attr::kRxPkts, attr::kTxPkts, attr::kType, attr::kVm});
+  if (!r.ok()) return s;
+  const StatsRecord& rec = r.value();
+  s.has_drop_counter = rec.get(attr::kDropPkts).has_value();
+  s.drops = rec.get_or(attr::kDropPkts, 0);
+  s.in_pkts = rec.get_or(attr::kRxPkts, 0);
+  s.out_pkts = rec.get_or(attr::kTxPkts, 0);
+  s.kind = static_cast<ElementKind>(
+      static_cast<int>(rec.get_or(attr::kType, static_cast<double>(static_cast<int>(ElementKind::kOther)))));
+  s.vm = static_cast<int>(rec.get_or(attr::kVm, -1));
+  s.valid = true;
+  return s;
+}
+
+bool is_shared_kind(ElementKind k) {
+  switch (k) {
+    case ElementKind::kPNic:
+    case ElementKind::kPCpuBacklog:
+    case ElementKind::kNapi:
+    case ElementKind::kVSwitch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
+                                              const AuxSignals& aux) const {
+  ContentionReport report;
+  std::vector<ElementId> elements = controller_->stack_elements_for(tenant);
+
+  // One shared measurement window for the whole sweep.
+  std::unordered_map<ElementId, Sample> first;
+  for (const ElementId& e : elements) {
+    first[e] = take_sample(*controller_, tenant, e);
+  }
+  controller_->advance(window);
+  for (const ElementId& e : elements) {
+    Sample s2 = take_sample(*controller_, tenant, e);
+    const Sample& s1 = first[e];
+    if (!s1.valid || !s2.valid) continue;
+    ElementLossEntry entry;
+    entry.id = e;
+    entry.kind = s2.kind;
+    entry.vm = s2.vm;
+    if (s2.has_drop_counter) {
+      entry.loss_pkts = static_cast<int64_t>(s2.drops - s1.drops);
+    } else {
+      // The paper's (in - out) growth, for elements without an explicit
+      // drop counter.
+      entry.loss_pkts = static_cast<int64_t>((s2.in_pkts - s2.out_pkts) -
+                                             (s1.in_pkts - s1.out_pkts));
+    }
+    if (entry.loss_pkts < 0) entry.loss_pkts = 0;
+    report.ranked.push_back(entry);
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const ElementLossEntry& a, const ElementLossEntry& b) {
+              if (a.loss_pkts != b.loss_pkts) return a.loss_pkts > b.loss_pkts;
+              return a.id < b.id;
+            });
+
+  if (report.ranked.empty() ||
+      report.ranked.front().loss_pkts < loss_threshold_) {
+    report.narrative = "no significant packet loss in the software dataplane";
+    return report;
+  }
+
+  const ElementLossEntry& primary = report.ranked.front();
+  report.problem_found = true;
+  report.primary_location = primary.kind;
+
+  // Spread: which VMs' per-VM elements (of the primary kind) are losing?
+  std::set<int> vms;
+  for (const ElementLossEntry& e : report.ranked) {
+    if (e.kind == primary.kind && e.loss_pkts >= loss_threshold_ &&
+        e.vm >= 0) {
+      vms.insert(e.vm);
+    }
+  }
+  report.affected_vms.assign(vms.begin(), vms.end());
+  if (is_shared_kind(primary.kind)) {
+    report.spread = LossSpread::kSharedElement;
+    report.is_contention = true;
+  } else if (vms.size() > 1) {
+    report.spread = LossSpread::kMultiVm;
+    report.is_contention = true;
+  } else {
+    report.spread = LossSpread::kSingleVm;
+    report.is_contention = false;
+  }
+
+  report.candidate_resources =
+      rulebook_.candidates(primary.kind, report.spread);
+  report.candidate_resources =
+      RuleBook::disambiguate(report.candidate_resources, aux);
+
+  std::string where = to_string(primary.kind);
+  report.narrative = "loss concentrated at " + where + " (" +
+                     primary.id.name + ", " +
+                     std::to_string(primary.loss_pkts) + " pkts); " +
+                     (report.is_contention
+                          ? std::string("contention across ") +
+                                std::to_string(std::max<size_t>(
+                                    vms.size(), report.is_contention ? 2 : 1)) +
+                                " VMs"
+                          : "bottleneck confined to one VM");
+  return report;
+}
+
+std::string to_text(const ContentionReport& r) {
+  std::string out;
+  out += "=== Algorithm 1: contention / bottleneck report ===\n";
+  if (!r.problem_found) {
+    out += "  no significant loss detected\n";
+    return out;
+  }
+  out += "  primary drop location: ";
+  out += to_string(r.primary_location);
+  out += "  (spread: ";
+  out += to_string(r.spread);
+  out += ", classified as ";
+  out += r.is_contention ? "CONTENTION" : "BOTTLENECK";
+  out += ")\n  candidate resources:";
+  for (ResourceKind res : r.candidate_resources) {
+    out += " ";
+    out += to_string(res);
+  }
+  out += "\n  ranked element losses:\n";
+  for (const ElementLossEntry& e : r.ranked) {
+    if (e.loss_pkts <= 0) continue;
+    out += "    " + e.id.name + " [" + to_string(e.kind) +
+           "]: " + std::to_string(e.loss_pkts) + " pkts\n";
+  }
+  return out;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,65 @@
+// Algorithm 1 (§5.1): detect contention and bottleneck middleboxes.
+//
+// Scans every virtualization-stack element on the machines hosting a
+// tenant, measures each element's packet loss over a single shared window
+// (one sample sweep, advance, second sweep — not one window per element),
+// ranks elements by loss, and classifies:
+//
+//   * loss at a shared element (pNIC, pCPU backlog)            -> contention
+//     for that element's resource among its users;
+//   * loss at per-VM elements (TUNs) across multiple VMs        -> contention
+//     for a shared resource (CPU / memory bandwidth / egress — the rule
+//     book's ambiguous set, narrowed by auxiliary signals);
+//   * loss confined to a single VM's datapath                   -> that VM is
+//     a bottleneck (under-provisioned), not a victim of contention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfsight/controller.h"
+#include "perfsight/rulebook.h"
+
+namespace perfsight {
+
+struct ElementLossEntry {
+  ElementId id;
+  ElementKind kind = ElementKind::kOther;
+  int vm = -1;  // owning VM, -1 for shared elements
+  int64_t loss_pkts = 0;
+};
+
+struct ContentionReport {
+  // All scanned elements, sorted by descending loss (Algorithm 1's output).
+  std::vector<ElementLossEntry> ranked;
+  bool problem_found = false;
+  ElementKind primary_location = ElementKind::kOther;
+  LossSpread spread = LossSpread::kNone;
+  bool is_contention = false;  // vs single-VM bottleneck
+  std::vector<int> affected_vms;
+  std::vector<ResourceKind> candidate_resources;
+  std::string narrative;
+};
+
+class ContentionDetector {
+ public:
+  ContentionDetector(const Controller* controller, RuleBook rulebook)
+      : controller_(controller), rulebook_(std::move(rulebook)) {}
+
+  // Minimum packet loss over the window to consider an element lossy
+  // (filters measurement noise).
+  void set_loss_threshold(int64_t pkts) { loss_threshold_ = pkts; }
+
+  ContentionReport diagnose(TenantId tenant, Duration window,
+                            const AuxSignals& aux = {}) const;
+
+ private:
+  const Controller* controller_;
+  RuleBook rulebook_;
+  int64_t loss_threshold_ = 1;
+};
+
+std::string to_text(const ContentionReport& report);
+
+}  // namespace perfsight

@@ -1,0 +1,135 @@
+#include "perfsight/controller.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace perfsight {
+
+Status Controller::register_element(TenantId tenant, const ElementId& id,
+                                    Agent* agent) {
+  PS_CHECK(agent != nullptr);
+  if (!agent->has_element(id)) {
+    return Status::not_found("agent " + agent->name() +
+                             " does not serve element " + id.name);
+  }
+  vnet_[tenant][id] = agent;
+  return Status::ok();
+}
+
+const std::vector<ElementId>& Controller::middleboxes(TenantId tenant) const {
+  static const std::vector<ElementId> kEmpty;
+  auto it = tenant_mbs_.find(tenant);
+  return it == tenant_mbs_.end() ? kEmpty : it->second;
+}
+
+const ChainTopology& Controller::chain(TenantId tenant) const {
+  static const ChainTopology kEmpty;
+  auto it = tenant_chain_.find(tenant);
+  return it == tenant_chain_.end() ? kEmpty : it->second;
+}
+
+std::vector<ElementId> Controller::elements_of(TenantId tenant) const {
+  std::vector<ElementId> out;
+  auto it = vnet_.find(tenant);
+  if (it == vnet_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [id, agent] : it->second) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ElementId> Controller::stack_elements_for(TenantId tenant) const {
+  std::vector<ElementId> out;
+  auto it = vnet_.find(tenant);
+  if (it == vnet_.end()) return out;
+  std::unordered_set<Agent*> machines;
+  for (const auto& [id, agent] : it->second) machines.insert(agent);
+  for (Agent* agent : machines) {
+    auto sit = stack_elements_.find(agent);
+    if (sit == stack_elements_.end()) continue;
+    out.insert(out.end(), sit->second.begin(), sit->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Agent* Controller::locate(TenantId tenant, const ElementId& id) const {
+  auto tit = vnet_.find(tenant);
+  if (tit != vnet_.end()) {
+    auto eit = tit->second.find(id);
+    if (eit != tit->second.end()) return eit->second;
+  }
+  // Stack elements are shared infrastructure, not owned by any tenant;
+  // resolve them by asking the agents directly.
+  for (Agent* a : agents_) {
+    if (a->has_element(id)) return a;
+  }
+  return nullptr;
+}
+
+Result<StatsRecord> Controller::get_attr(
+    TenantId tenant, const ElementId& id,
+    const std::vector<std::string>& attrs) const {
+  Agent* agent = locate(tenant, id);
+  if (agent == nullptr) {
+    return Status::not_found("no agent serves element " + id.name);
+  }
+  Result<QueryResponse> resp = agent->query_attrs(id, attrs, now_());
+  if (!resp.ok()) return resp.status();
+  return resp.value().record;
+}
+
+Result<DataRate> Controller::get_throughput(TenantId tenant,
+                                            const ElementId& id,
+                                            Duration window) const {
+  std::vector<std::string> attrs{attr::kTxBytes};
+  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  if (!s1.ok()) return s1.status();
+  advance_(window);
+  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  if (!s2.ok()) return s2.status();
+  double b1 = s1.value().get_or(attr::kTxBytes, 0);
+  double b2 = s2.value().get_or(attr::kTxBytes, 0);
+  Duration dt = s2.value().timestamp - s1.value().timestamp;
+  return rate_of(static_cast<uint64_t>(std::max(0.0, b2 - b1)), dt);
+}
+
+Result<int64_t> Controller::get_pkt_loss(TenantId tenant, const ElementId& id,
+                                         Duration window) const {
+  std::vector<std::string> attrs{attr::kRxPkts, attr::kTxPkts,
+                                 attr::kDropPkts};
+  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  if (!s1.ok()) return s1.status();
+  advance_(window);
+  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  if (!s2.ok()) return s2.status();
+
+  const StatsRecord& r1 = s1.value();
+  const StatsRecord& r2 = s2.value();
+  if (r1.get(attr::kDropPkts) && r2.get(attr::kDropPkts)) {
+    return static_cast<int64_t>(*r2.get(attr::kDropPkts) -
+                                *r1.get(attr::kDropPkts));
+  }
+  double d1 = r1.get_or(attr::kRxPkts, 0) - r1.get_or(attr::kTxPkts, 0);
+  double d2 = r2.get_or(attr::kRxPkts, 0) - r2.get_or(attr::kTxPkts, 0);
+  return static_cast<int64_t>(d2 - d1);
+}
+
+Result<double> Controller::get_avg_pkt_size(TenantId tenant,
+                                            const ElementId& id,
+                                            Duration window) const {
+  std::vector<std::string> attrs{attr::kTxBytes, attr::kTxPkts};
+  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  if (!s1.ok()) return s1.status();
+  advance_(window);
+  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  if (!s2.ok()) return s2.status();
+  double db = s2.value().get_or(attr::kTxBytes, 0) -
+              s1.value().get_or(attr::kTxBytes, 0);
+  double dp = s2.value().get_or(attr::kTxPkts, 0) -
+              s1.value().get_or(attr::kTxPkts, 0);
+  if (dp <= 0) return 0.0;
+  return db / dp;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,101 @@
+// The PerfSight controller (§4.3) and the basic utility routines of Fig. 6.
+//
+// The controller sits between diagnostic applications and the per-server
+// agents: it resolves (tenant, element) to the owning agent, forwards
+// attribute queries, and implements the interval-based utilities
+// GetThroughput / GetPktLoss / GetAvgPktSize by taking two counter samples
+// separated by a measurement window.  "Sleeping" for the window means
+// advancing simulated time, so the controller is handed an AdvanceFn by the
+// scenario (in a real deployment it would be wall-clock sleep).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "perfsight/agent.h"
+#include "perfsight/stats.h"
+#include "perfsight/topology.h"
+
+namespace perfsight {
+
+// Advances the world by `d` and returns the new time ("sleep(T)" in Fig. 6).
+using AdvanceFn = std::function<SimTime(Duration)>;
+// Returns the current time.
+using NowFn = std::function<SimTime()>;
+
+class Controller {
+ public:
+  Controller(AdvanceFn advance, NowFn now)
+      : advance_(std::move(advance)), now_(std::move(now)) {}
+
+  // --- registration (performed by the deployment layer) -----------------
+  void register_agent(Agent* agent) { agents_.push_back(agent); }
+
+  // Maps a tenant's element to the agent serving it.
+  Status register_element(TenantId tenant, const ElementId& id, Agent* agent);
+
+  // Declares `id` part of the virtualization stack on `agent`'s machine
+  // (Algorithm 1 scans these).
+  void register_stack_element(Agent* agent, const ElementId& id) {
+    stack_elements_[agent].push_back(id);
+  }
+
+  // Declares `id` a middlebox of `tenant` and records chain edges.
+  void register_middlebox(TenantId tenant, const ElementId& id) {
+    tenant_mbs_[tenant].push_back(id);
+    tenant_chain_[tenant].add_node(id);
+  }
+  void add_chain_edge(TenantId tenant, const ElementId& from,
+                      const ElementId& to) {
+    tenant_chain_[tenant].add_edge(from, to);
+  }
+
+  // --- lookup -------------------------------------------------------------
+  const std::vector<ElementId>& middleboxes(TenantId tenant) const;
+  const ChainTopology& chain(TenantId tenant) const;
+  std::vector<ElementId> elements_of(TenantId tenant) const;
+  // Every virtualization-stack element on every machine hosting a tenant
+  // element (the scan set of Algorithm 1).
+  std::vector<ElementId> stack_elements_for(TenantId tenant) const;
+  const std::vector<Agent*>& agents() const { return agents_; }
+
+  SimTime now() const { return now_(); }
+  SimTime advance(Duration d) const { return advance_(d); }
+
+  // --- Fig. 6 interfaces ----------------------------------------------------
+  // GETATTR(tenantID, elementID, attributes)
+  Result<StatsRecord> get_attr(TenantId tenant, const ElementId& id,
+                               const std::vector<std::string>& attrs) const;
+
+  // GETTHROUGHPUT: output rate of the element over window T.
+  Result<DataRate> get_throughput(TenantId tenant, const ElementId& id,
+                                  Duration window) const;
+
+  // GETPKTLOSS: growth of (inPkts - outPkts) over window T.  For elements
+  // exposing an explicit drop counter, the drop delta (more precise when
+  // queues are draining/filling); otherwise the in-out delta of the paper.
+  Result<int64_t> get_pkt_loss(TenantId tenant, const ElementId& id,
+                               Duration window) const;
+
+  // GETAVGPKTSIZE: bytes per packet observed over window T.
+  Result<double> get_avg_pkt_size(TenantId tenant, const ElementId& id,
+                                  Duration window) const;
+
+ private:
+  Agent* locate(TenantId tenant, const ElementId& id) const;
+
+  AdvanceFn advance_;
+  NowFn now_;
+  std::vector<Agent*> agents_;
+  std::unordered_map<TenantId, std::unordered_map<ElementId, Agent*>> vnet_;
+  std::unordered_map<Agent*, std::vector<ElementId>> stack_elements_;
+  std::unordered_map<TenantId, std::vector<ElementId>> tenant_mbs_;
+  std::unordered_map<TenantId, ChainTopology> tenant_chain_;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,80 @@
+// Packet-size distribution tracking — the paper's example of a richer,
+// operator-added statistic (§4.1: "Operators can implement more complicated
+// statistics at an element such as packet size distribution tracking if
+// they can accept the resulting performance impact").
+//
+// A fixed set of power-of-two-ish buckets spanning 64..9000+ bytes; each
+// update is one increment (branch-free bucket lookup), so the fast-path
+// cost stays in simple-counter territory.  Exported as attributes
+// "sizeHist.<lo>-<hi>" on the owning element's record.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "perfsight/stats.h"
+
+namespace perfsight {
+
+class PacketSizeHistogram {
+ public:
+  // Bucket upper bounds (inclusive); the last bucket is open-ended
+  // (jumbo frames).
+  static constexpr std::array<uint32_t, 8> kBounds = {64,   128,  256,  512,
+                                                      1024, 1514, 4096, 9000};
+  static constexpr size_t kBuckets = kBounds.size() + 1;
+
+  void record(uint32_t size_bytes, uint64_t count = 1) {
+    counts_[bucket_for(size_bytes)] += count;
+  }
+
+  static size_t bucket_for(uint32_t size_bytes) {
+    for (size_t i = 0; i < kBounds.size(); ++i) {
+      if (size_bytes <= kBounds[i]) return i;
+    }
+    return kBounds.size();
+  }
+
+  uint64_t count(size_t bucket) const { return counts_[bucket]; }
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  // Bucket label, e.g. "65-128" or "9001+".
+  static std::string label(size_t bucket) {
+    uint32_t lo = bucket == 0 ? 0 : kBounds[bucket - 1] + 1;
+    if (bucket == kBounds.size()) return std::to_string(lo) + "+";
+    return std::to_string(lo) + "-" + std::to_string(kBounds[bucket]);
+  }
+
+  // Appends the distribution to an element's record.
+  void export_attrs(StatsRecord& r) const {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;  // keep records compact
+      r.set("sizeHist." + label(i), static_cast<double>(counts_[i]));
+    }
+  }
+
+  // Approximate quantile (by bucket upper bound); returns 0 when empty.
+  uint32_t approx_quantile(double q) const {
+    uint64_t t = total();
+    if (t == 0) return 0;
+    uint64_t target = static_cast<uint64_t>(static_cast<double>(t) * q);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target) {
+        return i < kBounds.size() ? kBounds[i] : kBounds.back();
+      }
+    }
+    return kBounds.back();
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> counts_ = {};
+};
+
+}  // namespace perfsight

@@ -1,0 +1,127 @@
+#include "perfsight/json_export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace perfsight::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+namespace {
+
+std::string str(const std::string& s) { return "\"" + escape(s) + "\""; }
+
+}  // namespace
+
+std::string to_json(const StatsRecord& r) {
+  std::string out = "{\"timestampNs\":";
+  out += number(static_cast<double>(r.timestamp.ns()));
+  out += ",\"element\":" + str(r.element.name);
+  out += ",\"attrs\":{";
+  for (size_t i = 0; i < r.attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += str(r.attrs[i].name) + ":" + number(r.attrs[i].value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_json(const ContentionReport& r) {
+  std::string out = "{\"problemFound\":";
+  out += r.problem_found ? "true" : "false";
+  out += ",\"primaryLocation\":" + str(to_string(r.primary_location));
+  out += ",\"spread\":" + str(to_string(r.spread));
+  out += ",\"classification\":" +
+         str(r.problem_found
+                 ? (r.is_contention ? "contention" : "bottleneck")
+                 : "healthy");
+  out += ",\"candidateResources\":[";
+  for (size_t i = 0; i < r.candidate_resources.size(); ++i) {
+    if (i > 0) out += ",";
+    out += str(to_string(r.candidate_resources[i]));
+  }
+  out += "],\"affectedVms\":[";
+  for (size_t i = 0; i < r.affected_vms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += number(r.affected_vms[i]);
+  }
+  out += "],\"rankedLosses\":[";
+  bool first = true;
+  for (const ElementLossEntry& e : r.ranked) {
+    if (e.loss_pkts <= 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"element\":" + str(e.id.name);
+    out += ",\"kind\":" + str(to_string(e.kind));
+    out += ",\"vm\":" + number(e.vm);
+    out += ",\"lossPkts\":" + number(static_cast<double>(e.loss_pkts)) + "}";
+  }
+  out += "],\"narrative\":" + str(r.narrative) + "}";
+  return out;
+}
+
+std::string to_json(const RootCauseReport& r) {
+  std::string out = "{\"observations\":[";
+  for (size_t i = 0; i < r.observations.size(); ++i) {
+    const MbObservation& o = r.observations[i];
+    if (i > 0) out += ",";
+    out += "{\"element\":" + str(o.id.name);
+    out += ",\"state\":" + str(to_string(o.state));
+    out += ",\"inRateMbps\":" + number(o.in_rate_mbps);
+    out += ",\"outRateMbps\":" + number(o.out_rate_mbps);
+    out += ",\"capacityMbps\":" + number(o.capacity_mbps) + "}";
+  }
+  out += "],\"rootCauses\":[";
+  for (size_t i = 0; i < r.root_causes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"element\":" + str(r.root_causes[i].name);
+    out += ",\"role\":" + str(to_string(r.root_cause_roles[i])) + "}";
+  }
+  out += "],\"narrative\":" + str(r.narrative) + "}";
+  return out;
+}
+
+}  // namespace perfsight::json

@@ -1,0 +1,23 @@
+// JSON export of records and diagnosis reports, for operator dashboards
+// and log pipelines.  Self-contained writer (no external dependency):
+// emits compact, valid JSON with proper string escaping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfsight/contention.h"
+#include "perfsight/rootcause.h"
+#include "perfsight/stats.h"
+
+namespace perfsight::json {
+
+// Low-level helpers (exposed for operator extensions).
+std::string escape(const std::string& s);
+std::string number(double v);
+
+std::string to_json(const StatsRecord& r);
+std::string to_json(const ContentionReport& r);
+std::string to_json(const RootCauseReport& r);
+
+}  // namespace perfsight::json

@@ -1,0 +1,57 @@
+#include "perfsight/monitor.h"
+
+#include <algorithm>
+
+namespace perfsight {
+
+double Monitor::Series::min() const {
+  double m = points.empty() ? 0 : points[0].value;
+  for (const Point& p : points) m = std::min(m, p.value);
+  return m;
+}
+
+double Monitor::Series::max() const {
+  double m = points.empty() ? 0 : points[0].value;
+  for (const Point& p : points) m = std::max(m, p.value);
+  return m;
+}
+
+double Monitor::Series::mean() const {
+  if (points.empty()) return 0;
+  double sum = 0;
+  for (const Point& p : points) sum += p.value;
+  return sum / static_cast<double>(points.size());
+}
+
+void Monitor::sample() {
+  for (auto& [key, series] : series_) {
+    Result<StatsRecord> r =
+        controller_->get_attr(tenant_, key.id, {key.attr});
+    if (!r.ok()) continue;
+    auto v = r.value().get(key.attr);
+    if (!v) continue;
+    series.points.push_back(Point{r.value().timestamp, *v});
+  }
+}
+
+const Monitor::Series& Monitor::values(const ElementId& id,
+                                       const std::string& attr) const {
+  static const Series kEmpty;
+  auto it = series_.find(Key{id, attr});
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+Monitor::Series Monitor::rates(const ElementId& id,
+                               const std::string& attr) const {
+  const Series& v = values(id, attr);
+  Series out;
+  for (size_t i = 1; i < v.points.size(); ++i) {
+    double dt = (v.points[i].t - v.points[i - 1].t).sec();
+    if (dt <= 0) continue;
+    out.points.push_back(Point{
+        v.points[i].t, (v.points[i].value - v.points[i - 1].value) / dt});
+  }
+  return out;
+}
+
+}  // namespace perfsight

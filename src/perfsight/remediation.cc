@@ -1,0 +1,146 @@
+#include "perfsight/remediation.h"
+
+#include <algorithm>
+
+namespace perfsight {
+
+const char* to_string(ActionKind a) {
+  switch (a) {
+    case ActionKind::kNoAction:
+      return "no-action";
+    case ActionKind::kScaleUpVm:
+      return "scale-up-vm";
+    case ActionKind::kScaleOutMiddlebox:
+      return "scale-out-middlebox";
+    case ActionKind::kMigrateVictims:
+      return "migrate-victim-vms";
+    case ActionKind::kMigrateAggressor:
+      return "migrate-aggressor-workload";
+    case ActionKind::kAddNicCapacity:
+      return "add-nic-capacity";
+    case ActionKind::kRelieveBufferMemory:
+      return "relieve-buffer-memory";
+    case ActionKind::kInspectSoftware:
+      return "inspect-middlebox-software";
+  }
+  return "?";
+}
+
+const char* to_string(Audience a) {
+  return a == Audience::kTenant ? "tenant" : "operator";
+}
+
+namespace {
+
+bool has(const std::vector<ResourceKind>& v, ResourceKind r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+}  // namespace
+
+std::vector<Recommendation> RemediationAdvisor::advise(
+    const ContentionReport& report) const {
+  std::vector<Recommendation> recs;
+  if (!report.problem_found) {
+    recs.push_back({ActionKind::kNoAction, Audience::kOperator, "",
+                    "no significant loss in the software dataplane"});
+    return recs;
+  }
+  const std::string where =
+      report.ranked.empty() ? "" : report.ranked.front().id.name;
+
+  if (!report.is_contention) {
+    // A single VM's datapath is the limit: the tenant's sizing problem.
+    recs.push_back(
+        {ActionKind::kScaleUpVm, Audience::kTenant, where,
+         "loss confined to one VM's datapath: the VM is under-provisioned "
+         "(CPU or vNIC), not a victim of neighbours"});
+    recs.push_back({ActionKind::kScaleOutMiddlebox, Audience::kTenant, where,
+                    "alternatively add an instance and split the traffic"});
+    return recs;
+  }
+
+  // Contention: the responsible resource drives the operator action.
+  if (has(report.candidate_resources, ResourceKind::kIncomingBandwidth) ||
+      has(report.candidate_resources, ResourceKind::kOutgoingBandwidth)) {
+    recs.push_back({ActionKind::kAddNicCapacity, Audience::kOperator, where,
+                    "aggregate traffic exceeds the machine's NIC capacity: "
+                    "rebalance placements or add bandwidth"});
+  }
+  if (has(report.candidate_resources, ResourceKind::kMemoryBandwidth) ||
+      has(report.candidate_resources, ResourceKind::kCpu) ||
+      has(report.candidate_resources, ResourceKind::kBacklogQueue)) {
+    recs.push_back(
+        {ActionKind::kMigrateAggressor, Audience::kOperator, where,
+         "shared-resource contention in the virtualization stack: move the "
+         "interfering workload (or the victims) to another machine"});
+    recs.push_back({ActionKind::kMigrateVictims, Audience::kOperator, where,
+                    "if the aggressor cannot move, migrate impacted VMs to "
+                    "machines with spare capacity"});
+  }
+  if (has(report.candidate_resources, ResourceKind::kMemorySpace)) {
+    recs.push_back({ActionKind::kRelieveBufferMemory, Audience::kOperator,
+                    where,
+                    "kernel buffer memory is under pressure: reclaim memory "
+                    "or reduce per-VM buffer reservations"});
+  }
+  if (recs.empty()) {
+    recs.push_back({ActionKind::kMigrateVictims, Audience::kOperator, where,
+                    "contention with no single resource identified: migrate "
+                    "impacted VMs and re-evaluate"});
+  }
+  return recs;
+}
+
+std::vector<Recommendation> RemediationAdvisor::advise(
+    const RootCauseReport& report) const {
+  std::vector<Recommendation> recs;
+  if (report.root_causes.empty()) {
+    recs.push_back({ActionKind::kNoAction, Audience::kOperator, "",
+                    "chain states are consistent; nothing to fix"});
+    return recs;
+  }
+  for (size_t i = 0; i < report.root_causes.size(); ++i) {
+    const std::string& target = report.root_causes[i].name;
+    switch (report.root_cause_roles[i]) {
+      case MbRole::kOverloaded:
+        recs.push_back(
+            {ActionKind::kScaleOutMiddlebox, Audience::kTenant, target,
+             "this middlebox is the chain's bottleneck (neighbours blocked "
+             "on it): scale it out or give it a larger VM"});
+        recs.push_back(
+            {ActionKind::kInspectSoftware, Audience::kTenant, target,
+             "if its offered load did not grow, suspect a performance bug "
+             "(e.g. a leak) and roll back its software"});
+        break;
+      case MbRole::kUnderloaded:
+        recs.push_back(
+            {ActionKind::kNoAction, Audience::kOperator, target,
+             "the traffic source is simply sending slowly; the dataplane "
+             "is healthy"});
+        break;
+      case MbRole::kUnknown:
+        recs.push_back(
+            {ActionKind::kInspectSoftware, Audience::kTenant, target,
+             "survived state filtering without a clear role: inspect this "
+             "middlebox first"});
+        break;
+    }
+  }
+  return recs;
+}
+
+std::string to_text(const std::vector<Recommendation>& recs) {
+  std::string out = "=== recommended actions ===\n";
+  for (const Recommendation& r : recs) {
+    out += "  [";
+    out += to_string(r.audience);
+    out += "] ";
+    out += to_string(r.action);
+    if (!r.target.empty()) out += " @ " + r.target;
+    out += "\n      " + r.rationale + "\n";
+  }
+  return out;
+}
+
+}  // namespace perfsight

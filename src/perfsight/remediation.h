@@ -1,0 +1,60 @@
+// Remediation advisor: turns diagnoses into the operator/tenant actions the
+// paper prescribes per problem class (§2.2, §7.3):
+//
+//   * bottleneck middlebox (tenant's own resources)  -> tenant: redeploy in
+//     a larger VM, or scale out and split traffic (Fig. 14c);
+//   * contention in the virtualization stack (shared) -> operator: migrate
+//     impacted or aggressor VMs / workloads (Fig. 14b);
+//   * buggy middlebox propagating through a chain     -> tenant: reload the
+//     middlebox with a good software version;
+//   * underloaded source                              -> nothing is wrong
+//     with the provider's infrastructure.
+//
+// Recommendations are advisory output for the operator console; nothing is
+// executed automatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfsight/contention.h"
+#include "perfsight/rootcause.h"
+
+namespace perfsight {
+
+enum class ActionKind {
+  kNoAction,            // healthy / not the provider's problem
+  kScaleUpVm,           // tenant: redeploy the VM with more resources
+  kScaleOutMiddlebox,   // tenant: add an instance and split traffic
+  kMigrateVictims,      // operator: move impacted VMs off the machine
+  kMigrateAggressor,    // operator: move the interfering workload away
+  kAddNicCapacity,      // operator: capacity problem at the NIC
+  kRelieveBufferMemory, // operator: reclaim kernel buffer memory
+  kInspectSoftware,     // tenant: suspect a performance bug; roll back
+};
+
+const char* to_string(ActionKind a);
+
+// Who has to act — the paper stresses that bottlenecks are the tenant's to
+// fix while stack contention needs the cloud operator.
+enum class Audience { kTenant, kOperator };
+const char* to_string(Audience a);
+
+struct Recommendation {
+  ActionKind action = ActionKind::kNoAction;
+  Audience audience = Audience::kOperator;
+  std::string target;     // element/VM the action applies to
+  std::string rationale;  // one-line explanation tied to the evidence
+};
+
+class RemediationAdvisor {
+ public:
+  // From an Algorithm 1 contention/bottleneck report.
+  std::vector<Recommendation> advise(const ContentionReport& report) const;
+  // From an Algorithm 2 chain root-cause report.
+  std::vector<Recommendation> advise(const RootCauseReport& report) const;
+};
+
+std::string to_text(const std::vector<Recommendation>& recs);
+
+}  // namespace perfsight

@@ -1,0 +1,198 @@
+#include "perfsight/rootcause.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace perfsight {
+
+const char* to_string(MbState s) {
+  switch (s) {
+    case MbState::kNormal:
+      return "normal";
+    case MbState::kReadBlocked:
+      return "ReadBlocked";
+    case MbState::kWriteBlocked:
+      return "WriteBlocked";
+  }
+  return "?";
+}
+
+const char* to_string(MbRole r) {
+  switch (r) {
+    case MbRole::kUnknown:
+      return "root-cause";
+    case MbRole::kOverloaded:
+      return "Overloaded";
+    case MbRole::kUnderloaded:
+      return "Underloaded";
+  }
+  return "?";
+}
+
+namespace {
+
+struct MbSample {
+  double in_bytes = 0;
+  double in_time_ns = 0;
+  double out_bytes = 0;
+  double out_time_ns = 0;
+  double capacity_mbps = 0;
+  bool valid = false;
+};
+
+MbSample sample(const Controller& c, TenantId tenant, const ElementId& id) {
+  MbSample s;
+  Result<StatsRecord> r =
+      c.get_attr(tenant, id,
+                 {attr::kInBytes, attr::kInTimeNs, attr::kOutBytes,
+                  attr::kOutTimeNs, attr::kCapacityMbps});
+  if (!r.ok()) return s;
+  const StatsRecord& rec = r.value();
+  s.in_bytes = rec.get_or(attr::kInBytes, 0);
+  s.in_time_ns = rec.get_or(attr::kInTimeNs, 0);
+  s.out_bytes = rec.get_or(attr::kOutBytes, 0);
+  s.out_time_ns = rec.get_or(attr::kOutTimeNs, 0);
+  s.capacity_mbps = rec.get_or(attr::kCapacityMbps, 0);
+  s.valid = true;
+  return s;
+}
+
+// b/t in Mbps; -1 when the side saw no activity worth judging.
+double side_rate_mbps(double bytes, double time_ns, double min_bytes) {
+  if (time_ns <= 0) return -1;
+  if (bytes < min_bytes && time_ns < 1e5) return -1;
+  return bytes * 8.0 / (time_ns / 1e9) / 1e6;
+}
+
+}  // namespace
+
+RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
+                                           Duration window) const {
+  RootCauseReport report;
+  const std::vector<ElementId>& mbs = controller_->middleboxes(tenant);
+  const ChainTopology& chain = controller_->chain(tenant);
+
+  std::unordered_map<ElementId, MbSample> first;
+  for (const ElementId& mb : mbs) first[mb] = sample(*controller_, tenant, mb);
+  controller_->advance(window);
+
+  std::unordered_map<ElementId, MbState> states;
+  for (const ElementId& mb : mbs) {
+    MbSample s2 = sample(*controller_, tenant, mb);
+    const MbSample& s1 = first[mb];
+    MbObservation obs;
+    obs.id = mb;
+    if (s1.valid && s2.valid) {
+      double db_in = s2.in_bytes - s1.in_bytes;
+      double dt_in = s2.in_time_ns - s1.in_time_ns;
+      double db_out = s2.out_bytes - s1.out_bytes;
+      double dt_out = s2.out_time_ns - s1.out_time_ns;
+      obs.capacity_mbps = s2.capacity_mbps;
+      obs.in_rate_mbps = side_rate_mbps(db_in, dt_in, min_bytes_);
+      obs.out_rate_mbps = side_rate_mbps(db_out, dt_out, min_bytes_);
+      obs.has_input = obs.in_rate_mbps >= 0;
+      obs.has_output = obs.out_rate_mbps >= 0;
+      // Algorithm 2, lines 12-17: blocked iff the side moved data slower
+      // than the vNIC could have carried it.
+      if (obs.has_input && obs.capacity_mbps > 0 &&
+          obs.in_rate_mbps < obs.capacity_mbps) {
+        obs.state = MbState::kReadBlocked;
+      } else if (obs.has_output && obs.capacity_mbps > 0 &&
+                 obs.out_rate_mbps < obs.capacity_mbps) {
+        obs.state = MbState::kWriteBlocked;
+      }
+    }
+    states[mb] = obs.state;
+    report.observations.push_back(obs);
+  }
+
+  // Candidate filtering (Algorithm 2, lines 14/17) with one refinement for
+  // branched topologies: a ReadBlocked middlebox exonerates its successors
+  // *because they are also ReadBlocked* (the paper's own justification) —
+  // so the removal walks only through successors that are themselves
+  // ReadBlocked.  Unconditional removal over a DAG with a shared element
+  // (two content filters logging to one NFS) would let an idle branch
+  // exonerate the true root cause.
+  std::unordered_set<ElementId> cand(mbs.begin(), mbs.end());
+  auto walk_remove = [&](const ElementId& start, MbState state,
+                         bool forward) {
+    cand.erase(start);
+    std::vector<ElementId> stack{start};
+    std::unordered_set<ElementId> seen{start};
+    while (!stack.empty()) {
+      ElementId n = stack.back();
+      stack.pop_back();
+      const std::vector<ElementId>& next =
+          forward ? chain.direct_successors(n) : chain.direct_predecessors(n);
+      for (const ElementId& m : next) {
+        if (!seen.insert(m).second) continue;
+        if (states[m] == state) {
+          cand.erase(m);
+          stack.push_back(m);
+        }
+      }
+    }
+  };
+  for (const ElementId& mb : mbs) {
+    if (states[mb] == MbState::kReadBlocked) {
+      walk_remove(mb, MbState::kReadBlocked, /*forward=*/true);
+    } else if (states[mb] == MbState::kWriteBlocked) {
+      walk_remove(mb, MbState::kWriteBlocked, /*forward=*/false);
+    }
+  }
+  for (const ElementId& mb : mbs) {
+    if (cand.count(mb)) report.root_causes.push_back(mb);
+  }
+
+  // Annotate surviving candidates with the Overloaded/Underloaded role.
+  for (const ElementId& mb : report.root_causes) {
+    MbRole role = MbRole::kUnknown;
+    bool preds_write_blocked = false;
+    bool succs_read_blocked = false;
+    for (const ElementId& p : chain.predecessors(mb)) {
+      if (states[p] == MbState::kWriteBlocked) preds_write_blocked = true;
+    }
+    for (const ElementId& s : chain.successors(mb)) {
+      if (states[s] == MbState::kReadBlocked) succs_read_blocked = true;
+    }
+    if (preds_write_blocked) {
+      role = MbRole::kOverloaded;
+    } else if (succs_read_blocked) {
+      role = MbRole::kUnderloaded;
+    }
+    report.root_cause_roles.push_back(role);
+  }
+
+  if (report.root_causes.empty()) {
+    report.narrative =
+        "no middlebox survives filtering: chain states are consistent with "
+        "healthy end-to-end flow";
+  } else {
+    report.narrative = "root cause candidate(s):";
+    for (size_t i = 0; i < report.root_causes.size(); ++i) {
+      report.narrative += " " + report.root_causes[i].name + " (" +
+                          to_string(report.root_cause_roles[i]) + ")";
+    }
+  }
+  return report;
+}
+
+std::string to_text(const RootCauseReport& r) {
+  std::string out;
+  out += "=== Algorithm 2: root-cause report ===\n";
+  for (const MbObservation& o : r.observations) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s b/t_in=%8.1f Mbps  b/t_out=%8.1f Mbps  C=%6.1f  "
+                  "state=%s\n",
+                  o.id.name.c_str(), o.in_rate_mbps, o.out_rate_mbps,
+                  o.capacity_mbps, to_string(o.state));
+    out += line;
+  }
+  out += "  " + r.narrative + "\n";
+  return out;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,169 @@
+#include "perfsight/rulebook.h"
+
+#include <algorithm>
+
+namespace perfsight {
+
+const char* to_string(ElementKind k) {
+  switch (k) {
+    case ElementKind::kPNic:
+      return "pNIC";
+    case ElementKind::kPCpuBacklog:
+      return "pCPU-backlog";
+    case ElementKind::kNapi:
+      return "NAPI";
+    case ElementKind::kVSwitch:
+      return "vswitch";
+    case ElementKind::kTun:
+      return "TUN";
+    case ElementKind::kHypervisorIo:
+      return "hypervisor-io";
+    case ElementKind::kVNic:
+      return "vNIC";
+    case ElementKind::kGuestBacklog:
+      return "guest-backlog";
+    case ElementKind::kGuestSocket:
+      return "guest-socket";
+    case ElementKind::kMiddleboxApp:
+      return "middlebox";
+    case ElementKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* to_string(ResourceKind r) {
+  switch (r) {
+    case ResourceKind::kCpu:
+      return "CPU";
+    case ResourceKind::kMemorySpace:
+      return "memory-space";
+    case ResourceKind::kMemoryBandwidth:
+      return "memory-bandwidth";
+    case ResourceKind::kIncomingBandwidth:
+      return "incoming-bandwidth";
+    case ResourceKind::kOutgoingBandwidth:
+      return "outgoing-bandwidth";
+    case ResourceKind::kBacklogQueue:
+      return "pCPU-backlog-queue";
+    case ResourceKind::kVmLocal:
+      return "VM-local-resources";
+  }
+  return "?";
+}
+
+const char* to_string(LossSpread s) {
+  switch (s) {
+    case LossSpread::kNone:
+      return "none";
+    case LossSpread::kSingleVm:
+      return "single-VM";
+    case LossSpread::kMultiVm:
+      return "multi-VM";
+    case LossSpread::kSharedElement:
+      return "shared-element";
+  }
+  return "?";
+}
+
+RuleBook RuleBook::standard() {
+  RuleBook rb;
+  // Incoming traffic exceeds pNIC capacity -> drops at the pNIC itself.
+  rb.add_rule({ElementKind::kPNic, LossSpread::kNone,
+               ResourceKind::kIncomingBandwidth,
+               "rx offered load exceeds pNIC capacity or DMA ring drains too "
+               "slowly"});
+  // Egress beyond line rate backs up in the tx ring and is lost there.
+  rb.add_rule({ElementKind::kPNic, LossSpread::kNone,
+               ResourceKind::kOutgoingBandwidth,
+               "tx offered load exceeds pNIC capacity (tx-ring overflow)"});
+  // Outgoing overload / small-packet floods exhaust per-core backlog slots.
+  rb.add_rule({ElementKind::kPCpuBacklog, LossSpread::kNone,
+               ResourceKind::kBacklogQueue,
+               "per-core backlog limited to N packets; small-packet floods "
+               "exhaust slots"});
+  rb.add_rule({ElementKind::kPCpuBacklog, LossSpread::kNone,
+               ResourceKind::kOutgoingBandwidth,
+               "egress exceeding pNIC tx drain rate backs up into backlog"});
+  // Aggregated TUN drops: every VM's hypervisor-io is starved of a shared
+  // resource -- CPU, memory bandwidth, or outgoing bandwidth (ambiguous
+  // without aux signals).
+  rb.add_rule({ElementKind::kTun, LossSpread::kMultiVm, ResourceKind::kCpu,
+               "host CPU contention starves all hypervisor I/O handlers"});
+  rb.add_rule({ElementKind::kTun, LossSpread::kMultiVm,
+               ResourceKind::kMemoryBandwidth,
+               "memory-bus contention slows all VM copies"});
+  rb.add_rule({ElementKind::kTun, LossSpread::kMultiVm,
+               ResourceKind::kOutgoingBandwidth,
+               "machine-wide egress shortage backs up into all TUNs"});
+  rb.add_rule({ElementKind::kTun, LossSpread::kMultiVm,
+               ResourceKind::kMemorySpace,
+               "buffer-memory pressure shrinks every socket queue"});
+  // Individual TUN drops: that one VM is the bottleneck.
+  rb.add_rule({ElementKind::kTun, LossSpread::kSingleVm,
+               ResourceKind::kVmLocal,
+               "only this VM's datapath drops: VM under-provisioned (its "
+               "vCPUs or vNIC)"});
+  // Guest-side socket overflow: the application inside the VM is too slow.
+  rb.add_rule({ElementKind::kGuestSocket, LossSpread::kSingleVm,
+               ResourceKind::kVmLocal,
+               "middlebox software cannot keep up with its vNIC"});
+  return rb;
+}
+
+std::vector<ResourceKind> RuleBook::candidates(ElementKind location,
+                                               LossSpread spread) const {
+  std::vector<ResourceKind> out;
+  for (const Rule& r : rules_) {
+    if (r.drop_location != location) continue;
+    if (r.spread != LossSpread::kNone && spread != LossSpread::kNone &&
+        r.spread != spread) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), r.resource) == out.end()) {
+      out.push_back(r.resource);
+    }
+  }
+  return out;
+}
+
+std::vector<ElementKind> RuleBook::symptom_locations(ResourceKind res) const {
+  std::vector<ElementKind> out;
+  for (const Rule& r : rules_) {
+    if (r.resource != res) continue;
+    if (std::find(out.begin(), out.end(), r.drop_location) == out.end()) {
+      out.push_back(r.drop_location);
+    }
+  }
+  return out;
+}
+
+std::vector<ResourceKind> RuleBook::disambiguate(
+    std::vector<ResourceKind> candidates, const AuxSignals& aux) {
+  auto drop = [&](ResourceKind r) {
+    candidates.erase(std::remove(candidates.begin(), candidates.end(), r),
+                     candidates.end());
+  };
+  // NIC directions far from saturation rule out the matching bandwidth
+  // shortage.
+  if (aux.nic_capacity > DataRate::zero() &&
+      aux.nic_tx_throughput.bits_per_sec() <
+          0.85 * aux.nic_capacity.bits_per_sec()) {
+    drop(ResourceKind::kOutgoingBandwidth);
+  }
+  if (aux.nic_capacity > DataRate::zero() &&
+      aux.nic_rx_throughput > DataRate::zero() &&
+      aux.nic_rx_throughput.bits_per_sec() <
+          0.85 * aux.nic_capacity.bits_per_sec()) {
+    drop(ResourceKind::kIncomingBandwidth);
+  }
+  // Low host CPU utilization rules out CPU contention.
+  if (aux.host_cpu_utilization >= 0 && aux.host_cpu_utilization < 0.85) {
+    drop(ResourceKind::kCpu);
+  }
+  // No known memory pressure rules out memory-space shortage.
+  if (!aux.memory_pressure) drop(ResourceKind::kMemorySpace);
+  return candidates;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,102 @@
+// The resource-shortage / drop-location rule book (§5.1, Table 1).
+//
+// Algorithm 1 finds *where* packets are being lost; the rule book maps that
+// location (plus whether the loss is spread across VMs or confined to one)
+// back to the resources that can cause loss there.  Built exactly the way
+// the paper builds it — by exhaustively exercising each shortage in
+// controlled experiments (bench/table1_rulebook regenerates the table) —
+// and kept as data, so operators can extend it.
+//
+// Some symptoms are ambiguous by nature (host CPU contention and memory-
+// bandwidth contention both surface as aggregated TUN drops); the rule book
+// returns the full candidate set and `disambiguate()` narrows it with the
+// auxiliary signals the paper suggests (CPU utilization, NIC throughput).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace perfsight {
+
+// Where in the software dataplane an element sits.  Every instrumented
+// element reports its kind as the `type` attribute of its StatsRecord.
+enum class ElementKind {
+  kPNic = 0,
+  kPCpuBacklog,     // per-core backlog; drops here = "backlog enqueue" drops
+  kNapi,
+  kVSwitch,
+  kTun,             // TUN/TAP socket queue (last buffer before the VM)
+  kHypervisorIo,    // QEMU I/O handler
+  kVNic,
+  kGuestBacklog,
+  kGuestSocket,
+  kMiddleboxApp,
+  kOther,
+};
+
+const char* to_string(ElementKind k);
+
+enum class ResourceKind {
+  kCpu = 0,            // host CPU, contended across VMs
+  kMemorySpace,        // kernel buffer memory
+  kMemoryBandwidth,    // shared memory bus
+  kIncomingBandwidth,  // pNIC rx capacity
+  kOutgoingBandwidth,  // pNIC tx capacity
+  kBacklogQueue,       // pCPU backlog slots (small-packet floods)
+  kVmLocal,            // resources of one VM (its vCPUs / vNIC)
+};
+
+const char* to_string(ResourceKind r);
+
+// Is the observed loss confined to one VM's datapath or spread over many?
+// This is the paper's contention-vs-bottleneck discriminator (§5.1).
+enum class LossSpread { kNone, kSingleVm, kMultiVm, kSharedElement };
+
+const char* to_string(LossSpread s);
+
+// Optional signals used to narrow ambiguous symptom sets (§5.1: "the
+// operator can combine this with other symptoms such as CPU utilization
+// and NIC throughput").  Negative / zero values mean "not provided".
+struct AuxSignals {
+  double host_cpu_utilization = -1;  // 0..1
+  DataRate nic_rx_throughput = DataRate::zero();
+  DataRate nic_tx_throughput = DataRate::zero();
+  DataRate nic_capacity = DataRate::zero();
+  bool memory_pressure = false;  // buffer-memory shortage known
+};
+
+class RuleBook {
+ public:
+  // The default rule book derived from the Table 1 experiments.
+  static RuleBook standard();
+
+  struct Rule {
+    ElementKind drop_location;
+    LossSpread spread;  // kNone matches any spread
+    ResourceKind resource;
+    std::string note;
+  };
+
+  void add_rule(Rule r) { rules_.push_back(std::move(r)); }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // Candidate resources for a drop observed at `location` with `spread`.
+  std::vector<ResourceKind> candidates(ElementKind location,
+                                       LossSpread spread) const;
+
+  // Forward direction (Table 1 rows): where does a shortage of `r`
+  // manifest?  Used by the validation bench.
+  std::vector<ElementKind> symptom_locations(ResourceKind r) const;
+
+  // Narrows `candidates` using auxiliary signals; returns the (possibly
+  // still plural) refined set.
+  static std::vector<ResourceKind> disambiguate(
+      std::vector<ResourceKind> candidates, const AuxSignals& aux);
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,42 @@
+// StatsSource: the element side of the element↔agent interface (§4.2).
+//
+// Every instrumented element — kernel devices, the virtual switch, QEMU's
+// I/O handler, middlebox software — implements collect(), returning its
+// counters as a StatsRecord.  The agent reaches each source over a channel
+// whose kind reflects the real access mechanism (net_device file, /proc,
+// OVS control channel, QEMU log, middlebox socket); channel kind determines
+// the modelled query latency reported in Fig. 9.
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "perfsight/stats.h"
+
+namespace perfsight {
+
+// How the agent reaches an element's counters.
+enum class ChannelKind {
+  kNetDeviceFile,  // pNIC / TUN: net_device via sysfs-style file reads
+  kProcFs,         // pCPU backlog: softnet_data via /proc
+  kOvsChannel,     // virtual switch: per-rule stats via control channel
+  kQemuLog,        // hypervisor I/O handler: instrumented QEMU log
+  kGuestProc,      // guest-kernel elements, via guest agent
+  kMbSocket,       // middlebox software: agent socket
+};
+
+const char* to_string(ChannelKind k);
+
+class StatsSource {
+ public:
+  virtual ~StatsSource() = default;
+
+  virtual ElementId id() const = 0;
+  virtual ChannelKind channel_kind() const = 0;
+
+  // Snapshot of the element's counters at simulated time `now`.
+  virtual StatsRecord collect(SimTime now) const = 0;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,91 @@
+// Virtual-network topology metadata the controller keeps per tenant (§4.3).
+//
+// The control plane knows where each tenant's elements live (which agent
+// serves them) and how the tenant's middleboxes are chained.  Diagnosis
+// needs exactly two structural queries: the set of elements to scan
+// (Algorithm 1) and transitive successors/predecessors of a middlebox in
+// the chain DAG (Algorithm 2's candidate filtering).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace perfsight {
+
+// Directed acyclic graph over middlebox element ids (data flows along
+// edges).  Branching is allowed — e.g. a load balancer fanning out to two
+// proxies, a content filter also writing to an NFS server (Fig. 12).
+class ChainTopology {
+ public:
+  void add_node(const ElementId& id) { adj_.try_emplace(id); radj_.try_emplace(id); }
+
+  void add_edge(const ElementId& from, const ElementId& to) {
+    add_node(from);
+    add_node(to);
+    adj_[from].push_back(to);
+    radj_[to].push_back(from);
+  }
+
+  bool has_node(const ElementId& id) const { return adj_.count(id) > 0; }
+
+  std::vector<ElementId> nodes() const {
+    std::vector<ElementId> out;
+    out.reserve(adj_.size());
+    for (const auto& [id, _] : adj_) out.push_back(id);
+    return out;
+  }
+
+  // All nodes reachable from `id` (excluding `id` itself).
+  std::unordered_set<ElementId> successors(const ElementId& id) const {
+    return reach(id, adj_);
+  }
+  // All nodes that reach `id` (excluding `id` itself).
+  std::unordered_set<ElementId> predecessors(const ElementId& id) const {
+    return reach(id, radj_);
+  }
+
+  const std::vector<ElementId>& direct_successors(const ElementId& id) const {
+    static const std::vector<ElementId> kEmpty;
+    auto it = adj_.find(id);
+    return it == adj_.end() ? kEmpty : it->second;
+  }
+  const std::vector<ElementId>& direct_predecessors(const ElementId& id) const {
+    static const std::vector<ElementId> kEmpty;
+    auto it = radj_.find(id);
+    return it == radj_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  using AdjMap = std::unordered_map<ElementId, std::vector<ElementId>>;
+
+  static std::unordered_set<ElementId> reach(const ElementId& from,
+                                             const AdjMap& adj) {
+    std::unordered_set<ElementId> seen;
+    std::vector<ElementId> stack;
+    auto push_next = [&](const ElementId& n) {
+      auto it = adj.find(n);
+      if (it == adj.end()) return;
+      for (const ElementId& m : it->second) {
+        if (seen.insert(m).second) stack.push_back(m);
+      }
+    };
+    push_next(from);
+    while (!stack.empty()) {
+      ElementId n = stack.back();
+      stack.pop_back();
+      push_next(n);
+    }
+    seen.erase(from);
+    return seen;
+  }
+
+  AdjMap adj_;
+  AdjMap radj_;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,56 @@
+// Shared buffer-memory accounting ("Memory Space" in Table 1).
+//
+// Kernel socket buffers draw from a finite memory budget; under memory
+// pressure the kernel clamps per-socket buffering, so queues overflow at
+// much smaller depths.  BufferSpace models that budget: owners reserve
+// bytes, and when reservations exceed the budget every owner's effective
+// allowance is scaled down proportionally.  The TUN/socket queues consult
+// their allowance each tick, which is how a memory-space shortage turns
+// into drops at a VM's socket queues — the Table 1 symptom.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace perfsight {
+
+class BufferSpace {
+ public:
+  using OwnerId = uint32_t;
+
+  explicit BufferSpace(uint64_t budget_bytes) : budget_(budget_bytes) {}
+
+  OwnerId add_owner(uint64_t desired_bytes) {
+    desired_.push_back(desired_bytes);
+    return static_cast<OwnerId>(desired_.size() - 1);
+  }
+
+  // External memory pressure (e.g. a leaking process) shrinking the budget.
+  void set_pressure_bytes(uint64_t stolen) { pressure_ = stolen; }
+  uint64_t pressure_bytes() const { return pressure_; }
+
+  // Bytes `owner` may buffer right now.
+  uint64_t allowance(OwnerId owner) const {
+    PS_CHECK(owner < desired_.size());
+    uint64_t avail = budget_ > pressure_ ? budget_ - pressure_ : 0;
+    uint64_t total = 0;
+    for (uint64_t d : desired_) total += d;
+    if (total <= avail || total == 0) return desired_[owner];
+    // Proportional clamp, floor of one MTU so progress is always possible.
+    double scale = static_cast<double>(avail) / static_cast<double>(total);
+    uint64_t a = static_cast<uint64_t>(static_cast<double>(desired_[owner]) * scale);
+    return std::max<uint64_t>(a, 2048);
+  }
+
+  uint64_t budget_bytes() const { return budget_; }
+
+ private:
+  uint64_t budget_;
+  uint64_t pressure_ = 0;
+  std::vector<uint64_t> desired_;
+};
+
+}  // namespace perfsight

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+namespace perfsight::sim {
+
+void Simulator::every(SimTime start, Duration period,
+                      std::function<void()> fn) {
+  // Self-rescheduling event; the shared_ptr lets the lambda re-arm itself.
+  auto repeat = std::make_shared<std::function<void(SimTime)>>();
+  *repeat = [this, period, fn = std::move(fn), repeat](SimTime when) {
+    fn();
+    SimTime next = when + period;
+    at(next, [repeat, next] { (*repeat)(next); });
+  };
+  at(start, [repeat, start] { (*repeat)(start); });
+}
+
+void Simulator::run_until(SimTime until) {
+  while (now_ < until) {
+    // Fire events due at or before this tick's start, in time order.
+    while (!events_.empty() && events_.top().when <= now_) {
+      // priority_queue::top is const; move via const_cast is UB-adjacent, so
+      // copy the function out instead (events are rare relative to ticks).
+      Event e = events_.top();
+      events_.pop();
+      e.fn();
+    }
+    for (Steppable* s : components_) s->step(now_, tick_);
+    now_ = now_ + tick_;
+  }
+}
+
+}  // namespace perfsight::sim

@@ -1,0 +1,247 @@
+#include "vm/machine.h"
+
+namespace perfsight::vm {
+
+PhysicalMachine::PhysicalMachine(std::string name, dp::StackParams params,
+                                 sim::Simulator* sim)
+    : name_(std::move(name)),
+      params_(params),
+      sim_(sim),
+      cpu_(name_ + "/cpu", static_cast<double>(params.cores)),
+      membus_(name_ + "/membus", params.membus_bytes_per_sec,
+              PoolPolicy::kProportional),
+      buffer_space_(params.buffer_memory_bytes) {
+  // Softirq runs in kernel context: near-strict priority over VM threads,
+  // bounded parallelism.
+  softirq_cpu_ = cpu_.add_consumer(
+      {"softirq", /*weight=*/50.0, params.softirq_cores_cap});
+  // Cache-resident kernel path: effectively privileged on the bus.
+  backlog_mem_ = membus_.add_consumer({"softirq-mem", 50.0, -1.0});
+
+  pnic_ = std::make_unique<dp::PNic>(
+      eid("pnic"), dp::PNic::Config{params.pnic_rate, params.pnic_ring_pkts,
+                                    params.pnic_txring_pkts});
+  vswitch_ = std::make_unique<dp::VirtualSwitch>(eid("vswitch"));
+  backlog_ = std::make_unique<dp::PCpuBacklog>(
+      eid("pcpu-backlog"),
+      dp::PCpuBacklog::Config{params.cores, params.pcpu_backlog_pkts,
+                              params.softirq_cost_per_pkt,
+                              params.napi_mem_per_byte},
+      &cpu_, softirq_cpu_, &membus_, backlog_mem_, vswitch_.get());
+  napi_ = std::make_unique<dp::NapiPoll>(
+      eid("napi"), dp::NapiPoll::Config{0.6e-6}, pnic_.get(), backlog_.get(),
+      &cpu_, softirq_cpu_);
+  maintenance_.m = this;
+
+  // Step order within a tick: pools (budgets) → housekeeping → backlog
+  // (drain has softirq priority) → pNIC (tx drain, rx budget reset) → NAPI
+  // poll → then VMs/sources/hogs as they are added.
+  sim_->add(&cpu_);
+  sim_->add(&membus_);
+  sim_->add(&maintenance_);
+  sim_->add(backlog_.get());
+  sim_->add(pnic_.get());
+  sim_->add(napi_.get());
+}
+
+int PhysicalMachine::add_vm(VmConfig cfg) {
+  auto v = std::make_unique<Vm>();
+  int index = static_cast<int>(vms_.size());
+  v->index = index;
+  v->vcpus = cfg.vcpus;
+  v->vm_name = cfg.name.empty() ? "vm" + std::to_string(index) : cfg.name;
+  const std::string base = v->vm_name + "/";
+
+  v->qemu_cpu = cpu_.add_consumer(
+      {v->vm_name + "/qemu-io", 1.0, params_.qemu_cores_cap});
+  v->vcpu = cpu_.add_consumer({v->vm_name + "/vcpu", cfg.vcpus, cfg.vcpus});
+  v->qemu_mem = membus_.add_consumer({v->vm_name + "/qemu-mem", 1.0, -1.0});
+  v->tun_space = buffer_space_.add_owner(params_.tun_queue_bytes);
+
+  v->tun = std::make_unique<dp::Tun>(
+      eid(base + "tun"), index,
+      QueueCaps{params_.tun_queue_pkts, params_.tun_queue_bytes});
+  v->vnic = std::make_unique<dp::VNic>(eid(base + "vnic"), index,
+                                       params_.vnic_ring_pkts);
+  v->guest_backlog = std::make_unique<dp::GuestBacklog>(
+      eid(base + "guest-backlog"), index, params_.guest_backlog_pkts);
+  v->socket = std::make_unique<dp::GuestSocket>(eid(base + "guest-socket"),
+                                                index,
+                                                params_.guest_socket_bytes);
+  v->hyperio = std::make_unique<dp::HypervisorIo>(
+      eid(base + "qemu-io"), index,
+      dp::HypervisorIo::Config{
+          params_.qemu_cost_per_pkt, params_.qemu_cost_per_byte,
+          params_.qemu_mem_per_byte, params_.memcpy_bytes_per_sec,
+          // The I/O thread's per-tick work bound doubles as the vNIC rate
+          // cap when the VM is allotted one.
+          cfg.vnic_rate > DataRate::zero()
+              ? cfg.vnic_rate.bytes_per_sec()
+              : 2.0 * params_.pnic_rate.bytes_per_sec()},
+      v->tun.get(), v->vnic.get(), backlog_.get(), &cpu_, v->qemu_cpu,
+      &membus_, v->qemu_mem);
+  v->stack = std::make_unique<dp::GuestStack>(
+      name_ + "/" + base + "guest-stack",
+      dp::GuestStack::Config{params_.guest_cost_per_pkt,
+                             params_.guest_cost_per_byte},
+      v->vnic.get(), v->guest_backlog.get(), v->socket.get(), &cpu_, v->vcpu);
+
+  sim_->add(v->hyperio.get());
+  sim_->add(v.get());
+  vms_.push_back(std::move(v));
+  return index;
+}
+
+dp::SinkApp* PhysicalMachine::set_sink_app(int vm) {
+  Vm& v = *vms_[vm];
+  PS_CHECK(v.app == nullptr);
+  auto app = std::make_unique<dp::SinkApp>(eid(v.vm_name + "/app"), vm,
+                                           v.socket.get(), &cpu_, v.vcpu);
+  dp::SinkApp* out = app.get();
+  v.app = std::move(app);
+  return out;
+}
+
+dp::ForwardApp* PhysicalMachine::set_forward_app(int vm,
+                                                 dp::ForwardApp::Config cfg) {
+  Vm& v = *vms_[vm];
+  PS_CHECK(v.app == nullptr);
+  auto app = std::make_unique<dp::ForwardApp>(eid(v.vm_name + "/app"), vm,
+                                              v.socket.get(), v.vnic.get(),
+                                              &cpu_, v.vcpu, cfg);
+  dp::ForwardApp* out = app.get();
+  v.app = std::move(app);
+  return out;
+}
+
+dp::BusyWaitSinkApp* PhysicalMachine::set_busy_wait_sink_app(
+    int vm, dp::BusyWaitSinkApp::Config cfg) {
+  Vm& v = *vms_[vm];
+  PS_CHECK(v.app == nullptr);
+  auto app = std::make_unique<dp::BusyWaitSinkApp>(
+      eid(v.vm_name + "/app"), vm, v.socket.get(), &cpu_, v.vcpu, cfg);
+  dp::BusyWaitSinkApp* out = app.get();
+  v.app = std::move(app);
+  return out;
+}
+
+dp::SourceApp* PhysicalMachine::set_source_app(int vm,
+                                               dp::SourceApp::Config cfg) {
+  Vm& v = *vms_[vm];
+  PS_CHECK(v.app == nullptr);
+  auto app = std::make_unique<dp::SourceApp>(eid(v.vm_name + "/app"), vm,
+                                             v.vnic.get(), &cpu_, v.vcpu, cfg);
+  dp::SourceApp* out = app.get();
+  v.app = std::move(app);
+  return out;
+}
+
+void PhysicalMachine::route_flow_to_vm(const FlowSpec& flow, int dst_vm) {
+  vswitch_->add_rule(flow.id, vms_[dst_vm]->tun.get(),
+                     "to-" + vms_[dst_vm]->vm_name);
+}
+
+void PhysicalMachine::route_flow_to_wire(FlowId flow,
+                                         const std::string& rule_name) {
+  vswitch_->add_rule(flow, pnic_.get(), rule_name);
+}
+
+IngressSource* PhysicalMachine::add_ingress_source(const std::string& name,
+                                                   FlowSpec flow,
+                                                   DataRate rate) {
+  sources_.push_back(
+      std::make_unique<IngressSource>(name, flow, rate, pnic_.get()));
+  sim_->add(sources_.back().get());
+  return sources_.back().get();
+}
+
+CpuHog* PhysicalMachine::add_vm_cpu_hog(int vm) {
+  Vm& v = *vms_[vm];
+  PS_CHECK(v.vm_hog == nullptr);
+  // Stepped by the VM itself, before its stack, so the hog contends for the
+  // vCPU allocation ahead of packet processing.
+  v.vm_hog = std::make_unique<CpuHog>(name_ + "/" + v.vm_name + "/cpu-hog",
+                                      &cpu_, v.vcpu);
+  return v.vm_hog.get();
+}
+
+CpuHog* PhysicalMachine::add_host_cpu_hog(const std::string& name,
+                                          double cap_cores) {
+  ResourcePool::ConsumerId c = cpu_.add_consumer({name, 1.0, cap_cores});
+  cpu_hogs_.push_back(
+      std::make_unique<CpuHog>(name_ + "/" + name, &cpu_, c));
+  sim_->add(cpu_hogs_.back().get());
+  return cpu_hogs_.back().get();
+}
+
+MemHog* PhysicalMachine::add_mem_hog(const std::string& name) {
+  ResourcePool::ConsumerId c =
+      membus_.add_consumer({name, params_.hog_weight, -1.0});
+  mem_hogs_.push_back(
+      std::make_unique<MemHog>(name_ + "/" + name, &membus_, c));
+  sim_->add(mem_hogs_.back().get());
+  return mem_hogs_.back().get();
+}
+
+std::vector<ElementId> PhysicalMachine::register_elements(Agent* agent) {
+  std::vector<ElementId> stack_ids;
+  auto reg = [&](const StatsSource* s, bool stack_element) {
+    Status st = agent->add_element(s);
+    PS_CHECK(st.is_ok());
+    if (stack_element) stack_ids.push_back(s->id());
+  };
+  reg(pnic_.get(), true);
+  reg(backlog_.get(), true);
+  reg(napi_.get(), true);
+  reg(vswitch_.get(), true);
+  for (const auto& v : vms_) {
+    reg(v->tun.get(), true);  // TUN belongs to the virtualization stack
+    reg(v->hyperio.get(), false);
+    reg(v->vnic.get(), false);
+    reg(v->guest_backlog.get(), false);
+    reg(v->socket.get(), false);
+    if (v->app) reg(v->app.get(), false);
+  }
+  return stack_ids;
+}
+
+UtilizationSnapshot PhysicalMachine::utilization_snapshot() const {
+  UtilizationSnapshot snap;
+  snap.host_cpu = cpu_.utilization_ewma();
+  for (const auto& v : vms_) {
+    snap.vms.push_back(VmUtilization{v->vm_name, v->cpu_util_ewma});
+  }
+  return snap;
+}
+
+AuxSignals PhysicalMachine::aux_signals() const {
+  AuxSignals aux;
+  aux.host_cpu_utilization = cpu_.utilization_ewma();
+  aux.nic_rx_throughput = DataRate::bps(rx_rate_ewma_ * 8.0);
+  aux.nic_tx_throughput = DataRate::bps(tx_rate_ewma_ * 8.0);
+  aux.nic_capacity = params_.pnic_rate;
+  aux.memory_pressure = buffer_space_.pressure_bytes() > 0;
+  return aux;
+}
+
+void PhysicalMachine::maintain(SimTime /*now*/, Duration dt) {
+  // Buffer-memory pressure re-clamps TUN byte caps; per-VM CPU utilization
+  // is smoothed for the utilization snapshot.
+  for (const auto& v : vms_) {
+    uint64_t allow = buffer_space_.allowance(v->tun_space);
+    v->tun->set_caps(QueueCaps{params_.tun_queue_pkts, allow});
+    double util = cpu_.rate_prev_tick(v->vcpu) / v->vcpus;
+    v->cpu_util_ewma = 0.98 * v->cpu_util_ewma + 0.02 * std::min(1.0, util);
+  }
+  // Smoothed NIC throughput for aux signals.
+  uint64_t tx = pnic_->tx_wire_bytes();
+  uint64_t rx = pnic_->rx_wire_bytes();
+  double tx_rate = static_cast<double>(tx - last_tx_bytes_) / dt.sec();
+  double rx_rate = static_cast<double>(rx - last_rx_bytes_) / dt.sec();
+  last_tx_bytes_ = tx;
+  last_rx_bytes_ = rx;
+  tx_rate_ewma_ = 0.98 * tx_rate_ewma_ + 0.02 * tx_rate;
+  rx_rate_ewma_ = 0.98 * rx_rate_ewma_ + 0.02 * rx_rate;
+}
+
+}  // namespace perfsight::vm

@@ -1,0 +1,182 @@
+// PhysicalMachine: one compute server with its full software dataplane.
+//
+// Owns the resource pools (CPU, memory bus, buffer memory), the
+// virtualization-stack elements (pNIC, NAPI poll, per-core pCPU backlog,
+// virtual switch, per-VM TUNs and hypervisor I/O handlers) and the VMs
+// (vNIC, guest backlog, guest socket, guest stack, application).  Wires
+// everything into a Simulator in dataflow order and exposes the element
+// set to a PerfSight Agent.
+//
+// CPU scheduling mirrors the host: the softirq consumer has near-strict
+// priority (kernel context) and a parallelism cap; each VM contributes a
+// QEMU I/O-thread consumer and a vCPU consumer capped at its vCPU count —
+// which is what separates a bottlenecked VM (own cap binds) from host
+// contention (shared capacity binds).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/apps.h"
+#include "dataplane/backlog.h"
+#include "dataplane/params.h"
+#include "dataplane/pnic.h"
+#include "dataplane/pumps.h"
+#include "dataplane/queues.h"
+#include "dataplane/vswitch.h"
+#include "perfsight/agent.h"
+#include "perfsight/baseline.h"
+#include "perfsight/rulebook.h"
+#include "resources/buffer_space.h"
+#include "resources/pool.h"
+#include "sim/simulator.h"
+#include "vm/workloads.h"
+
+namespace perfsight::vm {
+
+struct VmConfig {
+  std::string name;    // e.g. "vm0"
+  double vcpus = 1.0;  // vCPU allocation (cap on guest compute)
+  // vNIC rate cap (rx+tx combined, enforced at the hypervisor I/O handler).
+  // Zero means "uncapped" (bounded only by the machine's resources).
+  DataRate vnic_rate = DataRate::zero();
+};
+
+class PhysicalMachine {
+ public:
+  PhysicalMachine(std::string name, dp::StackParams params,
+                  sim::Simulator* sim);
+
+  const std::string& name() const { return name_; }
+  const dp::StackParams& params() const { return params_; }
+
+  // --- VM lifecycle ---------------------------------------------------------
+  int add_vm(VmConfig cfg);
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+
+  // Installs the VM's application (exactly one per VM).
+  dp::SinkApp* set_sink_app(int vm);
+  dp::ForwardApp* set_forward_app(int vm, dp::ForwardApp::Config cfg);
+  dp::SourceApp* set_source_app(int vm, dp::SourceApp::Config cfg);
+  // The busy-waiting transcoder of §2.3 (100% CPU while healthy).
+  dp::BusyWaitSinkApp* set_busy_wait_sink_app(
+      int vm, dp::BusyWaitSinkApp::Config cfg = dp::BusyWaitSinkApp::Config());
+
+  // --- routing ---------------------------------------------------------------
+  // Ingress flow terminating at `dst_vm`'s TUN.
+  void route_flow_to_vm(const FlowSpec& flow, int dst_vm);
+  // Egress flow leaving via the pNIC.
+  void route_flow_to_wire(FlowId flow, const std::string& rule_name);
+  void pin_flow_to_core(FlowId flow, int core) {
+    backlog_->pin_flow(flow, core);
+  }
+
+  // --- workloads --------------------------------------------------------------
+  IngressSource* add_ingress_source(const std::string& name, FlowSpec flow,
+                                    DataRate rate);
+  CpuHog* add_vm_cpu_hog(int vm);         // compute inside the VM's vCPUs
+  CpuHog* add_host_cpu_hog(const std::string& name, double cap_cores = -1);
+  MemHog* add_mem_hog(const std::string& name);
+  // Buffer-memory pressure (Table 1's "Memory Space" row).
+  void set_memory_pressure_bytes(uint64_t stolen) {
+    buffer_space_.set_pressure_bytes(stolen);
+  }
+
+  // --- PerfSight integration ---------------------------------------------------
+  // Registers every element with `agent`; returns the virtualization-stack
+  // element ids (Algorithm 1's scan set).
+  std::vector<ElementId> register_elements(Agent* agent);
+
+  // Auxiliary symptoms for rule-book disambiguation.
+  AuxSignals aux_signals() const;
+
+  // Per-VM and host CPU utilizations (the naive baseline's only input).
+  UtilizationSnapshot utilization_snapshot() const;
+
+  // --- accessors (tests, benches) ----------------------------------------------
+  dp::PNic* pnic() { return pnic_.get(); }
+  dp::PCpuBacklog* backlog() { return backlog_.get(); }
+  dp::VirtualSwitch* vswitch() { return vswitch_.get(); }
+  dp::NapiPoll* napi() { return napi_.get(); }
+  dp::Tun* tun(int vm) { return vms_[vm]->tun.get(); }
+  dp::VNic* vnic(int vm) { return vms_[vm]->vnic.get(); }
+  dp::GuestSocket* guest_socket(int vm) { return vms_[vm]->socket.get(); }
+  dp::GuestBacklog* guest_backlog(int vm) {
+    return vms_[vm]->guest_backlog.get();
+  }
+  dp::HypervisorIo* hyperio(int vm) { return vms_[vm]->hyperio.get(); }
+  dp::PacketApp* app(int vm) { return vms_[vm]->app.get(); }
+  ResourcePool* cpu_pool() { return &cpu_; }
+  ResourcePool* membus() { return &membus_; }
+  sim::Simulator* simulator() { return sim_; }
+
+ private:
+  struct Vm : sim::Steppable {
+    std::string vm_name;
+    int index = 0;
+    double vcpus = 1.0;
+    std::unique_ptr<dp::Tun> tun;
+    std::unique_ptr<dp::VNic> vnic;
+    std::unique_ptr<dp::GuestBacklog> guest_backlog;
+    std::unique_ptr<dp::GuestSocket> socket;
+    std::unique_ptr<dp::HypervisorIo> hyperio;
+    std::unique_ptr<dp::GuestStack> stack;
+    std::unique_ptr<dp::PacketApp> app;
+    std::unique_ptr<CpuHog> vm_hog;  // compute inside the guest
+    ResourcePool::ConsumerId qemu_cpu = 0;
+    ResourcePool::ConsumerId vcpu = 0;
+    ResourcePool::ConsumerId qemu_mem = 0;
+    BufferSpace::OwnerId tun_space = 0;
+    double cpu_util_ewma = 0;  // guest CPU use / allocation, smoothed
+
+    void step(SimTime now, Duration dt) override {
+      // The hog competes for the same vCPU allocation and, like a busy
+      // guest process mix, crowds out packet processing.
+      if (vm_hog) vm_hog->step(now, dt);
+      stack->step(now, dt);
+      if (app) app->step(now, dt);
+    }
+    std::string name() const override { return vm_name; }
+  };
+
+  // Per-tick housekeeping: refreshes TUN caps under buffer-memory pressure
+  // and tracks smoothed NIC throughput for aux signals.
+  struct Maintenance : sim::Steppable {
+    PhysicalMachine* m = nullptr;
+    void step(SimTime now, Duration dt) override { m->maintain(now, dt); }
+    std::string name() const override { return "maintenance"; }
+  };
+
+  void maintain(SimTime now, Duration dt);
+  ElementId eid(const std::string& suffix) const {
+    return ElementId{name_ + "/" + suffix};
+  }
+
+  std::string name_;
+  dp::StackParams params_;
+  sim::Simulator* sim_;
+
+  ResourcePool cpu_;
+  ResourcePool membus_;
+  BufferSpace buffer_space_;
+  ResourcePool::ConsumerId softirq_cpu_;
+  ResourcePool::ConsumerId backlog_mem_;
+
+  Maintenance maintenance_;
+  std::unique_ptr<dp::PNic> pnic_;
+  std::unique_ptr<dp::PCpuBacklog> backlog_;
+  std::unique_ptr<dp::VirtualSwitch> vswitch_;
+  std::unique_ptr<dp::NapiPoll> napi_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<std::unique_ptr<IngressSource>> sources_;
+  std::vector<std::unique_ptr<CpuHog>> cpu_hogs_;
+  std::vector<std::unique_ptr<MemHog>> mem_hogs_;
+
+  uint64_t last_tx_bytes_ = 0;
+  uint64_t last_rx_bytes_ = 0;
+  double tx_rate_ewma_ = 0;  // bytes/s
+  double rx_rate_ewma_ = 0;
+};
+
+}  // namespace perfsight::vm

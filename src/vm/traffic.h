@@ -1,0 +1,240 @@
+// Richer traffic generators for scenario realism beyond constant-rate
+// sources: on/off bursts (the "sudden, unexpected changes in the traffic
+// profile" of §2.2), stochastic per-tick arrivals, and mixed packet sizes
+// (which exercise packet-count-limited queues differently from byte-limited
+// ones).  All determinism comes from seeded Pcg32.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataplane/pnic.h"
+#include "packet/flow.h"
+#include "sim/simulator.h"
+
+namespace perfsight::vm {
+
+// Alternates between `on_rate` for `on_time` and silence for `off_time`.
+class OnOffIngressSource : public sim::Steppable {
+ public:
+  OnOffIngressSource(std::string name, FlowSpec flow, DataRate on_rate,
+                     Duration on_time, Duration off_time, dp::PNic* pnic)
+      : name_(std::move(name)),
+        flow_(flow),
+        on_rate_(on_rate),
+        on_time_(on_time),
+        off_time_(off_time),
+        pnic_(pnic) {}
+
+  void step(SimTime /*now*/, Duration dt) override {
+    phase_ += dt;
+    if (on_) {
+      if (phase_ >= on_time_) {
+        on_ = false;
+        phase_ = Duration::nanos(0);
+        return;
+      }
+      double offered = static_cast<double>(on_rate_.bytes_in(dt)) + carry_;
+      uint64_t pkts = static_cast<uint64_t>(offered / flow_.packet_size);
+      carry_ = offered - static_cast<double>(pkts * flow_.packet_size);
+      if (pkts > 0) pnic_->offer_rx(flow_.make_batch(pkts));
+    } else if (phase_ >= off_time_) {
+      on_ = true;
+      phase_ = Duration::nanos(0);
+    }
+  }
+  std::string name() const override { return name_; }
+  bool on() const { return on_; }
+
+ private:
+  std::string name_;
+  FlowSpec flow_;
+  DataRate on_rate_;
+  Duration on_time_;
+  Duration off_time_;
+  dp::PNic* pnic_;
+  bool on_ = true;
+  Duration phase_;
+  double carry_ = 0;
+};
+
+// Per-tick packet counts drawn from a (deterministic) geometric-ish burst
+// distribution around a target mean rate: bursty arrivals that stress
+// drop-tail queues harder than a fluid source at the same average.
+class BurstyIngressSource : public sim::Steppable {
+ public:
+  BurstyIngressSource(std::string name, FlowSpec flow, DataRate mean_rate,
+                      double burstiness, dp::PNic* pnic, uint64_t seed = 1)
+      : name_(std::move(name)),
+        flow_(flow),
+        mean_rate_(mean_rate),
+        burstiness_(burstiness < 1.0 ? 1.0 : burstiness),
+        pnic_(pnic),
+        rng_(seed) {}
+
+  void step(SimTime /*now*/, Duration dt) override {
+    double mean_pkts = mean_rate_.bytes_in(dt) /
+                       static_cast<double>(flow_.packet_size);
+    // With probability 1/burstiness, emit a burst of burstiness * mean;
+    // otherwise stay silent — same average, spikier arrivals.
+    if (rng_.next_double() < 1.0 / burstiness_) {
+      uint64_t pkts = static_cast<uint64_t>(mean_pkts * burstiness_ + 0.5);
+      if (pkts > 0) pnic_->offer_rx(flow_.make_batch(pkts));
+      emitted_pkts_ += pkts;
+    }
+  }
+  std::string name() const override { return name_; }
+  uint64_t emitted_packets() const { return emitted_pkts_; }
+
+ private:
+  std::string name_;
+  FlowSpec flow_;
+  DataRate mean_rate_;
+  double burstiness_;
+  dp::PNic* pnic_;
+  Pcg32 rng_;
+  uint64_t emitted_pkts_ = 0;
+};
+
+// Draws each tick's packet size from a weighted set (an IMIX-style mix),
+// emitting at a byte rate.  Uses a distinct flow id per size class so
+// per-flow accounting stays exact.
+class MixedSizeIngressSource : public sim::Steppable {
+ public:
+  struct SizeClass {
+    FlowSpec flow;   // carries the packet size and flow id
+    double weight;   // share of bytes
+  };
+
+  MixedSizeIngressSource(std::string name, std::vector<SizeClass> classes,
+                         DataRate rate, dp::PNic* pnic)
+      : name_(std::move(name)),
+        classes_(std::move(classes)),
+        rate_(rate),
+        pnic_(pnic),
+        carry_(classes_.size(), 0.0) {
+    double total = 0;
+    for (const SizeClass& c : classes_) total += c.weight;
+    PS_CHECK(total > 0);
+    for (SizeClass& c : classes_) c.weight /= total;
+  }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    double bytes = static_cast<double>(rate_.bytes_in(dt));
+    for (size_t i = 0; i < classes_.size(); ++i) {
+      double offered = bytes * classes_[i].weight + carry_[i];
+      uint64_t pkts = static_cast<uint64_t>(
+          offered / classes_[i].flow.packet_size);
+      carry_[i] =
+          offered - static_cast<double>(pkts * classes_[i].flow.packet_size);
+      if (pkts > 0) pnic_->offer_rx(classes_[i].flow.make_batch(pkts));
+    }
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<SizeClass> classes_;
+  DataRate rate_;
+  dp::PNic* pnic_;
+  std::vector<double> carry_;
+};
+
+// A TCP-like adaptive sender: additive increase while its packets are
+// getting through, multiplicative decrease when the receiver-side delivery
+// falls short of what was sent (loss anywhere on the path).  Reproduces
+// the sawtooth/oscillation of the paper's TCP flows (Fig. 10's flow 1)
+// that an open-loop source cannot show.
+class AimdIngressSource : public sim::Steppable {
+ public:
+  struct Config {
+    FlowSpec flow;
+    DataRate initial_rate = DataRate::mbps(10);
+    DataRate max_rate = DataRate::gbps(10);
+    DataRate min_rate = DataRate::mbps(1);
+    DataRate additive_increase_per_sec = DataRate::mbps(100);
+    double multiplicative_decrease = 0.6;
+    Duration adjust_period = Duration::millis(10);  // ~RTT
+    // Tolerated loss fraction per window before backing off (ack noise).
+    double loss_tolerance = 0.02;
+    // Windows to wait after a decrease before decreasing again (one loss
+    // event = one backoff, as in TCP's per-RTT reaction).
+    int backoff_cooldown_windows = 3;
+  };
+  // Returns bytes delivered end-to-end so far (e.g. the sink app's
+  // bytes_in counter) — the "ack stream".
+  using DeliveredFn = std::function<uint64_t()>;
+
+  AimdIngressSource(std::string name, Config cfg, dp::PNic* pnic,
+                    DeliveredFn delivered)
+      : name_(std::move(name)),
+        cfg_(cfg),
+        rate_(cfg.initial_rate),
+        pnic_(pnic),
+        delivered_(std::move(delivered)) {}
+
+  DataRate rate() const { return rate_; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    // Offer at the current rate.
+    double offered = static_cast<double>(rate_.bytes_in(dt)) + carry_;
+    uint64_t pkts = static_cast<uint64_t>(offered / cfg_.flow.packet_size);
+    carry_ = offered - static_cast<double>(pkts * cfg_.flow.packet_size);
+    if (pkts > 0) {
+      pnic_->offer_rx(cfg_.flow.make_batch(pkts));
+      sent_bytes_ += pkts * cfg_.flow.packet_size;
+    }
+    // Periodically compare deliveries against sends one window back (the
+    // pipeline is a few ticks deep, so compare against the previous
+    // window's sends).
+    window_elapsed_ += dt;
+    if (window_elapsed_ < cfg_.adjust_period) return;
+    window_elapsed_ = Duration::nanos(0);
+
+    uint64_t delivered_now = delivered_();
+    uint64_t delivered_delta = delivered_now - last_delivered_;
+    last_delivered_ = delivered_now;
+    uint64_t sent_delta = prev_window_sent_;
+    prev_window_sent_ = sent_bytes_ - last_sent_;
+    last_sent_ = sent_bytes_;
+
+    // A window that sent nothing observed no loss (and must still grow, or
+    // a sub-packet-rate sender would never escape the floor).
+    double loss_frac =
+        sent_delta == 0 || delivered_delta >= sent_delta
+            ? 0.0
+            : static_cast<double>(sent_delta - delivered_delta) /
+                  static_cast<double>(sent_delta);
+    // One backoff per loss event (as TCP reacts once per RTT of loss);
+    // between events the rate grows additively — even while loss persists,
+    // which is what produces the sawtooth against a congested queue.
+    if (cooldown_ > 0) --cooldown_;
+    if (loss_frac > cfg_.loss_tolerance && cooldown_ == 0) {
+      rate_ = rate_ * cfg_.multiplicative_decrease;
+      if (rate_ < cfg_.min_rate) rate_ = cfg_.min_rate;
+      cooldown_ = cfg_.backoff_cooldown_windows;
+    } else {
+      rate_ = rate_ + cfg_.additive_increase_per_sec *
+                          cfg_.adjust_period.sec();
+      if (rate_ > cfg_.max_rate) rate_ = cfg_.max_rate;
+    }
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Config cfg_;
+  DataRate rate_;
+  dp::PNic* pnic_;
+  DeliveredFn delivered_;
+  double carry_ = 0;
+  uint64_t sent_bytes_ = 0;
+  uint64_t last_sent_ = 0;
+  uint64_t prev_window_sent_ = 0;
+  uint64_t last_delivered_ = 0;
+  Duration window_elapsed_;
+  int cooldown_ = 0;
+};
+
+}  // namespace perfsight::vm

@@ -1,0 +1,113 @@
+// Workload injectors: the knobs scenarios turn to create the performance
+// problems PerfSight must diagnose.
+//
+//  * IngressSource — external traffic arriving at the pNIC (tenant traffic,
+//    rx floods).
+//  * CpuHog — a compute-bound task charged to some CPU consumer: inside a
+//    VM (vCPU consumer — a bottlenecked middlebox), across many VMs (host
+//    contention), or a host-level management task (Fig. 14b).
+//  * MemHog — a memory-copy stream hammering the shared bus (Fig. 3 / 11).
+//
+// All are toggleable at runtime via Simulator::at callbacks.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "dataplane/pnic.h"
+#include "packet/flow.h"
+#include "resources/pool.h"
+#include "sim/simulator.h"
+
+namespace perfsight::vm {
+
+class IngressSource : public sim::Steppable {
+ public:
+  IngressSource(std::string name, FlowSpec flow, DataRate rate,
+                dp::PNic* pnic)
+      : name_(std::move(name)), flow_(flow), rate_(rate), pnic_(pnic) {}
+
+  void set_rate(DataRate r) { rate_ = r; }
+  DataRate rate() const { return rate_; }
+  const FlowSpec& flow() const { return flow_; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    double offered = static_cast<double>(rate_.bytes_in(dt)) + carry_;
+    uint64_t pkts = static_cast<uint64_t>(offered / flow_.packet_size);
+    carry_ = offered - static_cast<double>(pkts * flow_.packet_size);
+    if (pkts == 0) return;
+    pnic_->offer_rx(flow_.make_batch(pkts));
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  FlowSpec flow_;
+  DataRate rate_;
+  dp::PNic* pnic_;
+  double carry_ = 0;
+};
+
+class CpuHog : public sim::Steppable {
+ public:
+  CpuHog(std::string name, ResourcePool* cpu,
+         ResourcePool::ConsumerId consumer, double demand_cores = 0)
+      : name_(std::move(name)),
+        cpu_(cpu),
+        consumer_(consumer),
+        demand_cores_(demand_cores) {}
+
+  void set_demand_cores(double d) { demand_cores_ = d; }
+  double achieved_cores() const { return achieved_; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    if (demand_cores_ <= 0) {
+      achieved_ = 0;
+      return;
+    }
+    double grant = cpu_->request(consumer_, demand_cores_ * dt.sec());
+    achieved_ = grant / dt.sec();
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  ResourcePool* cpu_;
+  ResourcePool::ConsumerId consumer_;
+  double demand_cores_;
+  double achieved_ = 0;
+};
+
+class MemHog : public sim::Steppable {
+ public:
+  MemHog(std::string name, ResourcePool* membus,
+         ResourcePool::ConsumerId consumer, double demand_bytes_per_sec = 0)
+      : name_(std::move(name)),
+        membus_(membus),
+        consumer_(consumer),
+        demand_(demand_bytes_per_sec) {}
+
+  void set_demand_bytes_per_sec(double d) { demand_ = d; }
+  // Achieved copy throughput (bytes/s) over the last tick — the x axis of
+  // Fig. 3.
+  double achieved_bytes_per_sec() const { return achieved_; }
+
+  void step(SimTime /*now*/, Duration dt) override {
+    if (demand_ <= 0) {
+      achieved_ = 0;
+      return;
+    }
+    double grant = membus_->request(consumer_, demand_ * dt.sec());
+    achieved_ = grant / dt.sec();
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  ResourcePool* membus_;
+  ResourcePool::ConsumerId consumer_;
+  double demand_;
+  double achieved_ = 0;
+};
+
+}  // namespace perfsight::vm

@@ -1,0 +1,136 @@
+// Element base class, queue elements (TUN, vNIC, guest buffers) and their
+// PerfSight counter semantics.
+#include "dataplane/element.h"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/queues.h"
+
+namespace perfsight::dp {
+namespace {
+
+PacketBatch batch(uint32_t flow, uint64_t pkts, uint64_t size = 1500) {
+  return PacketBatch{FlowId{flow}, pkts, pkts * size};
+}
+
+TEST(ChannelMappingTest, MatchesPaperImplementation) {
+  // Sec. 6: net_device via file system, softnet via /proc, OVS control
+  // channel, instrumented QEMU logs, middlebox sockets.
+  EXPECT_EQ(channel_for(ElementKind::kPNic), ChannelKind::kNetDeviceFile);
+  EXPECT_EQ(channel_for(ElementKind::kTun), ChannelKind::kNetDeviceFile);
+  EXPECT_EQ(channel_for(ElementKind::kPCpuBacklog), ChannelKind::kProcFs);
+  EXPECT_EQ(channel_for(ElementKind::kNapi), ChannelKind::kProcFs);
+  EXPECT_EQ(channel_for(ElementKind::kVSwitch), ChannelKind::kOvsChannel);
+  EXPECT_EQ(channel_for(ElementKind::kHypervisorIo), ChannelKind::kQemuLog);
+  EXPECT_EQ(channel_for(ElementKind::kMiddleboxApp), ChannelKind::kMbSocket);
+  EXPECT_EQ(channel_for(ElementKind::kVNic), ChannelKind::kGuestProc);
+}
+
+TEST(ElementTest, CollectExportsStandardAttrs) {
+  Tun tun(ElementId{"m0/vm1/tun"}, /*vm=*/1, QueueCaps{100, UINT64_MAX});
+  tun.accept(batch(1, 10));
+  tun.fetch(4, UINT64_MAX);
+
+  StatsRecord r = tun.collect(SimTime::millis(5));
+  EXPECT_EQ(r.element.name, "m0/vm1/tun");
+  EXPECT_EQ(r.timestamp.ns(), SimTime::millis(5).ns());
+  EXPECT_EQ(r.get(attr::kRxPkts), 10.0);
+  EXPECT_EQ(r.get(attr::kTxPkts), 4.0);
+  EXPECT_EQ(r.get(attr::kDropPkts), 0.0);
+  EXPECT_EQ(r.get(attr::kQueuePkts), 6.0);
+  EXPECT_EQ(r.get(attr::kVm), 1.0);
+  EXPECT_EQ(static_cast<ElementKind>(static_cast<int>(*r.get(attr::kType))),
+            ElementKind::kTun);
+}
+
+TEST(QueueElementTest, DropsChargedToElement) {
+  Tun tun(ElementId{"tun"}, 0, QueueCaps{10, UINT64_MAX});
+  tun.accept(batch(1, 25));
+  EXPECT_EQ(tun.stats().pkts_in.value(), 25u);
+  EXPECT_EQ(tun.stats().drop_pkts.value(), 15u);
+  EXPECT_EQ(tun.queued_packets(), 10u);
+}
+
+TEST(QueueElementTest, ByteCapRespected) {
+  Tun tun(ElementId{"tun"}, 0, QueueCaps{UINT64_MAX, 15000});
+  tun.accept(batch(1, 20));  // 30000 bytes offered
+  EXPECT_EQ(tun.queued_bytes(), 15000u);
+  EXPECT_EQ(tun.stats().drop_pkts.value(), 10u);
+}
+
+TEST(QueueElementTest, SetCapsShrinksFutureAdmissions) {
+  Tun tun(ElementId{"tun"}, 0, QueueCaps{UINT64_MAX, 1 << 20});
+  tun.accept(batch(1, 10));
+  tun.set_caps(QueueCaps{UINT64_MAX, 4096});  // memory-pressure clamp
+  tun.accept(batch(1, 10));
+  // Existing content is not revoked, but no new packets fit.
+  EXPECT_EQ(tun.queued_packets(), 10u);
+  EXPECT_EQ(tun.stats().drop_pkts.value(), 10u);
+}
+
+TEST(QueueElementTest, FetchObservesBudgets) {
+  Tun tun(ElementId{"tun"}, 0, QueueCaps{});
+  tun.accept(batch(1, 100));
+  PacketBatch out = tun.fetch(10, UINT64_MAX);
+  EXPECT_EQ(out.packets, 10u);
+  out = tun.fetch(UINT64_MAX, 1500 * 5);
+  EXPECT_EQ(out.packets, 5u);
+  EXPECT_EQ(tun.stats().pkts_out.value(), 15u);
+}
+
+TEST(VNicTest, IndependentRxTxRings) {
+  VNic vnic(ElementId{"vnic"}, 0, /*ring_pkts=*/4);
+  vnic.push_rx(batch(1, 3));
+  vnic.push_tx(batch(2, 2));
+  EXPECT_EQ(vnic.rx_queued_packets(), 3u);
+  EXPECT_EQ(vnic.tx_queued_packets(), 2u);
+  EXPECT_EQ(vnic.rx_space_packets(), 1u);
+
+  PacketBatch rx = vnic.fetch_rx(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(rx.packets, 3u);
+  EXPECT_EQ(rx.flow, FlowId{1});
+  PacketBatch tx = vnic.fetch_tx(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(tx.packets, 2u);
+  EXPECT_EQ(tx.flow, FlowId{2});
+}
+
+TEST(VNicTest, RingOverflowDrops) {
+  VNic vnic(ElementId{"vnic"}, 0, 4);
+  vnic.push_rx(batch(1, 10));
+  EXPECT_EQ(vnic.rx_queued_packets(), 4u);
+  EXPECT_EQ(vnic.stats().drop_pkts.value(), 6u);
+  vnic.push_tx(batch(2, 10));
+  EXPECT_EQ(vnic.tx_queued_packets(), 4u);
+  EXPECT_EQ(vnic.stats().drop_pkts.value(), 12u);
+}
+
+TEST(VNicTest, TxQueuedBytesTracksSmallPackets) {
+  VNic vnic(ElementId{"vnic"}, 0, 4096);
+  vnic.push_tx(batch(1, 100, /*size=*/64));
+  EXPECT_EQ(vnic.tx_queued_bytes(), 6400u);
+}
+
+TEST(GuestSocketTest, ByteBounded) {
+  GuestSocket sock(ElementId{"sock"}, 0, /*bytes=*/4500);
+  sock.accept(batch(1, 5));  // 7500 bytes
+  EXPECT_EQ(sock.queued_packets(), 3u);
+  EXPECT_EQ(sock.stats().drop_pkts.value(), 2u);
+}
+
+TEST(GuestBacklogTest, PacketBounded) {
+  GuestBacklog bl(ElementId{"gb"}, 0, /*pkts=*/300);
+  bl.accept(batch(1, 400));
+  EXPECT_EQ(bl.queued_packets(), 300u);
+  EXPECT_EQ(bl.space_packets(), 0u);
+  EXPECT_EQ(bl.stats().drop_pkts.value(), 100u);
+}
+
+TEST(ElementTest, IoTimeCountersExported) {
+  Tun tun(ElementId{"tun"}, 0, QueueCaps{});
+  StatsRecord r = tun.collect(SimTime{});
+  EXPECT_EQ(r.get(attr::kInTimeNs), 0.0);
+  EXPECT_EQ(r.get(attr::kOutTimeNs), 0.0);
+}
+
+}  // namespace
+}  // namespace perfsight::dp

@@ -1,0 +1,245 @@
+// Operator-extension features layered on the core framework: packet-size
+// distribution tracking (§4.1's example of a richer statistic), the
+// time-series Monitor, and the remediation advisor.
+#include <gtest/gtest.h>
+
+#include "dataplane/queues.h"
+#include "perfsight/histogram.h"
+#include "perfsight/monitor.h"
+#include "perfsight/remediation.h"
+#include "cluster/deployment.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+namespace perfsight {
+namespace {
+
+using namespace literals;
+
+// --- PacketSizeHistogram -----------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(1), 0u);
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(64), 0u);
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(65), 1u);
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(1500), 5u);
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(1514), 5u);
+  EXPECT_EQ(PacketSizeHistogram::bucket_for(9001), 8u);  // jumbo overflow
+}
+
+TEST(HistogramTest, RecordAndTotal) {
+  PacketSizeHistogram h;
+  h.record(64, 10);
+  h.record(1500, 5);
+  h.record(9500);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.count(5), 5u);
+  EXPECT_EQ(h.count(8), 1u);
+}
+
+TEST(HistogramTest, Labels) {
+  EXPECT_EQ(PacketSizeHistogram::label(0), "0-64");
+  EXPECT_EQ(PacketSizeHistogram::label(1), "65-128");
+  EXPECT_EQ(PacketSizeHistogram::label(8), "9001+");
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  PacketSizeHistogram h;
+  h.record(64, 90);
+  h.record(1500, 10);
+  EXPECT_EQ(h.approx_quantile(0.5), 64u);
+  EXPECT_EQ(h.approx_quantile(0.95), 1514u);
+  PacketSizeHistogram empty;
+  EXPECT_EQ(empty.approx_quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, ExportSkipsEmptyBuckets) {
+  PacketSizeHistogram h;
+  h.record(64, 3);
+  StatsRecord r;
+  h.export_attrs(r);
+  ASSERT_EQ(r.attrs.size(), 1u);
+  EXPECT_EQ(r.attrs[0].name, "sizeHist.0-64");
+  EXPECT_EQ(r.attrs[0].value, 3.0);
+}
+
+TEST(HistogramTest, ElementOptInTracking) {
+  dp::Tun tun(ElementId{"tun"}, 0, QueueCaps{});
+  // Off by default: no histogram attrs.
+  tun.accept(PacketBatch{FlowId{1}, 10, 640});
+  StatsRecord off = tun.collect(SimTime{});
+  EXPECT_FALSE(off.get("sizeHist.0-64").has_value());
+
+  tun.enable_size_tracking();
+  tun.accept(PacketBatch{FlowId{1}, 10, 640});    // 64 B packets
+  tun.accept(PacketBatch{FlowId{2}, 4, 6000});    // 1500 B packets
+  StatsRecord on = tun.collect(SimTime{});
+  EXPECT_EQ(on.get("sizeHist.0-64"), 10.0);
+  EXPECT_EQ(on.get("sizeHist.1025-1514"), 4.0);
+}
+
+// --- Monitor -------------------------------------------------------------------
+
+struct MonitorRig {
+  sim::Simulator sim{Duration::millis(1)};
+  vm::PhysicalMachine machine{"m0", dp::StackParams{}, &sim};
+  cluster::Deployment dep{&sim};
+  static constexpr TenantId kTenant{1};
+
+  MonitorRig() {
+    int v = machine.add_vm({"vm0", 1.0});
+    machine.set_sink_app(v);
+    FlowSpec f;
+    f.id = FlowId{1};
+    f.packet_size = 1500;
+    machine.route_flow_to_vm(f, v);
+    machine.add_ingress_source("s", f, 500_mbps);
+    Agent* agent = dep.add_agent("a0");
+    dep.attach(&machine, agent);
+    PS_CHECK(dep.assign(kTenant, machine.tun(0)->id(), agent).is_ok());
+  }
+};
+
+TEST(MonitorTest, CollectsValueSeries) {
+  MonitorRig rig;
+  Monitor mon(rig.dep.controller(), MonitorRig::kTenant);
+  mon.watch(rig.machine.tun(0)->id(), attr::kTxBytes);
+  for (int i = 0; i < 5; ++i) {
+    rig.sim.run_for(Duration::millis(500));
+    mon.sample();
+  }
+  const auto& series = mon.values(rig.machine.tun(0)->id(), attr::kTxBytes);
+  ASSERT_EQ(series.points.size(), 5u);
+  // Counter is monotone.
+  for (size_t i = 1; i < series.points.size(); ++i) {
+    EXPECT_GE(series.points[i].value, series.points[i - 1].value);
+  }
+}
+
+TEST(MonitorTest, RatesMatchThroughput) {
+  MonitorRig rig;
+  Monitor mon(rig.dep.controller(), MonitorRig::kTenant);
+  mon.watch(rig.machine.tun(0)->id(), attr::kTxBytes);
+  rig.sim.run_for(Duration::seconds(1.0));  // warm up
+  for (int i = 0; i < 4; ++i) {
+    mon.sample();
+    rig.sim.run_for(Duration::millis(500));
+  }
+  Monitor::Series rates =
+      mon.rates(rig.machine.tun(0)->id(), attr::kTxBytes);
+  ASSERT_EQ(rates.points.size(), 3u);
+  // 500 Mbps = 62.5e6 bytes/s.
+  EXPECT_NEAR(rates.mean(), 62.5e6, 3e6);
+}
+
+TEST(MonitorTest, UnknownElementYieldsEmptySeries) {
+  MonitorRig rig;
+  Monitor mon(rig.dep.controller(), MonitorRig::kTenant);
+  mon.watch(ElementId{"nope"}, attr::kTxBytes);
+  mon.sample();
+  EXPECT_TRUE(mon.values(ElementId{"nope"}, attr::kTxBytes).empty());
+}
+
+TEST(MonitorTest, SeriesStatistics) {
+  Monitor::Series s;
+  s.points = {{SimTime::millis(0), 5}, {SimTime::millis(1), 1},
+              {SimTime::millis(2), 3}};
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.last(), 3.0);
+}
+
+// --- RemediationAdvisor ---------------------------------------------------------
+
+ContentionReport contention_report(ElementKind loc, LossSpread spread,
+                                   bool is_contention,
+                                   std::vector<ResourceKind> res) {
+  ContentionReport r;
+  r.problem_found = true;
+  r.primary_location = loc;
+  r.spread = spread;
+  r.is_contention = is_contention;
+  r.candidate_resources = std::move(res);
+  r.ranked.push_back({ElementId{"m0/vm0/tun"}, loc, 0, 1000});
+  return r;
+}
+
+bool recommends(const std::vector<Recommendation>& recs, ActionKind a) {
+  for (const auto& r : recs) {
+    if (r.action == a) return true;
+  }
+  return false;
+}
+
+TEST(RemediationTest, BottleneckIsTenantProblem) {
+  RemediationAdvisor advisor;
+  auto recs = advisor.advise(contention_report(ElementKind::kTun,
+                                               LossSpread::kSingleVm, false,
+                                               {ResourceKind::kVmLocal}));
+  ASSERT_FALSE(recs.empty());
+  EXPECT_TRUE(recommends(recs, ActionKind::kScaleUpVm));
+  EXPECT_EQ(recs[0].audience, Audience::kTenant);
+}
+
+TEST(RemediationTest, MemoryContentionSuggestsMigration) {
+  RemediationAdvisor advisor;
+  auto recs = advisor.advise(
+      contention_report(ElementKind::kTun, LossSpread::kMultiVm, true,
+                        {ResourceKind::kMemoryBandwidth}));
+  EXPECT_TRUE(recommends(recs, ActionKind::kMigrateAggressor));
+  EXPECT_EQ(recs[0].audience, Audience::kOperator);
+}
+
+TEST(RemediationTest, NicOverloadSuggestsCapacity) {
+  RemediationAdvisor advisor;
+  auto recs = advisor.advise(
+      contention_report(ElementKind::kPNic, LossSpread::kSharedElement, true,
+                        {ResourceKind::kIncomingBandwidth}));
+  EXPECT_TRUE(recommends(recs, ActionKind::kAddNicCapacity));
+}
+
+TEST(RemediationTest, HealthyReportNoAction) {
+  RemediationAdvisor advisor;
+  ContentionReport healthy;
+  auto recs = advisor.advise(healthy);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].action, ActionKind::kNoAction);
+}
+
+TEST(RemediationTest, OverloadedMiddleboxScaleOut) {
+  RemediationAdvisor advisor;
+  RootCauseReport r;
+  r.root_causes.push_back(ElementId{"m0/vm-lb2/lb2"});
+  r.root_cause_roles.push_back(MbRole::kOverloaded);
+  auto recs = advisor.advise(r);
+  EXPECT_TRUE(recommends(recs, ActionKind::kScaleOutMiddlebox));
+  EXPECT_TRUE(recommends(recs, ActionKind::kInspectSoftware));
+  EXPECT_EQ(recs[0].audience, Audience::kTenant);
+  EXPECT_EQ(recs[0].target, "m0/vm-lb2/lb2");
+}
+
+TEST(RemediationTest, UnderloadedSourceNoAction) {
+  RemediationAdvisor advisor;
+  RootCauseReport r;
+  r.root_causes.push_back(ElementId{"client"});
+  r.root_cause_roles.push_back(MbRole::kUnderloaded);
+  auto recs = advisor.advise(r);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].action, ActionKind::kNoAction);
+}
+
+TEST(RemediationTest, TextRendering) {
+  RemediationAdvisor advisor;
+  RootCauseReport r;
+  r.root_causes.push_back(ElementId{"nfs"});
+  r.root_cause_roles.push_back(MbRole::kOverloaded);
+  std::string text = to_text(advisor.advise(r));
+  EXPECT_NE(text.find("scale-out-middlebox"), std::string::npos);
+  EXPECT_NE(text.find("nfs"), std::string::npos);
+  EXPECT_NE(text.find("[tenant]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,187 @@
+// Cross-machine packet paths over the switch fabric: NFV chains spanning
+// physical servers (Fig. 2's deployment shape) built from two
+// PhysicalMachines.
+#include "cluster/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployment.h"
+#include "perfsight/contention.h"
+#include "sim/simulator.h"
+
+namespace perfsight::cluster {
+namespace {
+
+using namespace literals;
+
+FlowSpec flow(uint32_t id, uint32_t size = 1500) {
+  FlowSpec f;
+  f.id = FlowId{id};
+  f.packet_size = size;
+  return f;
+}
+
+struct TwoMachineRig {
+  sim::Simulator sim{Duration::millis(1)};
+  vm::PhysicalMachine m0{"m0", dp::StackParams{}, &sim};
+  vm::PhysicalMachine m1{"m1", dp::StackParams{}, &sim};
+  SwitchFabric fabric;
+
+  TwoMachineRig() {
+    fabric.attach(&m0);
+    fabric.attach(&m1);
+  }
+};
+
+TEST(FabricTest, DeliversAcrossMachines) {
+  TwoMachineRig rig;
+  // m0: firewall middlebox VM forwarding flow 1 -> flow 2.
+  int fw = rig.m0.add_vm({"fw", 1.0});
+  FlowSpec in = flow(1);
+  FlowSpec out = flow(2);
+  dp::ForwardApp::Config cfg;
+  cfg.capacity = 5_gbps;
+  cfg.egress_flow = out.id;
+  rig.m0.set_forward_app(fw, cfg);
+  rig.m0.route_flow_to_vm(in, fw);
+  rig.m0.route_flow_to_wire(out.id, "fw-out");
+  rig.m0.add_ingress_source("src", in, 1_gbps);
+  // fabric: flow 2 goes to m1, whose tenant VM consumes it.
+  rig.fabric.route_flow(out.id, &rig.m1);
+  int app_vm = rig.m1.add_vm({"app", 1.0});
+  rig.m1.set_sink_app(app_vm);
+  rig.m1.route_flow_to_vm(out, app_vm);
+
+  rig.sim.run_for(2_s);
+  // 1 Gbps for 2 s through firewall and fabric to the app: 250 MB.
+  double received =
+      static_cast<double>(rig.m1.app(app_vm)->stats().bytes_in.value());
+  EXPECT_NEAR(received, 250e6, 0.05 * 250e6);
+  EXPECT_EQ(rig.fabric.unrouted_packets(), 0u);
+}
+
+TEST(FabricTest, ExternalEgressCounted) {
+  TwoMachineRig rig;
+  int v = rig.m0.add_vm({"vm0", 1.0});
+  FlowSpec out = flow(9);
+  dp::SourceApp::Config cfg;
+  cfg.flow = out;
+  cfg.rate = 2_gbps;
+  rig.m0.set_source_app(v, cfg);
+  rig.m0.route_flow_to_wire(out.id, "to-internet");
+  rig.fabric.route_flow_external(out.id);
+
+  rig.sim.run_for(1_s);
+  EXPECT_NEAR(static_cast<double>(rig.fabric.external_bytes(out.id)), 250e6,
+              0.05 * 250e6);
+  EXPECT_GT(rig.fabric.external_packets(out.id), 150000u);
+}
+
+TEST(FabricTest, UnroutedFlowsCounted) {
+  TwoMachineRig rig;
+  int v = rig.m0.add_vm({"vm0", 1.0});
+  FlowSpec out = flow(9);
+  dp::SourceApp::Config cfg;
+  cfg.flow = out;
+  cfg.rate = 100_mbps;
+  rig.m0.set_source_app(v, cfg);
+  rig.m0.route_flow_to_wire(out.id, "nowhere");
+  // No fabric route installed.
+  rig.sim.run_for(Duration::millis(200));
+  EXPECT_GT(rig.fabric.unrouted_packets(), 0u);
+}
+
+TEST(FabricTest, ChainAcrossThreeMachinesWithBottleneck) {
+  sim::Simulator sim(Duration::millis(1));
+  vm::PhysicalMachine m0("m0", dp::StackParams{}, &sim);
+  vm::PhysicalMachine m1("m1", dp::StackParams{}, &sim);
+  vm::PhysicalMachine m2("m2", dp::StackParams{}, &sim);
+  SwitchFabric fabric;
+  fabric.attach(&m0);
+  fabric.attach(&m1);
+  fabric.attach(&m2);
+
+  // m0: load balancer (fast); m1: IPS limited to 300 Mbps; m2: server.
+  FlowSpec f_in = flow(1), f_lb = flow(2), f_ips = flow(3);
+  int lb = m0.add_vm({"lb", 1.0});
+  dp::ForwardApp::Config lb_cfg;
+  lb_cfg.capacity = 5_gbps;
+  lb_cfg.egress_flow = f_lb.id;
+  m0.set_forward_app(lb, lb_cfg);
+  m0.route_flow_to_vm(f_in, lb);
+  m0.route_flow_to_wire(f_lb.id, "lb-out");
+  m0.add_ingress_source("clients", f_in, 1_gbps);
+  fabric.route_flow(f_lb.id, &m1);
+
+  int ips = m1.add_vm({"ips", 1.0});
+  dp::ForwardApp::Config ips_cfg;
+  ips_cfg.capacity = 300_mbps;  // the chain's bottleneck
+  ips_cfg.egress_flow = f_ips.id;
+  m1.set_forward_app(ips, ips_cfg);
+  m1.route_flow_to_vm(f_lb, ips);
+  m1.route_flow_to_wire(f_ips.id, "ips-out");
+  fabric.route_flow(f_ips.id, &m2);
+
+  int server = m2.add_vm({"server", 1.0});
+  m2.set_sink_app(server);
+  m2.route_flow_to_vm(f_ips, server);
+
+  sim.run_for(2_s);
+  // End-to-end goodput equals the IPS capacity...
+  double received =
+      static_cast<double>(m2.app(server)->stats().bytes_in.value());
+  EXPECT_NEAR(received, 75e6, 0.08 * 75e6);  // 300 Mbps * 2 s
+  // ...and the loss is confined to the IPS VM's datapath on m1 (its guest
+  // socket), not to m0 or m2 — exactly what localizes the bottleneck.
+  EXPECT_GT(m1.guest_socket(ips)->stats().drop_pkts.value(), 10000u);
+  EXPECT_EQ(m0.guest_socket(lb)->stats().drop_pkts.value(), 0u);
+  EXPECT_EQ(m2.tun(server)->stats().drop_pkts.value(), 0u);
+}
+
+TEST(FabricTest, DiagnosisSpansMachines) {
+  TwoMachineRig rig;
+  Deployment dep(&rig.sim);
+  // Victim VM on m1 receives via fabric from a source "gateway" on m0's
+  // pNIC; a memory hog on m1 causes TUN drops there.
+  int v0 = rig.m0.add_vm({"relay", 1.0});
+  FlowSpec in = flow(1), relayed = flow(2);
+  dp::ForwardApp::Config cfg;
+  cfg.capacity = 5_gbps;
+  cfg.egress_flow = relayed.id;
+  rig.m0.set_forward_app(v0, cfg);
+  rig.m0.route_flow_to_vm(in, v0);
+  rig.m0.route_flow_to_wire(relayed.id, "relay-out");
+  rig.m0.add_ingress_source("src", in, DataRate::gbps(1.6));
+  rig.fabric.route_flow(relayed.id, &rig.m1);
+  int v1 = rig.m1.add_vm({"victim", 1.0});
+  int v2 = rig.m1.add_vm({"victim2", 1.0});
+  rig.m1.set_sink_app(v1);
+  rig.m1.set_sink_app(v2);
+  rig.m1.route_flow_to_vm(relayed, v1);
+  FlowSpec other = flow(3);
+  rig.m1.route_flow_to_vm(other, v2);
+  rig.m1.add_ingress_source("src2", other, DataRate::gbps(1.6));
+  rig.m1.add_mem_hog("hog")->set_demand_bytes_per_sec(60e9);
+
+  Agent* a0 = dep.add_agent("agent-m0");
+  Agent* a1 = dep.add_agent("agent-m1");
+  dep.attach(&rig.m0, a0);
+  dep.attach(&rig.m1, a1);
+  const TenantId tenant{1};
+  // The tenant owns elements on both machines -> both stacks get scanned.
+  PS_CHECK(dep.assign(tenant, rig.m0.tun(v0)->id(), a0).is_ok());
+  PS_CHECK(dep.assign(tenant, rig.m1.tun(v1)->id(), a1).is_ok());
+
+  rig.sim.run_for(3_s);
+  ContentionDetector det(dep.controller(), RuleBook::standard());
+  det.set_loss_threshold(100);
+  ContentionReport r =
+      det.diagnose(tenant, Duration::seconds(1.0), rig.m1.aux_signals());
+  ASSERT_TRUE(r.problem_found);
+  EXPECT_EQ(r.primary_location, ElementKind::kTun);
+  // The lossy TUNs are on m1.
+  EXPECT_EQ(r.ranked[0].id.name.substr(0, 2), "m1");
+}
+
+}  // namespace
+}  // namespace perfsight::cluster

@@ -1,0 +1,111 @@
+// Full Fig. 8 timeline as an integration test: every injected phase
+// produces its Table 1 drop location, quiet phases stay quiet, and
+// middlebox throughput dips during each disturbance and recovers after.
+#include <gtest/gtest.h>
+
+#include "cluster/scenarios.h"
+
+namespace perfsight::cluster {
+namespace {
+
+struct DropDeltas {
+  uint64_t pnic = 0, backlog = 0, tun_mb0 = 0, tun_mb1 = 0, tun_other = 0;
+  uint64_t total() const {
+    return pnic + backlog + tun_mb0 + tun_mb1 + tun_other;
+  }
+};
+
+class Fig8Integration : public ::testing::Test {
+ protected:
+  Fig8Integration() { scenario_.schedule_phases(kPhase); }
+
+  DropDeltas run_phase() {
+    auto snap = [&] {
+      DropDeltas d;
+      vm::PhysicalMachine& m = scenario_.machine();
+      d.pnic = m.pnic()->stats().drop_pkts.value();
+      d.backlog = m.backlog()->stats().drop_pkts.value();
+      d.tun_mb0 = m.tun(0)->stats().drop_pkts.value();
+      d.tun_mb1 = m.tun(1)->stats().drop_pkts.value();
+      for (int i = 2; i < m.num_vms(); ++i) {
+        d.tun_other += m.tun(i)->stats().drop_pkts.value();
+      }
+      return d;
+    };
+    DropDeltas before = snap();
+    scenario_.sim().run_for(kPhase);
+    DropDeltas after = snap();
+    DropDeltas delta;
+    delta.pnic = after.pnic - before.pnic;
+    delta.backlog = after.backlog - before.backlog;
+    delta.tun_mb0 = after.tun_mb0 - before.tun_mb0;
+    delta.tun_mb1 = after.tun_mb1 - before.tun_mb1;
+    delta.tun_other = after.tun_other - before.tun_other;
+    return delta;
+  }
+
+  static constexpr Duration kPhase = Duration::seconds(2.0);
+  Fig8Scenario scenario_;
+};
+
+TEST_F(Fig8Integration, AllPhasesMatchTable1) {
+  // Phase 0: baseline — quiet.
+  DropDeltas d = run_phase();
+  EXPECT_LT(d.total(), 3000u) << "baseline should be loss-free";
+
+  // Phase 1: rx flood — pNIC dominates.
+  d = run_phase();
+  EXPECT_GT(d.pnic, 100000u);
+  EXPECT_GT(d.pnic, 5 * (d.total() - d.pnic));
+
+  run_phase();  // recovery
+
+  // Phase 3: egress small-packet flood — backlog dominates.
+  d = run_phase();
+  EXPECT_GT(d.backlog, 100000u);
+  EXPECT_GT(d.backlog, 5 * (d.total() - d.backlog));
+
+  run_phase();  // recovery
+
+  // Phase 5: tenant CPU hogs — TUN drops across tenant VMs.
+  d = run_phase();
+  EXPECT_GT(d.tun_other, 10000u);
+  EXPECT_EQ(d.pnic, 0u);
+
+  run_phase();  // recovery
+
+  // Phase 7: tenant memory hogs — TUN drops again (shared-resource).
+  d = run_phase();
+  EXPECT_GT(d.tun_mb0 + d.tun_mb1 + d.tun_other, 10000u);
+  EXPECT_EQ(d.pnic, 0u);
+
+  run_phase();  // recovery
+
+  // Phase 9: CPU hog inside mb0 — ONLY mb0's TUN drops.
+  d = run_phase();
+  EXPECT_GT(d.tun_mb0, 10000u);
+  EXPECT_EQ(d.tun_mb1, 0u);
+  EXPECT_LT(d.tun_other, 3000u);
+
+  // Final recovery: quiet again.
+  d = run_phase();
+  EXPECT_LT(d.total(), 3000u);
+}
+
+TEST_F(Fig8Integration, ThroughputDipsAndRecovers) {
+  scenario_.mb_throughput(kPhase);  // reset the meter
+  std::vector<double> series;
+  for (int p = 0; p < 11; ++p) {
+    scenario_.sim().run_for(kPhase);
+    series.push_back(scenario_.mb_throughput(kPhase).mbits_per_sec());
+  }
+  // Baseline ~800 Mbps (two 400 Mbps middlebox flows).
+  EXPECT_NEAR(series[0], 800, 80);
+  // The mb-internal hog phase halves it (one of two flows dies)...
+  EXPECT_LT(series[9], 600);
+  // ...and it recovers afterwards.
+  EXPECT_NEAR(series[10], 800, 80);
+}
+
+}  // namespace
+}  // namespace perfsight::cluster

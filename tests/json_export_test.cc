@@ -1,0 +1,114 @@
+// JSON export: escaping, numbers, and the report shapes dashboards consume.
+#include "perfsight/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace perfsight::json {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(JsonNumberTest, IntegersPrintExactly) {
+  EXPECT_EQ(number(42), "42");
+  EXPECT_EQ(number(-7), "-7");
+  EXPECT_EQ(number(1234567890123.0), "1234567890123");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(number(std::nan("")), "null");
+  EXPECT_EQ(number(1.0 / 0.0 * 1.0), "null");
+}
+
+TEST(JsonRecordTest, SerializesRecord) {
+  StatsRecord r;
+  r.timestamp = SimTime::millis(5);
+  r.element = ElementId{"m0/vm1/tun"};
+  r.attrs = {{"rxPkts", 10}, {"dropPkts", 2}};
+  EXPECT_EQ(to_json(r),
+            "{\"timestampNs\":5000000,\"element\":\"m0/vm1/tun\","
+            "\"attrs\":{\"rxPkts\":10,\"dropPkts\":2}}");
+}
+
+TEST(JsonContentionTest, SerializesReport) {
+  ContentionReport r;
+  r.problem_found = true;
+  r.primary_location = ElementKind::kTun;
+  r.spread = LossSpread::kMultiVm;
+  r.is_contention = true;
+  r.candidate_resources = {ResourceKind::kMemoryBandwidth};
+  r.affected_vms = {0, 1};
+  r.ranked.push_back({ElementId{"m0/vm0/tun"}, ElementKind::kTun, 0, 500});
+  r.ranked.push_back({ElementId{"m0/pnic"}, ElementKind::kPNic, -1, 0});
+  r.narrative = "loss at TUN";
+  std::string j = to_json(r);
+  EXPECT_NE(j.find("\"classification\":\"contention\""), std::string::npos);
+  EXPECT_NE(j.find("\"memory-bandwidth\""), std::string::npos);
+  EXPECT_NE(j.find("\"affectedVms\":[0,1]"), std::string::npos);
+  // Zero-loss entries are omitted from rankedLosses.
+  EXPECT_EQ(j.find("m0/pnic"), std::string::npos);
+  EXPECT_NE(j.find("\"lossPkts\":500"), std::string::npos);
+}
+
+TEST(JsonContentionTest, HealthyReport) {
+  ContentionReport r;
+  std::string j = to_json(r);
+  EXPECT_NE(j.find("\"problemFound\":false"), std::string::npos);
+  EXPECT_NE(j.find("\"classification\":\"healthy\""), std::string::npos);
+}
+
+TEST(JsonRootCauseTest, SerializesReport) {
+  RootCauseReport r;
+  MbObservation o;
+  o.id = ElementId{"lb"};
+  o.state = MbState::kWriteBlocked;
+  o.in_rate_mbps = 320.5;
+  o.out_rate_mbps = 32;
+  o.capacity_mbps = 100;
+  r.observations.push_back(o);
+  r.root_causes.push_back(ElementId{"server"});
+  r.root_cause_roles.push_back(MbRole::kOverloaded);
+  r.narrative = "root cause: server";
+  std::string j = to_json(r);
+  EXPECT_NE(j.find("\"state\":\"WriteBlocked\""), std::string::npos);
+  EXPECT_NE(j.find("\"inRateMbps\":320.5"), std::string::npos);
+  EXPECT_NE(j.find("{\"element\":\"server\",\"role\":\"Overloaded\"}"),
+            std::string::npos);
+}
+
+// A light structural sanity check: braces and quotes balance.
+TEST(JsonTest, BalancedStructure) {
+  RootCauseReport r;
+  r.root_causes.push_back(ElementId{"x\"y"});  // hostile name
+  r.root_cause_roles.push_back(MbRole::kUnknown);
+  std::string j = to_json(r);
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < j.size(); ++i) {
+    char c = j[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_str);
+}
+
+}  // namespace
+}  // namespace perfsight::json

@@ -1,0 +1,278 @@
+// End-to-end behaviour of a single PhysicalMachine: traffic flows through
+// the full element pipeline, and each induced resource shortage produces
+// drops at the Table 1 location — the mechanical basis of the rule book.
+#include "vm/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace perfsight::vm {
+namespace {
+
+using namespace literals;
+
+FlowSpec ingress_flow(uint32_t id, int dst_vm, uint32_t pkt_size = 1500) {
+  FlowSpec f;
+  f.id = FlowId{id};
+  f.label = "flow" + std::to_string(id);
+  f.dst_vm = VmId{static_cast<uint32_t>(dst_vm)};
+  f.direction = FlowDirection::kIngress;
+  f.packet_size = pkt_size;
+  return f;
+}
+
+class MachineTest : public ::testing::Test {
+ protected:
+  MachineTest() : sim_(Duration::millis(1)) {}
+
+  PhysicalMachine& make_machine(dp::StackParams params = {}) {
+    machine_ = std::make_unique<PhysicalMachine>("m0", params, &sim_);
+    return *machine_;
+  }
+
+  // Received application bytes of vm over the run.
+  uint64_t app_rx_bytes(int vm) {
+    return machine_->app(vm)->stats().bytes_in.value();
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<PhysicalMachine> machine_;
+};
+
+TEST_F(MachineTest, IngressTrafficReachesSinkApp) {
+  auto& m = make_machine();
+  int vm0 = m.add_vm({"vm0", 1.0});
+  m.set_sink_app(vm0);
+  FlowSpec f = ingress_flow(1, vm0);
+  m.route_flow_to_vm(f, vm0);
+  m.add_ingress_source("src", f, 500_mbps);
+
+  sim_.run_for(2_s);
+
+  // 500 Mbps for 2 s = 125 MB end to end (pipeline latency is a few ms).
+  double received = static_cast<double>(app_rx_bytes(vm0));
+  EXPECT_NEAR(received, 125e6, 0.03 * 125e6);
+  // The healthy path drops nothing.
+  EXPECT_EQ(m.tun(vm0)->stats().drop_pkts.value(), 0u);
+  EXPECT_EQ(m.pnic()->stats().drop_pkts.value(), 0u);
+  EXPECT_EQ(m.backlog()->stats().drop_pkts.value(), 0u);
+}
+
+TEST_F(MachineTest, TwoVmsShareLineRateCleanly) {
+  auto& m = make_machine();
+  int a = m.add_vm({"vm0", 1.0});
+  int b = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(a);
+  m.set_sink_app(b);
+  FlowSpec fa = ingress_flow(1, a), fb = ingress_flow(2, b);
+  m.route_flow_to_vm(fa, a);
+  m.route_flow_to_vm(fb, b);
+  m.add_ingress_source("sa", fa, 2_gbps);
+  m.add_ingress_source("sb", fb, 3_gbps);
+
+  sim_.run_for(1_s);
+  EXPECT_NEAR(static_cast<double>(app_rx_bytes(a)), 250e6, 0.05 * 250e6);
+  EXPECT_NEAR(static_cast<double>(app_rx_bytes(b)), 375e6, 0.05 * 375e6);
+}
+
+TEST_F(MachineTest, IncomingOverloadDropsAtPNic) {
+  auto& m = make_machine();
+  int a = m.add_vm({"vm0", 1.0});
+  int b = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(a);
+  m.set_sink_app(b);
+  FlowSpec fa = ingress_flow(1, a), fb = ingress_flow(2, b);
+  m.route_flow_to_vm(fa, a);
+  m.route_flow_to_vm(fb, b);
+  // 14 Gbps offered into a 10 Gbps NIC.
+  m.add_ingress_source("sa", fa, 7_gbps);
+  m.add_ingress_source("sb", fb, 7_gbps);
+
+  sim_.run_for(1_s);
+
+  uint64_t pnic_drops = m.pnic()->stats().drop_pkts.value();
+  EXPECT_GT(pnic_drops, 100000u);  // ~4 Gbps of 1500 B packets lost
+  // pNIC dominates all other drop locations.
+  EXPECT_GT(pnic_drops, 10 * m.tun(a)->stats().drop_pkts.value());
+  EXPECT_GT(pnic_drops, 10 * m.backlog()->stats().drop_pkts.value());
+}
+
+TEST_F(MachineTest, VmCpuHogDropsOnlyThatVmsTun) {
+  auto& m = make_machine();
+  int victim = m.add_vm({"vm0", 1.0});
+  int healthy = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(victim);
+  m.set_sink_app(healthy);
+  FlowSpec fv = ingress_flow(1, victim), fh = ingress_flow(2, healthy);
+  m.route_flow_to_vm(fv, victim);
+  m.route_flow_to_vm(fh, healthy);
+  m.add_ingress_source("sv", fv, 500_mbps);
+  m.add_ingress_source("sh", fh, 500_mbps);
+  CpuHog* hog = m.add_vm_cpu_hog(victim);
+  hog->set_demand_cores(1.0);
+
+  sim_.run_for(2_s);
+
+  EXPECT_GT(m.tun(victim)->stats().drop_pkts.value(), 1000u);
+  EXPECT_EQ(m.tun(healthy)->stats().drop_pkts.value(), 0u);
+  // The healthy VM's traffic is unaffected.
+  EXPECT_NEAR(static_cast<double>(app_rx_bytes(healthy)), 125e6,
+              0.05 * 125e6);
+}
+
+TEST_F(MachineTest, MemoryBandwidthContentionDropsAtAllTuns) {
+  auto& m = make_machine();
+  int a = m.add_vm({"vm0", 1.0});
+  int b = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(a);
+  m.set_sink_app(b);
+  FlowSpec fa = ingress_flow(1, a), fb = ingress_flow(2, b);
+  m.route_flow_to_vm(fa, a);
+  m.route_flow_to_vm(fb, b);
+  m.add_ingress_source("sa", fa, DataRate::gbps(1.6));
+  m.add_ingress_source("sb", fb, DataRate::gbps(1.6));
+  MemHog* hog = m.add_mem_hog("mem-hog");
+  hog->set_demand_bytes_per_sec(24e9);  // squeeze the 25 GB/s bus
+
+  sim_.run_for(2_s);
+
+  EXPECT_GT(m.tun(a)->stats().drop_pkts.value(), 1000u);
+  EXPECT_GT(m.tun(b)->stats().drop_pkts.value(), 1000u);
+  // The hog got most of what it asked for (weights favour memcpy streams).
+  EXPECT_GT(hog->achieved_bytes_per_sec(), 16e9);
+}
+
+TEST_F(MachineTest, SmallPacketEgressFloodDropsAtBacklogEnqueue) {
+  dp::StackParams params;
+  params.pnic_rate = 1_gbps;             // Fig. 10 machine has a 1 GbE NIC
+  params.softirq_cost_per_pkt = 3.2e-6;  // slower host: ~312 Kpps per core
+  params.qemu_cost_per_pkt = 0.25e-6;
+  auto& m = make_machine(params);
+  int rx_vm = m.add_vm({"vm0", 1.0});
+  int flood_vm = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(rx_vm);
+  FlowSpec fin = ingress_flow(1, rx_vm);
+  m.route_flow_to_vm(fin, rx_vm);
+  m.add_ingress_source("rx", fin, 500_mbps);
+
+  FlowSpec flood = ingress_flow(2, 0, /*pkt_size=*/64);
+  flood.direction = FlowDirection::kEgress;
+  flood.src_vm = VmId{static_cast<uint32_t>(flood_vm)};
+  dp::SourceApp::Config cfg;
+  cfg.flow = flood;
+  cfg.rate = 1_gbps;  // ~2 Mpps of 64 B packets
+  cfg.cost_per_pkt = 0.05e-6;
+  m.set_source_app(flood_vm, cfg);
+  m.route_flow_to_wire(flood.id, "flood-out");
+  // Victim rx and flood tx share a core's backlog queue.
+  m.pin_flow_to_core(fin.id, 0);
+  m.pin_flow_to_core(flood.id, 0);
+
+  sim_.run_for(2_s);
+
+  uint64_t backlog_drops = m.backlog()->stats().drop_pkts.value();
+  EXPECT_GT(backlog_drops, 1000000u);
+  // The victim's goodput collapses far below its 500 Mbps offer.
+  EXPECT_LT(static_cast<double>(app_rx_bytes(rx_vm)), 0.35 * 125e6);
+}
+
+TEST_F(MachineTest, MemorySpacePressureShrinksTunAndDrops) {
+  dp::StackParams params;
+  params.tun_queue_bytes = 512 * 1024;
+  auto& m = make_machine(params);
+  int a = m.add_vm({"vm0", 1.0});
+  m.set_sink_app(a);
+  FlowSpec f = ingress_flow(1, a);
+  m.route_flow_to_vm(f, a);
+  m.add_ingress_source("s", f, 2_gbps);
+  // Steal almost the whole buffer budget: TUN caps collapse to the floor.
+  m.set_memory_pressure_bytes(params.buffer_memory_bytes - 4096);
+
+  sim_.run_for(1_s);
+  EXPECT_GT(m.tun(a)->stats().drop_pkts.value(), 1000u);
+}
+
+TEST_F(MachineTest, ForwardAppBottleneckDropsAtGuestSocket) {
+  auto& m = make_machine();
+  int mb = m.add_vm({"vm0", 1.0});
+  FlowSpec in = ingress_flow(1, mb);
+  FlowSpec out = ingress_flow(2, -1);
+  dp::ForwardApp::Config cfg;
+  cfg.capacity = 200_mbps;  // middlebox can only process 200 Mbps
+  cfg.egress_flow = out.id;
+  m.set_forward_app(mb, cfg);
+  m.route_flow_to_vm(in, mb);
+  m.route_flow_to_wire(out.id, "mb-out");
+  m.add_ingress_source("s", in, 500_mbps);
+
+  sim_.run_for(2_s);
+
+  // Drops confined to this VM's guest socket (the bottleneck-middlebox
+  // signature), and egress runs at the middlebox capacity.
+  EXPECT_GT(m.guest_socket(mb)->stats().drop_pkts.value(), 1000u);
+  double egress = static_cast<double>(m.app(mb)->stats().bytes_out.value());
+  EXPECT_NEAR(egress, 50e6, 0.05 * 50e6);  // 200 Mbps * 2 s
+}
+
+TEST_F(MachineTest, EgressReachesWire) {
+  auto& m = make_machine();
+  int vm0 = m.add_vm({"vm0", 1.0});
+  FlowSpec out = ingress_flow(5, -1);
+  out.direction = FlowDirection::kEgress;
+  dp::SourceApp::Config cfg;
+  cfg.flow = out;
+  cfg.rate = 1_gbps;
+  m.set_source_app(vm0, cfg);
+  m.route_flow_to_wire(out.id, "out");
+
+  uint64_t delivered = 0;
+  m.pnic()->set_tx_sink([&](PacketBatch b) { delivered += b.bytes; });
+  sim_.run_for(1_s);
+  EXPECT_NEAR(static_cast<double>(delivered), 125e6, 0.05 * 125e6);
+}
+
+TEST_F(MachineTest, AuxSignalsReflectLoad) {
+  auto& m = make_machine();
+  int vm0 = m.add_vm({"vm0", 1.0});
+  FlowSpec out = ingress_flow(5, -1);
+  dp::SourceApp::Config cfg;
+  cfg.flow = out;
+  cfg.rate = 8_gbps;
+  m.set_source_app(vm0, cfg);
+  m.route_flow_to_wire(out.id, "out");
+  sim_.run_for(2_s);
+
+  AuxSignals aux = m.aux_signals();
+  EXPECT_GT(aux.nic_tx_throughput.gbits_per_sec(), 5.0);
+  EXPECT_EQ(aux.nic_capacity.gbits_per_sec(), 10.0);
+}
+
+
+TEST_F(MachineTest, VnicRateCapBottlenecksOneVm) {
+  auto& m = make_machine();
+  VmConfig capped;
+  capped.name = "vm0";
+  capped.vnic_rate = 200_mbps;  // tenant bought a small vNIC
+  int small = m.add_vm(capped);
+  int big = m.add_vm({"vm1", 1.0});
+  m.set_sink_app(small);
+  m.set_sink_app(big);
+  FlowSpec fs = ingress_flow(1, small), fb = ingress_flow(2, big);
+  m.route_flow_to_vm(fs, small);
+  m.route_flow_to_vm(fb, big);
+  m.add_ingress_source("ss", fs, 500_mbps);
+  m.add_ingress_source("sb", fb, 500_mbps);
+
+  sim_.run_for(2_s);
+  // The capped VM receives ~200 Mbps and its TUN drops the excess; the
+  // uncapped neighbour is untouched -- the VM-bottleneck (bandwidth)
+  // variant of Table 1.
+  EXPECT_NEAR(static_cast<double>(app_rx_bytes(small)), 50e6, 0.08 * 50e6);
+  EXPECT_NEAR(static_cast<double>(app_rx_bytes(big)), 125e6, 0.05 * 125e6);
+  EXPECT_GT(m.tun(small)->stats().drop_pkts.value(), 1000u);
+  EXPECT_EQ(m.tun(big)->stats().drop_pkts.value(), 0u);
+}
+
+}  // namespace
+}  // namespace perfsight::vm

@@ -1,0 +1,110 @@
+// PNic model: line-rate admission (proportional across senders), DMA-ring
+// overflow, tx-ring draining, and the drop accounting behind the
+// incoming/outgoing-bandwidth rule-book rows.
+#include "dataplane/pnic.h"
+
+#include <gtest/gtest.h>
+
+namespace perfsight::dp {
+namespace {
+
+using namespace literals;
+
+PacketBatch batch(uint32_t flow, uint64_t pkts, uint64_t size = 1500) {
+  return PacketBatch{FlowId{flow}, pkts, pkts * size};
+}
+
+const SimTime kNow;
+const Duration kTick = Duration::millis(1);
+
+TEST(PNicTest, AdmitsWithinLineRate) {
+  PNic nic(ElementId{"pnic"}, {1_gbps, 4096, 4096});
+  // 1 Gbps / 1ms tick = 125000 bytes = 83 full packets.
+  nic.offer_rx(batch(1, 80));
+  nic.step(kNow, kTick);  // admits staged offers
+  EXPECT_EQ(nic.stats().pkts_in.value(), 80u);
+  EXPECT_EQ(nic.stats().drop_pkts.value(), 0u);
+  PacketBatch got = nic.fetch_rx(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(got.packets, 80u);
+}
+
+TEST(PNicTest, ClampsBeyondLineRateProportionally) {
+  PNic nic(ElementId{"pnic"}, {1_gbps, 4096, 4096});
+  nic.step(kNow, kTick);
+  // Two senders offer 120 packets each = 360000 bytes against a 125000
+  // budget: both should be cut to ~41-42 packets, not first-come-wins.
+  nic.offer_rx(batch(1, 120));
+  nic.offer_rx(batch(2, 120));
+  nic.step(kNow + kTick, kTick);
+  uint64_t in_pkts = nic.stats().pkts_in.value();
+  EXPECT_NEAR(static_cast<double>(in_pkts), 83, 3);
+  EXPECT_NEAR(static_cast<double>(nic.stats().drop_pkts.value()), 240 - 83, 3);
+  // Both flows survive in roughly equal measure.
+  PacketBatch a = nic.fetch_rx(UINT64_MAX, UINT64_MAX);
+  PacketBatch b = nic.fetch_rx(UINT64_MAX, UINT64_MAX);
+  EXPECT_NEAR(static_cast<double>(a.packets),
+              static_cast<double>(b.packets), 3);
+}
+
+TEST(PNicTest, RingOverflowWhenHostIsSlow) {
+  PNic nic(ElementId{"pnic"}, {10_gbps, /*rx_ring=*/100, 4096});
+  for (int tick = 0; tick < 5; ++tick) {
+    nic.offer_rx(batch(1, 80));
+    nic.step(kNow, kTick);
+    // Nobody polls the ring.
+  }
+  EXPECT_EQ(nic.rx_queued_packets(), 100u);
+  EXPECT_GT(nic.rx_dropped_packets(), 0u);
+  // All drops visible through the standard counter too.
+  EXPECT_EQ(nic.stats().drop_pkts.value(), nic.rx_dropped_packets());
+}
+
+TEST(PNicTest, TxDrainsAtLineRate) {
+  PNic nic(ElementId{"pnic"}, {1_gbps, 4096, 4096});
+  uint64_t delivered_pkts = 0;
+  nic.set_tx_sink([&](PacketBatch b) { delivered_pkts += b.packets; });
+  nic.accept(batch(7, 1000));  // ~12 ticks of backlog at 1 Gbps
+  for (int tick = 0; tick < 6; ++tick) nic.step(kNow, kTick);
+  // 6 ticks * 83 pkts.
+  EXPECT_NEAR(static_cast<double>(delivered_pkts), 500, 10);
+  for (int tick = 0; tick < 10; ++tick) nic.step(kNow, kTick);
+  EXPECT_EQ(delivered_pkts, 1000u);
+  EXPECT_EQ(nic.tx_wire_bytes(), 1000u * 1500u);
+}
+
+TEST(PNicTest, TxRingOverflowIsOutgoingDrop) {
+  PNic nic(ElementId{"pnic"}, {1_gbps, 4096, /*tx_ring=*/100});
+  nic.accept(batch(7, 250));
+  EXPECT_EQ(nic.tx_dropped_packets(), 150u);
+  StatsRecord r = nic.collect(kNow);
+  EXPECT_EQ(r.get("txDropPkts"), 150.0);
+  EXPECT_EQ(r.get("rxDropPkts"), 0.0);
+}
+
+TEST(PNicTest, CapacityExportedForDiagnosis) {
+  PNic nic(ElementId{"pnic"}, {10_gbps, 4096, 4096});
+  StatsRecord r = nic.collect(kNow);
+  EXPECT_EQ(r.get(attr::kCapacityMbps), 10000.0);
+}
+
+TEST(PNicTest, FetchBudgetsRespected) {
+  PNic nic(ElementId{"pnic"}, {10_gbps, 4096, 4096});
+  nic.offer_rx(batch(1, 200));
+  nic.step(kNow, kTick);
+  PacketBatch got = nic.fetch_rx(50, UINT64_MAX);
+  EXPECT_EQ(got.packets, 50u);
+  got = nic.fetch_rx(UINT64_MAX, 30000);  // 20 packets' worth
+  EXPECT_EQ(got.packets, 20u);
+}
+
+TEST(PNicTest, NoCarryOfUnusedLineBudget) {
+  PNic nic(ElementId{"pnic"}, {1_gbps, 4096, 4096});
+  // Idle ticks must not bank budget for a later burst.
+  for (int i = 0; i < 10; ++i) nic.step(kNow, kTick);
+  nic.offer_rx(batch(1, 200));  // 300000 bytes vs one tick's 125000
+  nic.step(kNow, kTick);
+  EXPECT_NEAR(static_cast<double>(nic.stats().pkts_in.value()), 83, 3);
+}
+
+}  // namespace
+}  // namespace perfsight::dp

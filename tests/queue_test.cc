@@ -1,0 +1,143 @@
+#include "packet/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "packet/flow.h"
+
+namespace perfsight {
+namespace {
+
+PacketBatch batch(uint32_t flow, uint64_t pkts, uint64_t pkt_size = 1500) {
+  return PacketBatch{FlowId{flow}, pkts, pkts * pkt_size};
+}
+
+TEST(BatchTest, TakeFrontSplitsConservatively) {
+  PacketBatch b = batch(1, 100);
+  PacketBatch front = take_front(b, 30, UINT64_MAX);
+  EXPECT_EQ(front.packets, 30u);
+  EXPECT_EQ(b.packets, 70u);
+  EXPECT_EQ(front.bytes + b.bytes, 150000u);
+}
+
+TEST(BatchTest, TakeFrontByteLimited) {
+  PacketBatch b = batch(1, 100);
+  PacketBatch front = take_front(b, UINT64_MAX, 15000);  // 10 packets' worth
+  EXPECT_EQ(front.packets, 10u);
+  EXPECT_EQ(b.packets, 90u);
+}
+
+TEST(BatchTest, TakeFrontWholeBatch) {
+  PacketBatch b = batch(2, 5);
+  PacketBatch front = take_front(b, 100, UINT64_MAX);
+  EXPECT_EQ(front.packets, 5u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(QueueTest, EnqueueDequeueFifo) {
+  BoundedPacketQueue q;
+  q.enqueue(batch(1, 10));
+  q.enqueue(batch(2, 5));
+  PacketBatch a = q.dequeue(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(a.flow, FlowId{1});
+  EXPECT_EQ(a.packets, 10u);
+  PacketBatch b = q.dequeue(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(b.flow, FlowId{2});
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QueueTest, PacketCapDropsTail) {
+  BoundedPacketQueue q(QueueCaps{300, UINT64_MAX});
+  q.enqueue(batch(1, 250));
+  q.enqueue(batch(2, 100));
+  EXPECT_EQ(q.packets(), 300u);
+  EXPECT_EQ(q.dropped_packets(), 50u);
+  EXPECT_EQ(q.dropped_packets_for(FlowId{2}), 50u);
+  EXPECT_EQ(q.dropped_packets_for(FlowId{1}), 0u);
+}
+
+TEST(QueueTest, ByteCapDropsTail) {
+  BoundedPacketQueue q(QueueCaps{UINT64_MAX, 15000});
+  q.enqueue(batch(1, 20));  // 30000 bytes offered
+  EXPECT_EQ(q.bytes(), 15000u);
+  EXPECT_EQ(q.dropped_packets(), 10u);
+}
+
+TEST(QueueTest, FullQueueRejectsEverything) {
+  BoundedPacketQueue q(QueueCaps{10, UINT64_MAX});
+  q.enqueue(batch(1, 10));
+  uint64_t accepted = q.enqueue(batch(1, 5));
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_EQ(q.dropped_packets(), 5u);
+}
+
+TEST(QueueTest, PartialDequeueSplitsHead) {
+  BoundedPacketQueue q;
+  q.enqueue(batch(1, 100));
+  PacketBatch out = q.dequeue(30, UINT64_MAX);
+  EXPECT_EQ(out.packets, 30u);
+  EXPECT_EQ(q.packets(), 70u);
+  PacketBatch rest = q.dequeue(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(rest.packets, 70u);
+}
+
+TEST(QueueTest, DequeueRespectsByteBudget) {
+  BoundedPacketQueue q;
+  q.enqueue(batch(1, 100));
+  PacketBatch out = q.dequeue(UINT64_MAX, 4500);  // 3 packets
+  EXPECT_EQ(out.packets, 3u);
+}
+
+TEST(QueueTest, SameFlowBatchesMerge) {
+  BoundedPacketQueue q;
+  for (int i = 0; i < 1000; ++i) q.enqueue(batch(7, 1));
+  EXPECT_EQ(q.packets(), 1000u);
+  // A single dequeue drains the whole merged run.
+  PacketBatch out = q.dequeue(UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(out.packets, 1000u);
+}
+
+// Conservation property: enqueued = dequeued + dropped + still queued.
+class QueueConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueueConservationTest, PacketsAndBytesConserved) {
+  Pcg32 rng(GetParam());
+  BoundedPacketQueue q(QueueCaps{200 + rng.next_below(500),
+                                 100000 + rng.next_below(1000000)});
+  uint64_t in_pkts = 0, in_bytes = 0, out_pkts = 0, out_bytes = 0;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t flow = rng.next_below(5);
+    uint64_t pkts = 1 + rng.next_below(120);
+    uint64_t size = 64 + rng.next_below(1436);
+    PacketBatch b = batch(flow, pkts, size);
+    in_pkts += b.packets;
+    in_bytes += b.bytes;
+    q.enqueue(b);
+    if (rng.next_below(2) == 0) {
+      PacketBatch out = q.dequeue(rng.next_below(300), rng.next_below(400000));
+      out_pkts += out.packets;
+      out_bytes += out.bytes;
+    }
+  }
+  EXPECT_EQ(in_pkts, out_pkts + q.dropped_packets() + q.packets());
+  EXPECT_EQ(in_bytes, out_bytes + q.dropped_bytes() + q.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueConservationTest,
+                         ::testing::Values(1, 7, 21, 303, 777, 31337));
+
+TEST(FlowSpecTest, MakeBatch) {
+  FlowSpec f;
+  f.id = FlowId{9};
+  f.packet_size = 100;
+  PacketBatch b = f.make_batch(7);
+  EXPECT_EQ(b.packets, 7u);
+  EXPECT_EQ(b.bytes, 700u);
+  PacketBatch c = f.make_batch_bytes(250);
+  EXPECT_EQ(c.packets, 2u);
+  PacketBatch d = f.make_batch_bytes(50);  // sub-packet rounds up to 1
+  EXPECT_EQ(d.packets, 1u);
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,264 @@
+// Algorithm 2 unit tests against scripted middlebox statistics — no
+// simulator, just counter deltas — exercising the state classification and
+// candidate filtering on chains, branches, and edge cases.
+#include "perfsight/rootcause.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "perfsight/agent.h"
+#include "perfsight/controller.h"
+
+namespace perfsight {
+namespace {
+
+// A middlebox whose per-second counter increments are scripted:
+//   in_rate/out_rate are b/t values in Mbps; *_busy sets how much of each
+//   second the side spends in its I/O methods.
+struct ScriptedMb : StatsSource {
+  ScriptedMb(std::string n, double capacity) : id_{std::move(n)}, cap(capacity) {}
+
+  ElementId id() const override { return id_; }
+  ChannelKind channel_kind() const override { return ChannelKind::kMbSocket; }
+  StatsRecord collect(SimTime now) const override {
+    StatsRecord r;
+    r.timestamp = now;
+    r.element = id_;
+    r.attrs = {{attr::kInBytes, in_bytes},
+               {attr::kInTimeNs, in_time_ns},
+               {attr::kOutBytes, out_bytes},
+               {attr::kOutTimeNs, out_time_ns},
+               {attr::kCapacityMbps, cap}};
+    return r;
+  }
+
+  // Advances one second of scripted behaviour: the side moves `rate_mbps`
+  // worth of bytes while spending `time_frac` of the second in its I/O
+  // method (so b/t = rate/time_frac).
+  void advance_in(double rate_mbps, double time_frac) {
+    in_bytes += rate_mbps * 1e6 / 8;
+    in_time_ns += time_frac * 1e9;
+  }
+  void advance_out(double rate_mbps, double time_frac) {
+    out_bytes += rate_mbps * 1e6 / 8;
+    out_time_ns += time_frac * 1e9;
+  }
+
+  ElementId id_;
+  double cap;
+  double in_bytes = 0, in_time_ns = 0, out_bytes = 0, out_time_ns = 0;
+};
+
+class RootCauseUnit : public ::testing::Test {
+ protected:
+  RootCauseUnit()
+      : agent_("a0"),
+        controller_([this](Duration d) { return advance(d); },
+                    [this] { return now_; }) {
+    controller_.register_agent(&agent_);
+  }
+
+  ScriptedMb* mb(const std::string& name, double cap = 100) {
+    mbs_.push_back(std::make_unique<ScriptedMb>(name, cap));
+    ScriptedMb* m = mbs_.back().get();
+    PS_CHECK(agent_.add_element(m).is_ok());
+    PS_CHECK(
+        controller_.register_element(kTenant, m->id(), &agent_).is_ok());
+    controller_.register_middlebox(kTenant, m->id());
+    return m;
+  }
+  void edge(ScriptedMb* a, ScriptedMb* b) {
+    controller_.add_chain_edge(kTenant, a->id(), b->id());
+  }
+  SimTime advance(Duration d) {
+    now_ = now_ + d;
+    double secs = d.sec();
+    for (auto& fn : per_second_) fn(secs);
+    return now_;
+  }
+  // Registers scripted per-second behaviour applied during the window.
+  void behavior(std::function<void(double)> fn) {
+    per_second_.push_back(std::move(fn));
+  }
+  RootCauseReport analyze() {
+    RootCauseAnalyzer analyzer(&controller_);
+    return analyzer.analyze(kTenant, Duration::seconds(1.0));
+  }
+  static MbState state_of(const RootCauseReport& r, ScriptedMb* m) {
+    for (const MbObservation& o : r.observations) {
+      if (o.id == m->id()) return o.state;
+    }
+    ADD_FAILURE() << "no observation for " << m->id_.name;
+    return MbState::kNormal;
+  }
+
+  static constexpr TenantId kTenant{1};
+  SimTime now_;
+  Agent agent_;
+  Controller controller_;
+  std::vector<std::unique_ptr<ScriptedMb>> mbs_;
+  std::vector<std::function<void(double)>> per_second_;
+};
+
+TEST_F(RootCauseUnit, ReadBlockedWhenInputRateBelowCapacity) {
+  ScriptedMb* m = mb("relay");
+  behavior([m](double s) {
+    m->advance_in(20 * s, 0.9 * s);   // 20 Mbps over 0.9s of read time
+    m->advance_out(20 * s, 0.05 * s); // writes fast
+  });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, m), MbState::kReadBlocked);
+}
+
+TEST_F(RootCauseUnit, WriteBlockedWhenOutputRateBelowCapacity) {
+  ScriptedMb* m = mb("relay");
+  behavior([m](double s) {
+    m->advance_in(20 * s, 0.001 * s);  // reads return instantly
+    m->advance_out(20 * s, 0.9 * s);   // writes crawl
+  });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, m), MbState::kWriteBlocked);
+}
+
+TEST_F(RootCauseUnit, BusyMiddleboxIsNormal) {
+  ScriptedMb* m = mb("encoder");
+  behavior([m](double s) {
+    // Moves little data but each I/O call is fast (processing dominates).
+    m->advance_in(20 * s, 0.01 * s);
+    m->advance_out(20 * s, 0.01 * s);
+  });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, m), MbState::kNormal);
+  ASSERT_EQ(r.root_causes.size(), 1u);
+}
+
+TEST_F(RootCauseUnit, ReadBlockedPrecedesWriteBlockedInClassification) {
+  // Algorithm 2 checks the input side first (lines 12-15).
+  ScriptedMb* m = mb("relay");
+  behavior([m](double s) {
+    m->advance_in(10 * s, 0.5 * s);
+    m->advance_out(10 * s, 0.5 * s);
+  });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, m), MbState::kReadBlocked);
+}
+
+TEST_F(RootCauseUnit, LinearChainOverloadedSink) {
+  ScriptedMb* a = mb("a"), *b = mb("b"), *c = mb("c");
+  edge(a, b);
+  edge(b, c);
+  behavior([=](double s) {
+    a->advance_out(10 * s, 0.9 * s);   // WriteBlocked source
+    b->advance_in(10 * s, 0.001 * s);  // rbuf full: reads fast
+    b->advance_out(10 * s, 0.9 * s);   // WriteBlocked
+    c->advance_in(10 * s, 0.01 * s);   // busy sink: reads fast, no output
+  });
+  RootCauseReport r = analyze();
+  ASSERT_EQ(r.root_causes.size(), 1u);
+  EXPECT_EQ(r.root_causes[0], c->id());
+  EXPECT_EQ(r.root_cause_roles[0], MbRole::kOverloaded);
+}
+
+TEST_F(RootCauseUnit, LinearChainUnderloadedSource) {
+  ScriptedMb* a = mb("a"), *b = mb("b"), *c = mb("c");
+  edge(a, b);
+  edge(b, c);
+  behavior([=](double s) {
+    a->advance_out(5 * s, 0.01 * s);  // slow but unblocked source
+    b->advance_in(5 * s, 0.95 * s);   // starved
+    b->advance_out(5 * s, 0.01 * s);
+    c->advance_in(5 * s, 0.95 * s);   // starved
+  });
+  RootCauseReport r = analyze();
+  ASSERT_EQ(r.root_causes.size(), 1u);
+  EXPECT_EQ(r.root_causes[0], a->id());
+  EXPECT_EQ(r.root_cause_roles[0], MbRole::kUnderloaded);
+}
+
+TEST_F(RootCauseUnit, IdleBranchDoesNotExonerateSharedSuccessor) {
+  // a -> b -> shared;  idle -> shared.  The idle branch is ReadBlocked but
+  // must not clear the busy shared node (the Fig. 12(d) NFS refinement).
+  ScriptedMb* a = mb("a"), *b = mb("b"), *shared = mb("shared"),
+              *idle = mb("idle");
+  edge(a, b);
+  edge(b, shared);
+  edge(idle, shared);
+  behavior([=](double s) {
+    a->advance_out(5 * s, 0.9 * s);       // WriteBlocked
+    b->advance_in(5 * s, 0.001 * s);
+    b->advance_out(5 * s, 0.9 * s);       // WriteBlocked
+    idle->advance_in(0, 0.99 * s);        // fully starved: ReadBlocked
+    shared->advance_in(5 * s, 0.01 * s);  // busy (the true root cause)
+  });
+  RootCauseReport r = analyze();
+  ASSERT_EQ(r.root_causes.size(), 1u);
+  EXPECT_EQ(r.root_causes[0], shared->id());
+}
+
+TEST_F(RootCauseUnit, ReadBlockedChainRemovedTransitively) {
+  // a(normal, slow) -> b(ReadBlocked) -> c(ReadBlocked): b's state removes
+  // c as well even though they are separate observations.
+  ScriptedMb* a = mb("a"), *b = mb("b"), *c = mb("c");
+  edge(a, b);
+  edge(b, c);
+  behavior([=](double s) {
+    a->advance_out(5 * s, 0.01 * s);
+    b->advance_in(5 * s, 0.9 * s);
+    b->advance_out(5 * s, 0.01 * s);
+    c->advance_in(5 * s, 0.9 * s);
+  });
+  RootCauseReport r = analyze();
+  ASSERT_EQ(r.root_causes.size(), 1u);
+  EXPECT_EQ(r.root_causes[0], a->id());
+}
+
+TEST_F(RootCauseUnit, MissingCapacityMeansNoStateJudgement) {
+  ScriptedMb* m = mb("nocap", /*cap=*/0);
+  behavior([m](double s) { m->advance_in(1 * s, 0.9 * s); });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, m), MbState::kNormal);
+}
+
+TEST_F(RootCauseUnit, IdleSideDoesNotTriggerBlockedState) {
+  // A pure source has no input side at all: in rate = -1 (unused), and it
+  // must not be classified ReadBlocked.
+  ScriptedMb* src = mb("source");
+  behavior([src](double s) { src->advance_out(50 * s, 0.001 * s); });
+  RootCauseReport r = analyze();
+  EXPECT_EQ(state_of(r, src), MbState::kNormal);
+  EXPECT_FALSE(r.observations[0].has_input);
+  EXPECT_TRUE(r.observations[0].has_output);
+}
+
+TEST_F(RootCauseUnit, AllHealthyChainHasConsistentNarrative) {
+  ScriptedMb* a = mb("a"), *b = mb("b");
+  edge(a, b);
+  behavior([=](double s) {
+    a->advance_out(90 * s, 0.02 * s);
+    b->advance_in(90 * s, 0.02 * s);
+  });
+  RootCauseReport r = analyze();
+  // Nobody blocked: both remain candidates (nothing to exonerate them),
+  // which is the degenerate "no complaint" situation.
+  EXPECT_EQ(r.root_causes.size(), 2u);
+}
+
+TEST_F(RootCauseUnit, MultipleIndependentFaultsBothSurvive) {
+  // Two disjoint chains, each with its own overloaded sink.
+  ScriptedMb* a1 = mb("a1"), *sink1 = mb("sink1");
+  ScriptedMb* a2 = mb("a2"), *sink2 = mb("sink2");
+  edge(a1, sink1);
+  edge(a2, sink2);
+  behavior([=](double s) {
+    a1->advance_out(10 * s, 0.9 * s);
+    sink1->advance_in(10 * s, 0.01 * s);
+    a2->advance_out(10 * s, 0.9 * s);
+    sink2->advance_in(10 * s, 0.01 * s);
+  });
+  RootCauseReport r = analyze();
+  ASSERT_EQ(r.root_causes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,214 @@
+// Parameterized scenario sweeps: diagnosis conclusions must hold across a
+// range of workload intensities, capacities, and fault magnitudes — not
+// just at the calibration points the benches print.
+#include <gtest/gtest.h>
+
+#include "cluster/deployment.h"
+#include "cluster/scenarios.h"
+#include "mbox/presets.h"
+#include "perfsight/contention.h"
+#include "perfsight/rootcause.h"
+
+namespace perfsight {
+namespace {
+
+using namespace literals;
+using cluster::Deployment;
+
+// --- Algorithm 2 holds across server service rates -------------------------
+
+class OverloadedServerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverloadedServerSweep, RootCauseInvariantToSeverity) {
+  // A dedicated chain (client -> relay -> server) with varying server
+  // service rates, all strictly below the 100 Mbps vNIC capacity.
+  double server_mbps = GetParam();
+  sim::Simulator sim(Duration::millis(1));
+  mbox::StreamMachine m(mbox::StreamMachineConfig{"m0", 8, 25e9, 16}, &sim);
+  Deployment dep(&sim);
+
+  auto vm = [&](const char* n) {
+    mbox::StreamVmConfig cfg;
+    cfg.name = n;
+    cfg.vnic = 100_mbps;
+    return m.add_vm(cfg);
+  };
+  auto* vc = vm("vm-c");
+  auto* vr = vm("vm-r");
+  auto* vs = vm("vm-s");
+  auto* c1 = m.connect(vc, vr, {"c-r"});
+  auto* c2 = m.connect(vr, vs, {"r-s"});
+  auto* client = m.add_app(vc, "client", mbox::presets::client_unbounded());
+  client->add_output(c1, 1.0);
+  auto* relay = m.add_app(vr, "relay", mbox::presets::content_filter());
+  relay->add_input(c1);
+  relay->add_output(c2, 1.0);
+  auto* server =
+      m.add_app(vs, "server", mbox::presets::server(DataRate::mbps(server_mbps)));
+  server->add_input(c2);
+
+  Agent* agent = dep.add_agent("a0");
+  dep.attach(&m, agent);
+  const TenantId tenant{1};
+  for (auto* app : {client, relay, server}) {
+    PS_CHECK(dep.add_middlebox(tenant, app, agent).is_ok());
+  }
+  dep.chain(tenant, client, relay);
+  dep.chain(tenant, relay, server);
+
+  sim.run_for(4_s);
+  RootCauseAnalyzer analyzer(dep.controller());
+  RootCauseReport r = analyzer.analyze(tenant, Duration::seconds(1.0));
+  ASSERT_EQ(r.root_causes.size(), 1u)
+      << "server_mbps=" << server_mbps << "\n"
+      << to_text(r);
+  EXPECT_EQ(r.root_causes[0], server->id());
+  EXPECT_EQ(r.root_cause_roles[0], MbRole::kOverloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceRates, OverloadedServerSweep,
+                         ::testing::Values(5, 10, 20, 40, 60, 80));
+
+// --- Fig. 12(d) holds across NFS degradation levels -------------------------
+
+class BuggyNfsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BuggyNfsSweep, NfsAlwaysIdentified) {
+  cluster::PropagationScenario s(
+      cluster::PropagationScenario::Case::kBuggyNfs);
+  // Degrade further mid-run (the leak worsens over time).
+  s.nfs->set_proc_rate(GetParam() * 1e6 / 8);
+  s.settle(Duration::seconds(4.0));
+  RootCauseReport r = s.diagnose();
+  ASSERT_EQ(r.root_causes.size(), 1u) << to_text(r);
+  EXPECT_EQ(r.root_causes[0], s.nfs->id());
+}
+
+INSTANTIATE_TEST_SUITE_P(NfsRatesMbps, BuggyNfsSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+// --- Fig. 10 severity grows with flood intensity ------------------------------
+
+class FloodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloodSweep, VictimDegradationMonotoneInFloodRate) {
+  auto run = [](DataRate flood_rate) {
+    sim::Simulator sim(Duration::millis(1));
+    dp::StackParams params;
+    params.pnic_rate = 1_gbps;
+    params.softirq_cost_per_pkt = 3.2e-6;
+    params.qemu_cost_per_pkt = 0.25e-6;
+    vm::PhysicalMachine m("m0", params, &sim);
+    int rx = m.add_vm({"vm0", 1.0});
+    int fl = m.add_vm({"vm1", 1.0});
+    m.set_sink_app(rx);
+    FlowSpec fin;
+    fin.id = FlowId{1};
+    fin.packet_size = 1500;
+    m.route_flow_to_vm(fin, rx);
+    m.add_ingress_source("rx", fin, 500_mbps);
+    FlowSpec ff;
+    ff.id = FlowId{2};
+    ff.packet_size = 64;
+    dp::SourceApp::Config cfg;
+    cfg.flow = ff;
+    cfg.rate = flood_rate;
+    cfg.cost_per_pkt = 0.05e-6;
+    m.set_source_app(fl, cfg);
+    m.route_flow_to_wire(ff.id, "flood");
+    m.pin_flow_to_core(fin.id, 0);
+    m.pin_flow_to_core(ff.id, 0);
+    sim.run_for(2_s);
+    return static_cast<double>(m.app(rx)->stats().bytes_in.value());
+  };
+  double mild = run(DataRate::mbps(100 * GetParam()));
+  double severe = run(DataRate::mbps(100 * GetParam() + 400));
+  // More flood, (weakly) less victim goodput.
+  EXPECT_GE(mild, severe * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(FloodLevels, FloodSweep, ::testing::Values(1, 3, 6));
+
+// --- Algorithm 1 identifies the bottleneck VM regardless of which one -------
+
+class BottleneckVmSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BottleneckVmSweep, CorrectVmIdentified) {
+  const int victim = GetParam();
+  sim::Simulator sim(Duration::millis(1));
+  vm::PhysicalMachine m("m0", dp::StackParams{}, &sim);
+  Deployment dep(&sim);
+  for (int i = 0; i < 4; ++i) {
+    int v = m.add_vm({"vm" + std::to_string(i), 1.0});
+    m.set_sink_app(v);
+    FlowSpec f;
+    f.id = FlowId{static_cast<uint32_t>(i + 1)};
+    f.packet_size = 1500;
+    m.route_flow_to_vm(f, v);
+    m.add_ingress_source("s" + std::to_string(i), f, 500_mbps);
+  }
+  m.add_vm_cpu_hog(victim)->set_demand_cores(1.0);
+  Agent* agent = dep.add_agent("a0");
+  dep.attach(&m, agent);
+  const TenantId tenant{1};
+  PS_CHECK(dep.assign(tenant, m.tun(0)->id(), agent).is_ok());
+  sim.run_for(2_s);
+
+  ContentionDetector det(dep.controller(), RuleBook::standard());
+  det.set_loss_threshold(50);
+  ContentionReport r =
+      det.diagnose(tenant, Duration::seconds(1.0), m.aux_signals());
+  ASSERT_TRUE(r.problem_found);
+  EXPECT_EQ(r.spread, LossSpread::kSingleVm);
+  ASSERT_EQ(r.affected_vms.size(), 1u);
+  EXPECT_EQ(r.affected_vms[0], victim);
+  EXPECT_EQ(r.ranked[0].id, m.tun(victim)->id());
+}
+
+INSTANTIATE_TEST_SUITE_P(VictimIndex, BottleneckVmSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+// --- Memory tradeoff slope stays near -1/k across hog levels -----------------
+
+class MemTradeoffSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemTradeoffSweep, WorkConservingTradeoff) {
+  auto run = [](double hog_bytes_per_sec) {
+    sim::Simulator sim(Duration::millis(1));
+    vm::PhysicalMachine m("m0", dp::StackParams{}, &sim);
+    for (int i = 0; i < 5; ++i) {
+      int v = m.add_vm({"vm" + std::to_string(i), 1.0});
+      FlowSpec f;
+      f.id = FlowId{static_cast<uint32_t>(i + 1)};
+      f.packet_size = 1500;
+      f.direction = FlowDirection::kEgress;
+      dp::SourceApp::Config cfg;
+      cfg.flow = f;
+      cfg.rate = 2_gbps;
+      m.set_source_app(v, cfg);
+      m.route_flow_to_wire(f.id, "o" + std::to_string(i));
+    }
+    m.add_vm({"memvm", 1.0});
+    auto* hog = m.add_mem_hog("hog");
+    hog->set_demand_bytes_per_sec(hog_bytes_per_sec);
+    sim.run_for(2_s);
+    uint64_t t0 = m.pnic()->tx_wire_bytes();
+    sim.run_for(1_s);
+    return std::pair<double, double>{
+        hog->achieved_bytes_per_sec(),
+        static_cast<double>(m.pnic()->tx_wire_bytes() - t0) * 8 / 1e9};
+  };
+  double base = 4e9 + 1e9 * GetParam();
+  auto [hog_a, net_a] = run(base);
+  auto [hog_b, net_b] = run(base + 2e9);
+  // Work conservation: wire loss (in bus bytes, x18.2) ~= extra hog bytes.
+  double wire_loss_bus = (net_a - net_b) * 1e9 / 8 * 18.2;
+  double hog_gain = hog_b - hog_a;
+  EXPECT_NEAR(wire_loss_bus, hog_gain, 0.35 * hog_gain);
+}
+
+INSTANTIATE_TEST_SUITE_P(HogLevels, MemTradeoffSweep,
+                         ::testing::Values(0, 2, 4));
+
+}  // namespace
+}  // namespace perfsight

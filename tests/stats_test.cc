@@ -1,0 +1,128 @@
+#include "perfsight/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "perfsight/counters.h"
+#include "perfsight/topology.h"
+
+namespace perfsight {
+namespace {
+
+TEST(CounterTest, Monotone) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(IoTimeCounterTest, AccumulatesSimAndRawTime) {
+  IoTimeCounter t;
+  t.add(Duration::micros(3));
+  t.add_nanos(500);
+  EXPECT_EQ(t.nanos(), 3500u);
+  EXPECT_EQ(t.total().ns(), 3500);
+}
+
+TEST(ScopedIoTimerTest, RecordsElapsedWallTime) {
+  IoTimeCounter t;
+  {
+    ScopedIoTimer timer(t);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(t.nanos(), 0u);
+}
+
+TEST(StatsRecordTest, GetAndSet) {
+  StatsRecord r;
+  r.set("rxPkts", 42);
+  r.set("rxPkts", 43);  // overwrite
+  r.set("txPkts", 7);
+  EXPECT_EQ(r.get("rxPkts"), 43.0);
+  EXPECT_EQ(r.get_or("missing", -1), -1.0);
+  EXPECT_EQ(r.attrs.size(), 2u);
+}
+
+TEST(WireFormatTest, SerializesPaperFormat) {
+  StatsRecord r;
+  r.timestamp = SimTime::nanos(1234000);
+  r.element = ElementId{"eth0"};
+  r.attrs = {{"Rx bytes", 100}, {"Tx bytes", 200}};
+  EXPECT_EQ(to_wire(r), "<1234000, eth0, (Rx bytes, 100), (Tx bytes, 200)>");
+}
+
+TEST(WireFormatTest, RoundTrips) {
+  StatsRecord r;
+  r.timestamp = SimTime::millis(42);
+  r.element = ElementId{"m0/vm1/tun"};
+  r.attrs = {{"rxPkts", 12345}, {"dropPkts", 7}, {"avgSize", 1433.5}};
+  Result<StatsRecord> back = from_wire(to_wire(r));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().timestamp.ns(), r.timestamp.ns());
+  EXPECT_EQ(back.value().element, r.element);
+  ASSERT_EQ(back.value().attrs.size(), 3u);
+  EXPECT_EQ(back.value().get("rxPkts"), 12345.0);
+  EXPECT_EQ(back.value().get("avgSize"), 1433.5);
+}
+
+TEST(WireFormatTest, ParsesNoAttrs) {
+  Result<StatsRecord> r = from_wire("<5, eth0>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().attrs.empty());
+}
+
+TEST(WireFormatTest, RejectsMalformed) {
+  EXPECT_FALSE(from_wire("").ok());
+  EXPECT_FALSE(from_wire("1234, eth0>").ok());
+  EXPECT_FALSE(from_wire("<1234>").ok());
+  EXPECT_FALSE(from_wire("<1234, eth0, (x, 1)").ok());
+  EXPECT_FALSE(from_wire("<1234, eth0, (x)>").ok());
+  EXPECT_FALSE(from_wire("<1234, eth0, (x, abc)>").ok());
+  EXPECT_FALSE(from_wire("<abc, eth0>").ok());
+}
+
+TEST(ProjectTest, SelectsRequestedAttrsInOrder) {
+  StatsRecord r;
+  r.attrs = {{"a", 1}, {"b", 2}, {"c", 3}};
+  StatsRecord p = project(r, {"c", "a", "zz"});
+  ASSERT_EQ(p.attrs.size(), 2u);
+  EXPECT_EQ(p.attrs[0].name, "c");
+  EXPECT_EQ(p.attrs[1].name, "a");
+}
+
+TEST(ChainTopologyTest, SuccessorsTransitive) {
+  ChainTopology t;
+  ElementId a{"a"}, b{"b"}, c{"c"}, nfs{"nfs"};
+  t.add_edge(a, b);
+  t.add_edge(b, c);
+  t.add_edge(b, nfs);  // branch
+  auto succ = t.successors(a);
+  EXPECT_EQ(succ.size(), 3u);
+  EXPECT_TRUE(succ.count(c));
+  EXPECT_TRUE(succ.count(nfs));
+  EXPECT_FALSE(succ.count(a));
+}
+
+TEST(ChainTopologyTest, PredecessorsTransitive) {
+  ChainTopology t;
+  ElementId a{"a"}, b{"b"}, c{"c"};
+  t.add_edge(a, b);
+  t.add_edge(b, c);
+  auto pred = t.predecessors(c);
+  EXPECT_EQ(pred.size(), 2u);
+  EXPECT_TRUE(pred.count(a));
+  EXPECT_TRUE(pred.count(b));
+}
+
+TEST(ChainTopologyTest, IsolatedNode) {
+  ChainTopology t;
+  ElementId x{"x"};
+  t.add_node(x);
+  EXPECT_TRUE(t.has_node(x));
+  EXPECT_TRUE(t.successors(x).empty());
+  EXPECT_TRUE(t.predecessors(x).empty());
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,75 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace perfsight {
+namespace {
+
+using namespace literals;
+
+TEST(UnitsTest, SimTimeConversions) {
+  EXPECT_EQ(SimTime::millis(3).ns(), 3000000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::micros(250).ms(), 0.25);
+}
+
+TEST(UnitsTest, TimePlusDurationArithmetic) {
+  SimTime t = SimTime::millis(10);
+  Duration d = Duration::millis(5);
+  EXPECT_EQ((t + d).ns(), SimTime::millis(15).ns());
+  EXPECT_EQ((t - d).ns(), SimTime::millis(5).ns());
+  EXPECT_EQ(((t + d) - t).ns(), d.ns());
+}
+
+TEST(UnitsTest, DurationArithmetic) {
+  Duration a = Duration::millis(2);
+  Duration b = Duration::micros(500);
+  EXPECT_EQ((a + b).ns(), 2500000);
+  EXPECT_EQ((a - b).ns(), 1500000);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_EQ((a * 0.5).ns(), 1000000);
+}
+
+TEST(UnitsTest, DataRateConversions) {
+  DataRate r = DataRate::mbps(100);
+  EXPECT_DOUBLE_EQ(r.bits_per_sec(), 100e6);
+  EXPECT_DOUBLE_EQ(r.bytes_per_sec(), 12.5e6);
+  EXPECT_DOUBLE_EQ(DataRate::gbps(10).mbits_per_sec(), 10000);
+}
+
+TEST(UnitsTest, BytesInDuration) {
+  // 100 Mbps for 1 ms = 12500 bytes.
+  EXPECT_EQ(DataRate::mbps(100).bytes_in(Duration::millis(1)), 12500u);
+  EXPECT_EQ(DataRate::zero().bytes_in(Duration::seconds(10)), 0u);
+}
+
+TEST(UnitsTest, RateOf) {
+  // 12500 bytes over 1 ms = 100 Mbps.
+  DataRate r = rate_of(12500, Duration::millis(1));
+  EXPECT_NEAR(r.mbits_per_sec(), 100.0, 1e-9);
+  // Degenerate interval carries no information.
+  EXPECT_EQ(rate_of(1000, Duration::nanos(0)).bits_per_sec(), 0.0);
+}
+
+TEST(UnitsTest, Literals) {
+  EXPECT_DOUBLE_EQ((100_mbps).mbits_per_sec(), 100);
+  EXPECT_DOUBLE_EQ((10_gbps).gbits_per_sec(), 10);
+  EXPECT_EQ((5_ms).ns(), 5000000);
+  EXPECT_EQ((2_s).ns(), 2000000000);
+  EXPECT_EQ(4_KiB, 4096u);
+}
+
+TEST(UnitsTest, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_LT(DataRate::mbps(999), DataRate::gbps(1));
+  EXPECT_GT(Duration::seconds(1.0), Duration::millis(999));
+}
+
+TEST(UnitsTest, ToStringFormats) {
+  EXPECT_EQ(to_string(DataRate::gbps(2.5)), "2.50Gbps");
+  EXPECT_EQ(to_string(DataRate::mbps(180)), "180.00Mbps");
+  EXPECT_EQ(to_string(DataRate::kbps(64)), "64.00Kbps");
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,88 @@
+// Virtual switch: rule matching, per-rule statistics (the OVS-style
+// counters agents fetch over the control channel), default-drop, and rule
+// replacement.
+#include "dataplane/vswitch.h"
+
+#include <gtest/gtest.h>
+
+namespace perfsight::dp {
+namespace {
+
+PacketBatch batch(uint32_t flow, uint64_t pkts) {
+  return PacketBatch{FlowId{flow}, pkts, pkts * 1500};
+}
+
+struct CollectPort : PortIn {
+  uint64_t pkts = 0;
+  void accept(PacketBatch b) override { pkts += b.packets; }
+};
+
+TEST(VSwitchTest, ForwardsByRule) {
+  VirtualSwitch vs(ElementId{"vs"});
+  CollectPort a, b;
+  vs.add_rule(FlowId{1}, &a, "to-a");
+  vs.add_rule(FlowId{2}, &b, "to-b");
+  vs.accept(batch(1, 10));
+  vs.accept(batch(2, 20));
+  vs.accept(batch(1, 5));
+  EXPECT_EQ(a.pkts, 15u);
+  EXPECT_EQ(b.pkts, 20u);
+  EXPECT_EQ(vs.stats().pkts_in.value(), 35u);
+  EXPECT_EQ(vs.stats().pkts_out.value(), 35u);
+}
+
+TEST(VSwitchTest, UnmatchedFlowDropped) {
+  VirtualSwitch vs(ElementId{"vs"});
+  CollectPort a;
+  vs.add_rule(FlowId{1}, &a, "to-a");
+  vs.accept(batch(99, 7));
+  EXPECT_EQ(vs.stats().drop_pkts.value(), 7u);
+  EXPECT_EQ(a.pkts, 0u);
+}
+
+TEST(VSwitchTest, PerRuleCounters) {
+  VirtualSwitch vs(ElementId{"vs"});
+  CollectPort a, b;
+  vs.add_rule(FlowId{1}, &a, "web");
+  vs.add_rule(FlowId{2}, &b, "db");
+  vs.accept(batch(1, 10));
+  vs.accept(batch(2, 3));
+  ASSERT_EQ(vs.rules().size(), 2u);
+  EXPECT_EQ(vs.rules()[0].name, "web");
+  EXPECT_EQ(vs.rules()[0].pkts, 10u);
+  EXPECT_EQ(vs.rules()[0].bytes, 15000u);
+  EXPECT_EQ(vs.rules()[1].pkts, 3u);
+}
+
+TEST(VSwitchTest, RuleStatsExportedInRecord) {
+  VirtualSwitch vs(ElementId{"vs"});
+  CollectPort a;
+  vs.add_rule(FlowId{1}, &a, "web");
+  vs.accept(batch(1, 4));
+  StatsRecord r = vs.collect(SimTime{});
+  EXPECT_EQ(r.get("rule.web.pkts"), 4.0);
+  EXPECT_EQ(r.get("rule.web.bytes"), 6000.0);
+}
+
+TEST(VSwitchTest, RuleReplacementRedirects) {
+  VirtualSwitch vs(ElementId{"vs"});
+  CollectPort old_port, new_port;
+  vs.add_rule(FlowId{1}, &old_port, "v1");
+  vs.accept(batch(1, 5));
+  // Controller re-routes the flow (e.g. scale-out rebalancing).
+  vs.add_rule(FlowId{1}, &new_port, "v2");
+  vs.accept(batch(1, 5));
+  EXPECT_EQ(old_port.pkts, 5u);
+  EXPECT_EQ(new_port.pkts, 5u);
+  ASSERT_EQ(vs.rules().size(), 1u);  // replaced, not duplicated
+  EXPECT_EQ(vs.rules()[0].name, "v2");
+}
+
+TEST(VSwitchTest, EmptyBatchIgnored) {
+  VirtualSwitch vs(ElementId{"vs"});
+  vs.accept(PacketBatch{FlowId{1}, 0, 0});
+  EXPECT_EQ(vs.stats().pkts_in.value(), 0u);
+}
+
+}  // namespace
+}  // namespace perfsight::dp
