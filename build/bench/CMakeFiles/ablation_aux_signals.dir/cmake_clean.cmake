@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aux_signals.dir/ablation_aux_signals.cc.o"
+  "CMakeFiles/ablation_aux_signals.dir/ablation_aux_signals.cc.o.d"
+  "ablation_aux_signals"
+  "ablation_aux_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aux_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backlog_limit.dir/ablation_backlog_limit.cc.o"
+  "CMakeFiles/ablation_backlog_limit.dir/ablation_backlog_limit.cc.o.d"
+  "ablation_backlog_limit"
+  "ablation_backlog_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backlog_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_comparison.cc" "bench/CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o" "gcc" "bench/CMakeFiles/baseline_comparison.dir/baseline_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ps_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbox/CMakeFiles/ps_mbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ps_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/ps_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsight/CMakeFiles/ps_perfsight.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/ps_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ps_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

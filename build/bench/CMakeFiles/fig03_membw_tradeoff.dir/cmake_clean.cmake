@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_membw_tradeoff.dir/fig03_membw_tradeoff.cc.o"
+  "CMakeFiles/fig03_membw_tradeoff.dir/fig03_membw_tradeoff.cc.o.d"
+  "fig03_membw_tradeoff"
+  "fig03_membw_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_membw_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

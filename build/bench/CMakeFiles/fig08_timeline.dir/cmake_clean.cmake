@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_timeline.dir/fig08_timeline.cc.o"
+  "CMakeFiles/fig08_timeline.dir/fig08_timeline.cc.o.d"
+  "fig08_timeline"
+  "fig08_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_response_time.dir/fig09_response_time.cc.o"
+  "CMakeFiles/fig09_response_time.dir/fig09_response_time.cc.o.d"
+  "fig09_response_time"
+  "fig09_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

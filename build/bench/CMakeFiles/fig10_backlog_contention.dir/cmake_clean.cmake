@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_backlog_contention.dir/fig10_backlog_contention.cc.o"
+  "CMakeFiles/fig10_backlog_contention.dir/fig10_backlog_contention.cc.o.d"
+  "fig10_backlog_contention"
+  "fig10_backlog_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_backlog_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_membw_contention.dir/fig11_membw_contention.cc.o"
+  "CMakeFiles/fig11_membw_contention.dir/fig11_membw_contention.cc.o.d"
+  "fig11_membw_contention"
+  "fig11_membw_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_membw_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_propagation.dir/fig12_propagation.cc.o"
+  "CMakeFiles/fig12_propagation.dir/fig12_propagation.cc.o.d"
+  "fig12_propagation"
+  "fig12_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

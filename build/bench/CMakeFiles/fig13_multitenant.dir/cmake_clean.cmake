@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_multitenant.dir/fig13_multitenant.cc.o"
+  "CMakeFiles/fig13_multitenant.dir/fig13_multitenant.cc.o.d"
+  "fig13_multitenant"
+  "fig13_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_overhead_mbox.dir/fig15_overhead_mbox.cc.o"
+  "CMakeFiles/fig15_overhead_mbox.dir/fig15_overhead_mbox.cc.o.d"
+  "fig15_overhead_mbox"
+  "fig15_overhead_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_overhead_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

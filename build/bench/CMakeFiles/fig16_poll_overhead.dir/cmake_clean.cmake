@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_poll_overhead.dir/fig16_poll_overhead.cc.o"
+  "CMakeFiles/fig16_poll_overhead.dir/fig16_poll_overhead.cc.o.d"
+  "fig16_poll_overhead"
+  "fig16_poll_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_poll_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_counters.dir/micro_counters.cc.o"
+  "CMakeFiles/micro_counters.dir/micro_counters.cc.o.d"
+  "micro_counters"
+  "micro_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

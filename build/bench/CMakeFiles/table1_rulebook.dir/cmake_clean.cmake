@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rulebook.dir/table1_rulebook.cc.o"
+  "CMakeFiles/table1_rulebook.dir/table1_rulebook.cc.o.d"
+  "table1_rulebook"
+  "table1_rulebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rulebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_time_counter.dir/table2_time_counter.cc.o"
+  "CMakeFiles/table2_time_counter.dir/table2_time_counter.cc.o.d"
+  "table2_time_counter"
+  "table2_time_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_time_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

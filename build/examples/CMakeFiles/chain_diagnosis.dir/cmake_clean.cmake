@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_diagnosis.dir/chain_diagnosis.cpp.o"
+  "CMakeFiles/chain_diagnosis.dir/chain_diagnosis.cpp.o.d"
+  "chain_diagnosis"
+  "chain_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

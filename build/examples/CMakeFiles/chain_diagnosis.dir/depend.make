@@ -1,0 +1,2 @@
+# Empty dependencies file for chain_diagnosis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_monitor.dir/contention_monitor.cpp.o"
+  "CMakeFiles/contention_monitor.dir/contention_monitor.cpp.o.d"
+  "contention_monitor"
+  "contention_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

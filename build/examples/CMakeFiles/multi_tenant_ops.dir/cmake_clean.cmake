@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_ops.dir/multi_tenant_ops.cpp.o"
+  "CMakeFiles/multi_tenant_ops.dir/multi_tenant_ops.cpp.o.d"
+  "multi_tenant_ops"
+  "multi_tenant_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_tenant_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_export.dir/telemetry_export.cpp.o"
+  "CMakeFiles/telemetry_export.dir/telemetry_export.cpp.o.d"
+  "telemetry_export"
+  "telemetry_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_cluster.dir/scenarios.cc.o"
+  "CMakeFiles/ps_cluster.dir/scenarios.cc.o.d"
+  "libps_cluster.a"
+  "libps_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

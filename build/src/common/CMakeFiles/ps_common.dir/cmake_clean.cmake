@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_common.dir/log.cc.o"
+  "CMakeFiles/ps_common.dir/log.cc.o.d"
+  "CMakeFiles/ps_common.dir/units.cc.o"
+  "CMakeFiles/ps_common.dir/units.cc.o.d"
+  "libps_common.a"
+  "libps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

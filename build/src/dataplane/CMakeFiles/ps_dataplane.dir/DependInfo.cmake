@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/backlog.cc" "src/dataplane/CMakeFiles/ps_dataplane.dir/backlog.cc.o" "gcc" "src/dataplane/CMakeFiles/ps_dataplane.dir/backlog.cc.o.d"
+  "/root/repo/src/dataplane/element.cc" "src/dataplane/CMakeFiles/ps_dataplane.dir/element.cc.o" "gcc" "src/dataplane/CMakeFiles/ps_dataplane.dir/element.cc.o.d"
+  "/root/repo/src/dataplane/pnic.cc" "src/dataplane/CMakeFiles/ps_dataplane.dir/pnic.cc.o" "gcc" "src/dataplane/CMakeFiles/ps_dataplane.dir/pnic.cc.o.d"
+  "/root/repo/src/dataplane/pumps.cc" "src/dataplane/CMakeFiles/ps_dataplane.dir/pumps.cc.o" "gcc" "src/dataplane/CMakeFiles/ps_dataplane.dir/pumps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/ps_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/ps_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsight/CMakeFiles/ps_perfsight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

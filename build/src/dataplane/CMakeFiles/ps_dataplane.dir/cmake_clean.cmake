@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_dataplane.dir/backlog.cc.o"
+  "CMakeFiles/ps_dataplane.dir/backlog.cc.o.d"
+  "CMakeFiles/ps_dataplane.dir/element.cc.o"
+  "CMakeFiles/ps_dataplane.dir/element.cc.o.d"
+  "CMakeFiles/ps_dataplane.dir/pnic.cc.o"
+  "CMakeFiles/ps_dataplane.dir/pnic.cc.o.d"
+  "CMakeFiles/ps_dataplane.dir/pumps.cc.o"
+  "CMakeFiles/ps_dataplane.dir/pumps.cc.o.d"
+  "libps_dataplane.a"
+  "libps_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_mbox.dir/app.cc.o"
+  "CMakeFiles/ps_mbox.dir/app.cc.o.d"
+  "CMakeFiles/ps_mbox.dir/stream.cc.o"
+  "CMakeFiles/ps_mbox.dir/stream.cc.o.d"
+  "libps_mbox.a"
+  "libps_mbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_mbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

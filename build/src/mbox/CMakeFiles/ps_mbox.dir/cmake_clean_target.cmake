@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libps_mbox.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ps_mbox.
+# This may be replaced when dependencies are built.

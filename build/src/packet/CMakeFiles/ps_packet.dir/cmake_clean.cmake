@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_packet.dir/queue.cc.o"
+  "CMakeFiles/ps_packet.dir/queue.cc.o.d"
+  "libps_packet.a"
+  "libps_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

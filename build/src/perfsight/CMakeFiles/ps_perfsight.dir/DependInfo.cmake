@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfsight/agent.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/agent.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/agent.cc.o.d"
+  "/root/repo/src/perfsight/bottleneck.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/bottleneck.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/bottleneck.cc.o.d"
+  "/root/repo/src/perfsight/contention.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/contention.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/contention.cc.o.d"
+  "/root/repo/src/perfsight/controller.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/controller.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/controller.cc.o.d"
+  "/root/repo/src/perfsight/hotpath.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/hotpath.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/hotpath.cc.o.d"
+  "/root/repo/src/perfsight/json_export.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/json_export.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/json_export.cc.o.d"
+  "/root/repo/src/perfsight/monitor.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/monitor.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/monitor.cc.o.d"
+  "/root/repo/src/perfsight/remediation.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/remediation.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/remediation.cc.o.d"
+  "/root/repo/src/perfsight/rootcause.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/rootcause.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/rootcause.cc.o.d"
+  "/root/repo/src/perfsight/rulebook.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/rulebook.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/rulebook.cc.o.d"
+  "/root/repo/src/perfsight/stats.cc" "src/perfsight/CMakeFiles/ps_perfsight.dir/stats.cc.o" "gcc" "src/perfsight/CMakeFiles/ps_perfsight.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_perfsight.dir/agent.cc.o"
+  "CMakeFiles/ps_perfsight.dir/agent.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/bottleneck.cc.o"
+  "CMakeFiles/ps_perfsight.dir/bottleneck.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/contention.cc.o"
+  "CMakeFiles/ps_perfsight.dir/contention.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/controller.cc.o"
+  "CMakeFiles/ps_perfsight.dir/controller.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/hotpath.cc.o"
+  "CMakeFiles/ps_perfsight.dir/hotpath.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/json_export.cc.o"
+  "CMakeFiles/ps_perfsight.dir/json_export.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/monitor.cc.o"
+  "CMakeFiles/ps_perfsight.dir/monitor.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/remediation.cc.o"
+  "CMakeFiles/ps_perfsight.dir/remediation.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/rootcause.cc.o"
+  "CMakeFiles/ps_perfsight.dir/rootcause.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/rulebook.cc.o"
+  "CMakeFiles/ps_perfsight.dir/rulebook.cc.o.d"
+  "CMakeFiles/ps_perfsight.dir/stats.cc.o"
+  "CMakeFiles/ps_perfsight.dir/stats.cc.o.d"
+  "libps_perfsight.a"
+  "libps_perfsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_perfsight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/maxmin.cc" "src/resources/CMakeFiles/ps_resources.dir/maxmin.cc.o" "gcc" "src/resources/CMakeFiles/ps_resources.dir/maxmin.cc.o.d"
+  "/root/repo/src/resources/pool.cc" "src/resources/CMakeFiles/ps_resources.dir/pool.cc.o" "gcc" "src/resources/CMakeFiles/ps_resources.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_resources.dir/maxmin.cc.o"
+  "CMakeFiles/ps_resources.dir/maxmin.cc.o.d"
+  "CMakeFiles/ps_resources.dir/pool.cc.o"
+  "CMakeFiles/ps_resources.dir/pool.cc.o.d"
+  "libps_resources.a"
+  "libps_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sim.dir/simulator.cc.o"
+  "CMakeFiles/ps_sim.dir/simulator.cc.o.d"
+  "libps_sim.a"
+  "libps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

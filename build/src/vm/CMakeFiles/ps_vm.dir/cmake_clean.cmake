@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_vm.dir/machine.cc.o"
+  "CMakeFiles/ps_vm.dir/machine.cc.o.d"
+  "libps_vm.a"
+  "libps_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

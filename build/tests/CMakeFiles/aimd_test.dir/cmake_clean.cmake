@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimd_test.dir/aimd_test.cc.o"
+  "CMakeFiles/aimd_test.dir/aimd_test.cc.o.d"
+  "aimd_test"
+  "aimd_test.pdb"
+  "aimd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

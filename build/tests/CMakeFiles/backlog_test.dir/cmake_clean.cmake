@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backlog_test.dir/backlog_test.cc.o"
+  "CMakeFiles/backlog_test.dir/backlog_test.cc.o.d"
+  "backlog_test"
+  "backlog_test.pdb"
+  "backlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_test.dir/bottleneck_test.cc.o"
+  "CMakeFiles/bottleneck_test.dir/bottleneck_test.cc.o.d"
+  "bottleneck_test"
+  "bottleneck_test.pdb"
+  "bottleneck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

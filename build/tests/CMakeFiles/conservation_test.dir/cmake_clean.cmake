@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conservation_test.dir/conservation_test.cc.o"
+  "CMakeFiles/conservation_test.dir/conservation_test.cc.o.d"
+  "conservation_test"
+  "conservation_test.pdb"
+  "conservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

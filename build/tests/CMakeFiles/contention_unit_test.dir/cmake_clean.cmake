@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_unit_test.dir/contention_unit_test.cc.o"
+  "CMakeFiles/contention_unit_test.dir/contention_unit_test.cc.o.d"
+  "contention_unit_test"
+  "contention_unit_test.pdb"
+  "contention_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

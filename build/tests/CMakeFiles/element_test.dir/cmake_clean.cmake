@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_test.dir/element_test.cc.o"
+  "CMakeFiles/element_test.dir/element_test.cc.o.d"
+  "element_test"
+  "element_test.pdb"
+  "element_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_integration_test.dir/fig8_integration_test.cc.o"
+  "CMakeFiles/fig8_integration_test.dir/fig8_integration_test.cc.o.d"
+  "fig8_integration_test"
+  "fig8_integration_test.pdb"
+  "fig8_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

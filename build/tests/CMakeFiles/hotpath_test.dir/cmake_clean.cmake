@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_test.dir/hotpath_test.cc.o"
+  "CMakeFiles/hotpath_test.dir/hotpath_test.cc.o.d"
+  "hotpath_test"
+  "hotpath_test.pdb"
+  "hotpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxmin_test.dir/maxmin_test.cc.o"
+  "CMakeFiles/maxmin_test.dir/maxmin_test.cc.o.d"
+  "maxmin_test"
+  "maxmin_test.pdb"
+  "maxmin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnic_test.dir/pnic_test.cc.o"
+  "CMakeFiles/pnic_test.dir/pnic_test.cc.o.d"
+  "pnic_test"
+  "pnic_test.pdb"
+  "pnic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

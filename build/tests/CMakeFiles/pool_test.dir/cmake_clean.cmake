@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_test.dir/pool_test.cc.o"
+  "CMakeFiles/pool_test.dir/pool_test.cc.o.d"
+  "pool_test"
+  "pool_test.pdb"
+  "pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

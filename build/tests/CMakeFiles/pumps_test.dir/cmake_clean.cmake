@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pumps_test.dir/pumps_test.cc.o"
+  "CMakeFiles/pumps_test.dir/pumps_test.cc.o.d"
+  "pumps_test"
+  "pumps_test.pdb"
+  "pumps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pumps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

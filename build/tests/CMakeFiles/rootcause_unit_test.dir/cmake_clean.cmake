@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootcause_unit_test.dir/rootcause_unit_test.cc.o"
+  "CMakeFiles/rootcause_unit_test.dir/rootcause_unit_test.cc.o.d"
+  "rootcause_unit_test"
+  "rootcause_unit_test.pdb"
+  "rootcause_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootcause_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_property_test.dir/scenario_property_test.cc.o"
+  "CMakeFiles/scenario_property_test.dir/scenario_property_test.cc.o.d"
+  "scenario_property_test"
+  "scenario_property_test.pdb"
+  "scenario_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_edge_test.dir/stream_edge_test.cc.o"
+  "CMakeFiles/stream_edge_test.dir/stream_edge_test.cc.o.d"
+  "stream_edge_test"
+  "stream_edge_test.pdb"
+  "stream_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

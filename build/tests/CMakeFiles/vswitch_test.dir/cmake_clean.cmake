@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vswitch_test.dir/vswitch_test.cc.o"
+  "CMakeFiles/vswitch_test.dir/vswitch_test.cc.o.d"
+  "vswitch_test"
+  "vswitch_test.pdb"
+  "vswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
