@@ -16,6 +16,7 @@
 #include "perfsight/agent.h"
 #include "perfsight/contention.h"
 #include "perfsight/controller.h"
+#include "perfsight/metrics.h"
 #include "perfsight/rootcause.h"
 #include "sim/simulator.h"
 #include "vm/machine.h"
@@ -36,9 +37,14 @@ class Deployment {
   sim::Simulator* simulator() { return sim_; }
   Controller* controller() { return &controller_; }
 
+  // Deployment-wide metrics registry: every agent added below is scraped by
+  // expose(), so one endpoint covers the whole cluster.
+  MetricsRegistry* metrics() { return &metrics_; }
+
   Agent* add_agent(const std::string& name) {
     agents_.push_back(std::make_unique<Agent>(name));
     controller_.register_agent(agents_.back().get());
+    metrics_.add_agent(agents_.back().get());
     return agents_.back().get();
   }
 
@@ -76,6 +82,7 @@ class Deployment {
  private:
   sim::Simulator* sim_;
   Controller controller_;
+  MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Agent>> agents_;
 };
 

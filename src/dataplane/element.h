@@ -19,6 +19,7 @@
 #include "perfsight/histogram.h"
 #include "perfsight/rulebook.h"
 #include "perfsight/stats_source.h"
+#include "perfsight/trace.h"
 
 namespace perfsight::dp {
 
@@ -66,8 +67,12 @@ class Element : public StatsSource {
     stats_.bytes_out.add(b.bytes);
   }
   void note_drop(uint64_t pkts, uint64_t bytes) {
+    if (pkts == 0 && bytes == 0) return;
     stats_.drop_pkts.add(pkts);
     stats_.drop_bytes.add(bytes);
+    // Flight recorder: drops are the rule book's primary evidence, so each
+    // burst is logged with the candidate resources for this element kind.
+    trace_drop(id_, kind_, pkts);
   }
   void note_in_time(Duration d) { stats_.in_time.add(d); }
   void note_out_time(Duration d) { stats_.out_time.add(d); }

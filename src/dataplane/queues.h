@@ -26,11 +26,13 @@ class QueueElement : public Element, public PortIn {
     uint64_t db = q_.dropped_bytes();
     q_.enqueue(b);
     note_drop(q_.dropped_packets() - dp, q_.dropped_bytes() - db);
+    if (trace_enabled()) note_watermark();
   }
 
   PacketBatch fetch(uint64_t max_pkts, uint64_t max_bytes) {
     PacketBatch b = q_.dequeue(max_pkts, max_bytes);
     if (!b.empty()) note_out(b);
+    if (trace_enabled()) note_watermark();
     return b;
   }
 
@@ -55,6 +57,42 @@ class QueueElement : public Element, public PortIn {
   }
 
   BoundedPacketQueue q_;
+
+ private:
+  // Occupancy as a fraction of the tightest finite cap dimension; unbounded
+  // dimensions (UINT64_MAX) don't constrain and are skipped.
+  double occupancy_fraction() const {
+    double frac = 0;
+    const QueueCaps caps = q_.caps();
+    if (caps.max_packets != UINT64_MAX && caps.max_packets > 0) {
+      frac = static_cast<double>(q_.packets()) /
+             static_cast<double>(caps.max_packets);
+    }
+    if (caps.max_bytes != UINT64_MAX && caps.max_bytes > 0) {
+      double bf = static_cast<double>(q_.bytes()) /
+                  static_cast<double>(caps.max_bytes);
+      if (bf > frac) frac = bf;
+    }
+    return frac;
+  }
+
+  // Hysteresis watermark events: one event on crossing 75% occupancy, one
+  // on draining back below 25%.  The two-threshold gap keeps a queue
+  // hovering near a single threshold from flooding the flight recorder.
+  void note_watermark() {
+    double frac = occupancy_fraction();
+    if (!above_high_ && frac >= 0.75) {
+      above_high_ = true;
+      trace_event_now(id(), TraceEventKind::kQueueHighWater, frac,
+                      "occupancy above 75%");
+    } else if (above_high_ && frac <= 0.25) {
+      above_high_ = false;
+      trace_event_now(id(), TraceEventKind::kQueueLowWater, frac,
+                      "drained below 25%");
+    }
+  }
+
+  bool above_high_ = false;
 };
 
 // TUN/TAP: the socket queue between the virtual switch and the hypervisor

@@ -4,7 +4,25 @@
 #include <cmath>
 #include <limits>
 
+#include "perfsight/trace.h"
+
 namespace perfsight::mbox {
+
+const char* to_string(AppState s) {
+  switch (s) {
+    case AppState::kNormal:
+      return "Normal";
+    case AppState::kReadBlocked:
+      return "ReadBlocked";
+    case AppState::kWriteBlocked:
+      return "WriteBlocked";
+    case AppState::kOverloaded:
+      return "Overloaded";
+    case AppState::kUnderloaded:
+      return "Underloaded";
+  }
+  return "?";
+}
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -15,7 +33,7 @@ PacketBatch as_batch(uint64_t bytes) {
 }
 }  // namespace
 
-void StreamApp::step(SimTime /*now*/, Duration dt) {
+void StreamApp::step(SimTime now, Duration dt) {
   // --- how much could each side move this tick? ---------------------------
   double avail;
   if (is_source()) {
@@ -142,6 +160,26 @@ void StreamApp::step(SimTime /*now*/, Duration dt) {
   if (!outputs_.empty()) {
     note_out(as_batch(written_bytes));
     note_out_time(Duration::seconds(t_copy_out + out_block));
+  }
+
+  // --- state machine -----------------------------------------------------
+  // Same binding-constraint analysis, folded into Fig. 7 vocabulary.  A
+  // proc-bound relay is Overloaded (it, not its neighbours, limits the
+  // chain); a proc/gen-bound source is Underloaded (it offers less than the
+  // chain could carry).  Only transitions are traced.
+  AppState next = AppState::kNormal;
+  if (input_bound) {
+    next = AppState::kReadBlocked;
+  } else if (output_bound) {
+    next = AppState::kWriteBlocked;
+  } else if (processed + 0.5 >= proc_cap &&
+             (is_source() || avail > processed + 0.5)) {
+    next = is_source() ? AppState::kUnderloaded : AppState::kOverloaded;
+  }
+  if (next != state_) {
+    state_ = next;
+    trace_event(id(), now, TraceEventKind::kStreamState,
+                static_cast<double>(next), to_string(next));
   }
 }
 

@@ -34,6 +34,19 @@ enum class OutputCoupling {
   kIndependent,
 };
 
+// Coarse per-tick condition of the app, in the paper's Fig. 7 vocabulary.
+// Derived from the same binding-constraint analysis as the time accounting;
+// transitions land in the flight recorder (kStreamState) so a trace shows
+// where along the chain the backpressure wave started.
+enum class AppState {
+  kNormal,       // keeping up with offered load, nothing binding
+  kReadBlocked,  // starved: drained its inputs dry with capacity to spare
+  kWriteBlocked, // backpressured: a full send buffer capped progress
+  kOverloaded,   // its own processing capacity binds (the true root cause)
+  kUnderloaded,  // a source generating below what the chain could carry
+};
+const char* to_string(AppState s);
+
 struct StreamAppConfig {
   // Processing capacity in bytes/second; huge = pure relay.
   double proc_bytes_per_sec = 1e15;
@@ -79,6 +92,9 @@ class StreamApp : public dp::Element, public sim::Steppable {
   bool is_source() const { return cfg_.gen_bytes_per_sec > 0; }
   bool is_sink() const { return outputs_.empty(); }
 
+  // Condition as of the last step(); kNormal before the first tick.
+  AppState state() const { return state_; }
+
  private:
   struct Output {
     StreamConn* conn;
@@ -90,6 +106,7 @@ class StreamApp : public dp::Element, public sim::Steppable {
   std::vector<StreamConn*> inputs_;
   std::vector<Output> outputs_;
   double proc_carry_ = 0;
+  AppState state_ = AppState::kNormal;
 };
 
 }  // namespace perfsight::mbox

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "perfsight/trace.h"
+
 namespace perfsight {
 
 const char* to_string(ChannelKind k) {
@@ -54,6 +56,14 @@ Status Agent::add_element(const StatsSource* source) {
   return Status::ok();
 }
 
+Status Agent::remove_element(const ElementId& id) {
+  if (sources_.erase(id) == 0) {
+    return Status::not_found("agent " + name_ + ": no element " + id.name);
+  }
+  cache_.erase(id);
+  return Status::ok();
+}
+
 std::vector<ElementId> Agent::element_ids() const {
   std::vector<ElementId> ids;
   ids.reserve(sources_.size());
@@ -74,9 +84,18 @@ Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
   if (it == sources_.end()) {
     return Status::not_found("agent " + name_ + ": no element " + id.name);
   }
+  ChannelKind kind = it->second->channel_kind();
   QueryResponse resp;
   resp.record = it->second->collect(now);
-  resp.response_time = channel_delay(it->second->channel_kind());
+  resp.response_time = channel_delay(kind);
+  channel_hist_[static_cast<size_t>(kind)].observe(resp.response_time.sec());
+  if (trace_enabled()) {
+    trace_event(id, now, TraceEventKind::kAgentQueryIssued, 0,
+                to_string(kind));
+    trace_event(id, now + resp.response_time,
+                TraceEventKind::kAgentQueryCompleted, resp.response_time.us(),
+                to_string(kind));
+  }
   return resp;
 }
 

@@ -11,6 +11,7 @@
 // behaviour can be studied in simulated time.
 #pragma once
 
+#include <array>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "perfsight/metrics.h"
 #include "perfsight/stats.h"
 #include "perfsight/stats_source.h"
 
@@ -46,6 +48,10 @@ class Agent {
 
   // Registers an element; not owned.  Fails if the id is already taken.
   Status add_element(const StatsSource* source);
+
+  // Deregisters an element (VM teardown / element migration).  Fails if the
+  // id is unknown; the Monitor simply stops producing points for it.
+  Status remove_element(const ElementId& id);
 
   bool has_element(const ElementId& id) const {
     return sources_.count(id) > 0;
@@ -77,6 +83,13 @@ class Agent {
     has_override_[static_cast<size_t>(kind)] = true;
   }
 
+  // Self-profiling: distribution of modelled channel delays this agent has
+  // paid, per channel kind (the live Fig. 9 data).  Always on; one observe
+  // per query.
+  const LatencyHistogram& channel_latency(ChannelKind kind) const {
+    return channel_hist_[static_cast<size_t>(kind)];
+  }
+
  private:
   Duration channel_delay(ChannelKind kind);
 
@@ -85,8 +98,9 @@ class Agent {
   std::unordered_map<ElementId, const StatsSource*> sources_;
   std::unordered_map<ElementId, QueryResponse> cache_;
   uint64_t cache_hits_ = 0;
-  ChannelLatencyModel latency_override_[6] = {};
-  bool has_override_[6] = {};
+  std::array<ChannelLatencyModel, kNumChannelKinds> latency_override_ = {};
+  std::array<bool, kNumChannelKinds> has_override_ = {};
+  std::array<LatencyHistogram, kNumChannelKinds> channel_hist_ = {};
 };
 
 }  // namespace perfsight

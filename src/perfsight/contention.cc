@@ -4,7 +4,13 @@
 #include <set>
 #include <unordered_map>
 
+#include "perfsight/trace.h"
+
 namespace perfsight {
+
+namespace {
+const ElementId kAlgo1Id{"diagnosis/contention"};
+}  // namespace
 
 namespace {
 
@@ -52,6 +58,27 @@ bool is_shared_kind(ElementKind k) {
 
 ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
                                               const AuxSignals& aux) const {
+  const SimTime t0 = controller_->now();
+  const Duration ch0 = controller_->channel_time();
+  trace_event(kAlgo1Id, t0, TraceEventKind::kDiagnosisStarted,
+              static_cast<double>(tenant.value()), "Algorithm 1 sweep");
+
+  // Runs at every exit: observe what this diagnosis itself cost (the sweep
+  // window plus the modelled channel time of every query it issued).
+  auto finish = [&](const ContentionReport& r) {
+    const SimTime t1 = controller_->now();
+    const Duration cost = (t1 - t0) + (controller_->channel_time() - ch0);
+    if (metrics_ != nullptr) {
+      metrics_
+          ->histogram("perfsight_contention_diagnosis_seconds",
+                      "End-to-end Algorithm 1 cost: measurement window plus "
+                      "modelled channel time")
+          .observe(cost.sec());
+    }
+    trace_event(kAlgo1Id, t1, TraceEventKind::kDiagnosisCompleted, cost.ms(),
+                r.problem_found ? "problem found" : "healthy");
+  };
+
   ContentionReport report;
   std::vector<ElementId> elements = controller_->stack_elements_for(tenant);
 
@@ -89,6 +116,7 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
   if (report.ranked.empty() ||
       report.ranked.front().loss_pkts < loss_threshold_) {
     report.narrative = "no significant packet loss in the software dataplane";
+    finish(report);
     return report;
   }
 
@@ -131,6 +159,7 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
                                     vms.size(), report.is_contention ? 2 : 1)) +
                                 " VMs"
                           : "bottleneck confined to one VM");
+  finish(report);
   return report;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "perfsight/controller.h"
+#include "perfsight/metrics.h"
 #include "perfsight/rulebook.h"
 
 namespace perfsight {
@@ -51,6 +52,11 @@ class ContentionDetector {
   // (filters measurement noise).
   void set_loss_threshold(int64_t pkts) { loss_threshold_ = pkts; }
 
+  // Self-profiling sink: each diagnose() observes its end-to-end cost
+  // (measurement window + modelled channel time) into
+  // perfsight_contention_diagnosis_seconds.  Optional; not owned.
+  void set_metrics(MetricsRegistry* m) { metrics_ = m; }
+
   ContentionReport diagnose(TenantId tenant, Duration window,
                             const AuxSignals& aux = {}) const;
 
@@ -58,6 +64,7 @@ class ContentionDetector {
   const Controller* controller_;
   RuleBook rulebook_;
   int64_t loss_threshold_ = 1;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 std::string to_text(const ContentionReport& report);

@@ -76,6 +76,8 @@ Result<StatsRecord> Controller::get_attr(
   }
   Result<QueryResponse> resp = agent->query_attrs(id, attrs, now_());
   if (!resp.ok()) return resp.status();
+  ++queries_issued_;
+  channel_time_ += resp.value().response_time;
   return resp.value().record;
 }
 

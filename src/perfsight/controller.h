@@ -67,6 +67,14 @@ class Controller {
   SimTime now() const { return now_(); }
   SimTime advance(Duration d) const { return advance_(d); }
 
+  // --- self-profiling --------------------------------------------------------
+  // Cumulative cost of the queries this controller has issued: how many,
+  // and how much modelled channel time they spent (the per-query latencies
+  // of Fig. 9, summed).  Diagnosis applications read deltas around a run to
+  // report what the run itself cost.
+  uint64_t queries_issued() const { return queries_issued_; }
+  Duration channel_time() const { return channel_time_; }
+
   // --- Fig. 6 interfaces ----------------------------------------------------
   // GETATTR(tenantID, elementID, attributes)
   Result<StatsRecord> get_attr(TenantId tenant, const ElementId& id,
@@ -91,6 +99,10 @@ class Controller {
 
   AdvanceFn advance_;
   NowFn now_;
+  // get_attr is logically const (a read); the cost bookkeeping is not state
+  // the read depends on.
+  mutable uint64_t queries_issued_ = 0;
+  mutable Duration channel_time_;
   std::vector<Agent*> agents_;
   std::unordered_map<TenantId, std::unordered_map<ElementId, Agent*>> vnet_;
   std::unordered_map<Agent*, std::vector<ElementId>> stack_elements_;

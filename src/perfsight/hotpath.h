@@ -33,6 +33,11 @@ struct HotpathConfig {
   uint32_t packet_bytes = 1500;
   bool simple_counters = false;  // pkts/bytes counters on the fast path
   bool time_counters = false;    // ScopedIoTimer around read/write
+  // Flight-recorder event per packet into the global TraceRecorder's ring
+  // (the worst case for tracing overhead: every packet is an event).  The
+  // global recorder must also be enabled, else the per-packet cost is the
+  // single branch production code pays.
+  bool trace_events = false;
 };
 
 struct HotpathResult {

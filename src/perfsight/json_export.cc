@@ -1,5 +1,6 @@
 #include "perfsight/json_export.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -54,7 +55,145 @@ namespace {
 
 std::string str(const std::string& s) { return "\"" + escape(s) + "\""; }
 
+// Recursive-descent structural validator; consumes one JSON value starting
+// at `i` (whitespace-tolerant) and leaves `i` just past it.
+class Linter {
+ public:
+  explicit Linter(const std::string& t) : t_(t) {}
+
+  Status run() {
+    Status st = value();
+    if (!st.is_ok()) return st;
+    skip_ws();
+    if (i_ != t_.size()) return fail("trailing characters");
+    return Status::ok();
+  }
+
+ private:
+  Status fail(const std::string& what) const {
+    return Status::invalid_argument("json lint: " + what + " at offset " +
+                                    std::to_string(i_));
+  }
+  void skip_ws() {
+    while (i_ < t_.size() && (t_[i_] == ' ' || t_[i_] == '\t' ||
+                              t_[i_] == '\n' || t_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i_ < t_.size() && t_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Status string() {
+    if (!eat('"')) return fail("expected string");
+    while (i_ < t_.size()) {
+      char c = t_[i_];
+      if (c == '"') {
+        ++i_;
+        return Status::ok();
+      }
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= t_.size()) break;
+        char e = t_[i_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i_;
+            if (i_ >= t_.size() || !std::isxdigit(
+                                       static_cast<unsigned char>(t_[i_]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character");
+      }
+      ++i_;
+    }
+    return fail("unterminated string");
+  }
+
+  Status number_token() {
+    size_t start = i_;
+    if (i_ < t_.size() && t_[i_] == '-') ++i_;
+    while (i_ < t_.size() && std::isdigit(static_cast<unsigned char>(t_[i_])))
+      ++i_;
+    if (i_ < t_.size() && t_[i_] == '.') {
+      ++i_;
+      while (i_ < t_.size() &&
+             std::isdigit(static_cast<unsigned char>(t_[i_])))
+        ++i_;
+    }
+    if (i_ < t_.size() && (t_[i_] == 'e' || t_[i_] == 'E')) {
+      ++i_;
+      if (i_ < t_.size() && (t_[i_] == '+' || t_[i_] == '-')) ++i_;
+      while (i_ < t_.size() &&
+             std::isdigit(static_cast<unsigned char>(t_[i_])))
+        ++i_;
+    }
+    if (i_ == start) return fail("expected number");
+    return Status::ok();
+  }
+
+  Status literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i_) {
+      if (i_ >= t_.size() || t_[i_] != *p) return fail("bad literal");
+    }
+    return Status::ok();
+  }
+
+  Status value() {
+    skip_ws();
+    if (i_ >= t_.size()) return fail("expected value");
+    char c = t_[i_];
+    if (c == '{') {
+      ++i_;
+      if (eat('}')) return Status::ok();
+      while (true) {
+        skip_ws();
+        Status st = string();
+        if (!st.is_ok()) return st;
+        if (!eat(':')) return fail("expected ':'");
+        st = value();
+        if (!st.is_ok()) return st;
+        if (eat(',')) continue;
+        if (eat('}')) return Status::ok();
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      if (eat(']')) return Status::ok();
+      while (true) {
+        Status st = value();
+        if (!st.is_ok()) return st;
+        if (eat(',')) continue;
+        if (eat(']')) return Status::ok();
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number_token();
+  }
+
+  const std::string& t_;
+  size_t i_ = 0;
+};
+
 }  // namespace
+
+Status lint(const std::string& text) { return Linter(text).run(); }
 
 std::string to_json(const StatsRecord& r) {
   std::string out = "{\"timestampNs\":";

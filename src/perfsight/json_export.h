@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "perfsight/contention.h"
 #include "perfsight/rootcause.h"
 #include "perfsight/stats.h"
@@ -15,6 +16,13 @@ namespace perfsight::json {
 // Low-level helpers (exposed for operator extensions).
 std::string escape(const std::string& s);
 std::string number(double v);
+
+// Structural well-formedness check of a complete JSON document: balanced
+// objects/arrays, valid strings/numbers/literals, commas and colons where
+// the grammar requires them.  Returns the byte offset of the first error in
+// the status message.  Exists so exporters (and their tests) can assert
+// "this is JSON" without an external parser dependency.
+Status lint(const std::string& text);
 
 std::string to_json(const StatsRecord& r);
 std::string to_json(const ContentionReport& r);

@@ -1,0 +1,181 @@
+#include "perfsight/metrics.h"
+
+#include <cstdio>
+
+#include "perfsight/agent.h"
+#include "perfsight/json_export.h"
+#include "perfsight/trace.h"
+
+namespace perfsight {
+
+double LatencyHistogram::approx_quantile(double q) const {
+  if (count_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(static_cast<double>(count_) * q);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return i < kBoundsSec.size() ? kBoundsSec[i] : kBoundsSec.back();
+    }
+  }
+  return kBoundsSec.back();
+}
+
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+T& MetricsRegistry::find_or_add(std::vector<Family<T>>& families,
+                                const std::string& name,
+                                const std::string& help,
+                                const std::string& labels) {
+  for (Family<T>& f : families) {
+    if (f.name == name && f.labels == labels) return *f.metric;
+  }
+  families.push_back(Family<T>{name, help, labels, std::make_unique<T>()});
+  return *families.back().metric;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name,
+                                               const std::string& help,
+                                               const std::string& labels) {
+  return find_or_add(gauges_, name, help, labels);
+}
+
+MetricsRegistry::CounterMetric& MetricsRegistry::counter(
+    const std::string& name, const std::string& help,
+    const std::string& labels) {
+  return find_or_add(counters_, name, help, labels);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             const std::string& help,
+                                             const std::string& labels) {
+  return find_or_add(histograms_, name, help, labels);
+}
+
+namespace {
+
+std::string le_label(size_t bucket) {
+  if (bucket >= LatencyHistogram::kBoundsSec.size()) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", LatencyHistogram::kBoundsSec[bucket]);
+  return buf;
+}
+
+void emit_histogram(std::string& out, const std::string& name,
+                    const std::string& labels, const LatencyHistogram& h) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += h.bucket_count(i);
+    out += name + "_bucket{" + labels + (labels.empty() ? "" : ",") +
+           "le=\"" + le_label(i) + "\"} " + std::to_string(cumulative) + "\n";
+  }
+  out += name + "_sum" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+         json::number(h.sum()) + "\n";
+  out += name + "_count" + (labels.empty() ? "" : "{" + labels + "}") + " " +
+         std::to_string(h.count()) + "\n";
+}
+
+void emit_header(std::string& out, std::string& last_family,
+                 const std::string& name, const std::string& help,
+                 const char* type) {
+  if (name == last_family) return;  // one HELP/TYPE per family
+  last_family = name;
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::expose(SimTime now) const {
+  std::string out;
+
+  // --- element counters, scraped through the agents ------------------------
+  if (!agents_.empty()) {
+    out += "# HELP perfsight_element_stat Element attribute scraped via the "
+           "owning agent's channel\n";
+    out += "# TYPE perfsight_element_stat gauge\n";
+    for (Agent* a : agents_) {
+      for (const QueryResponse& resp : a->poll_all(now)) {
+        const StatsRecord& r = resp.record;
+        for (const Attr& at : r.attrs) {
+          out += "perfsight_element_stat{agent=\"" + prom_escape(a->name()) +
+                 "\",element=\"" + prom_escape(r.element.name) +
+                 "\",attr=\"" + prom_escape(at.name) + "\"} " +
+                 json::number(at.value) + "\n";
+        }
+      }
+    }
+
+    // --- agent self-profiling: channel latency distributions ---------------
+    out += "# HELP perfsight_agent_channel_latency_seconds Modelled "
+           "agent-to-element fetch latency per channel kind\n";
+    out += "# TYPE perfsight_agent_channel_latency_seconds histogram\n";
+    for (Agent* a : agents_) {
+      for (size_t k = 0; k < kNumChannelKinds; ++k) {
+        const LatencyHistogram& h =
+            a->channel_latency(static_cast<ChannelKind>(k));
+        if (h.count() == 0) continue;
+        std::string labels = "agent=\"" + prom_escape(a->name()) +
+                             "\",channel=\"" +
+                             to_string(static_cast<ChannelKind>(k)) + "\"";
+        emit_histogram(out, "perfsight_agent_channel_latency_seconds", labels,
+                       h);
+      }
+    }
+  }
+
+  // --- registered instruments ----------------------------------------------
+  std::string last_family;
+  for (const Family<Gauge>& f : gauges_) {
+    emit_header(out, last_family, f.name, f.help, "gauge");
+    out += f.name + (f.labels.empty() ? "" : "{" + f.labels + "}") + " " +
+           json::number(f.metric->value) + "\n";
+  }
+  last_family.clear();
+  for (const Family<CounterMetric>& f : counters_) {
+    emit_header(out, last_family, f.name, f.help, "counter");
+    out += f.name + (f.labels.empty() ? "" : "{" + f.labels + "}") + " " +
+           std::to_string(f.metric->value) + "\n";
+  }
+  last_family.clear();
+  for (const Family<LatencyHistogram>& f : histograms_) {
+    emit_header(out, last_family, f.name, f.help, "histogram");
+    emit_histogram(out, f.name, f.labels, *f.metric);
+  }
+
+  // --- flight-recorder health ------------------------------------------------
+  const TraceRecorder& tr = TraceRecorder::global();
+  out += "# HELP perfsight_trace_events_total Events recorded by the flight "
+         "recorder\n";
+  out += "# TYPE perfsight_trace_events_total counter\n";
+  out += "perfsight_trace_events_total " + std::to_string(tr.total_events()) +
+         "\n";
+  out += "# HELP perfsight_trace_dropped_events_total Events overwritten in "
+         "full rings\n";
+  out += "# TYPE perfsight_trace_dropped_events_total counter\n";
+  out += "perfsight_trace_dropped_events_total " +
+         std::to_string(tr.dropped_events()) + "\n";
+  return out;
+}
+
+}  // namespace perfsight

@@ -50,6 +50,8 @@ class Monitor {
   Series rates(const ElementId& id, const std::string& attr) const;
 
   size_t num_watches() const { return series_.size(); }
+  TenantId tenant() const { return tenant_; }
+  const Controller* controller() const { return controller_; }
 
  private:
   struct Key {

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "perfsight/trace.h"
+
 namespace perfsight {
 
 const char* to_string(MbState s) {
@@ -70,6 +72,12 @@ double side_rate_mbps(double bytes, double time_ns, double min_bytes) {
 
 RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
                                            Duration window) const {
+  static const ElementId kAlgo2Id{"diagnosis/rootcause"};
+  const SimTime t0 = controller_->now();
+  const Duration ch0 = controller_->channel_time();
+  trace_event(kAlgo2Id, t0, TraceEventKind::kDiagnosisStarted,
+              static_cast<double>(tenant.value()), "Algorithm 2 chain walk");
+
   RootCauseReport report;
   const std::vector<ElementId>& mbs = controller_->middleboxes(tenant);
   const ChainTopology& chain = controller_->chain(tenant);
@@ -176,6 +184,19 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
                           to_string(report.root_cause_roles[i]) + ")";
     }
   }
+
+  const SimTime t1 = controller_->now();
+  const Duration cost = (t1 - t0) + (controller_->channel_time() - ch0);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->histogram("perfsight_rootcause_diagnosis_seconds",
+                    "End-to-end Algorithm 2 cost: measurement window plus "
+                    "modelled channel time")
+        .observe(cost.sec());
+  }
+  trace_event(kAlgo2Id, t1, TraceEventKind::kDiagnosisCompleted, cost.ms(),
+              report.root_causes.empty() ? "no root cause"
+                                         : "root cause found");
   return report;
 }
 

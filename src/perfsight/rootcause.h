@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "perfsight/controller.h"
+#include "perfsight/metrics.h"
 
 namespace perfsight {
 
@@ -58,11 +59,16 @@ class RootCauseAnalyzer {
   // guards against classifying an idle side from a handful of bytes.
   void set_min_bytes(double b) { min_bytes_ = b; }
 
+  // Self-profiling sink: each analyze() observes its end-to-end cost into
+  // perfsight_rootcause_diagnosis_seconds.  Optional; not owned.
+  void set_metrics(MetricsRegistry* m) { metrics_ = m; }
+
   RootCauseReport analyze(TenantId tenant, Duration window) const;
 
  private:
   const Controller* controller_;
   double min_bytes_ = 1.0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 std::string to_text(const RootCauseReport& report);

@@ -23,8 +23,14 @@ enum class ChannelKind {
   kOvsChannel,     // virtual switch: per-rule stats via control channel
   kQemuLog,        // hypervisor I/O handler: instrumented QEMU log
   kGuestProc,      // guest-kernel elements, via guest agent
-  kMbSocket,       // middlebox software: agent socket
+  kMbSocket,       // middlebox software: agent socket  (keep last: sizes
+                   // kNumChannelKinds below)
 };
+
+// Number of channel kinds; per-kind tables (latency models, histograms)
+// are sized from this so adding a kind can never silently overflow them.
+inline constexpr size_t kNumChannelKinds =
+    static_cast<size_t>(ChannelKind::kMbSocket) + 1;
 
 const char* to_string(ChannelKind k);
 

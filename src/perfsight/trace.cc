@@ -1,0 +1,201 @@
+#include "perfsight/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "perfsight/json_export.h"
+
+namespace perfsight {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kQueueHighWater:
+      return "queue_high_water";
+    case TraceEventKind::kQueueLowWater:
+      return "queue_low_water";
+    case TraceEventKind::kArbiterShortfall:
+      return "arbiter_shortfall";
+    case TraceEventKind::kArbiterRecovered:
+      return "arbiter_recovered";
+    case TraceEventKind::kStreamState:
+      return "stream_state";
+    case TraceEventKind::kAgentQueryIssued:
+      return "agent_query_issued";
+    case TraceEventKind::kAgentQueryCompleted:
+      return "agent_query_completed";
+    case TraceEventKind::kDiagnosisStarted:
+      return "diagnosis_started";
+    case TraceEventKind::kDiagnosisCompleted:
+      return "diagnosis_completed";
+    case TraceEventKind::kAlertFired:
+      return "alert_fired";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::string element, size_t capacity)
+    : element_(std::move(element)), buf_(capacity == 0 ? 1 : capacity) {
+  // Pre-fill the element name so steady-state pushes only touch the fields
+  // that change (the name of a ring's events never does).
+  for (TraceEvent& e : buf_) e.element = element_;
+}
+
+void TraceRing::push(SimTime t, TraceEventKind kind, double value,
+                     std::string_view detail) {
+  TraceEvent& e = buf_[next_];
+  e.t = t;
+  e.kind = kind;
+  e.value = value;
+  e.detail.assign(detail.data(), detail.size());
+  next_ = next_ + 1 == buf_.size() ? 0 : next_ + 1;
+  if (count_ < buf_.size()) ++count_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  size_t start = count_ < buf_.size() ? 0 : next_;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+TraceRing* TraceRecorder::ring(const ElementId& id) {
+  auto it = rings_.find(id);
+  if (it != rings_.end()) return it->second.get();
+  auto r = std::make_unique<TraceRing>(id.name, ring_capacity_);
+  TraceRing* raw = r.get();
+  rings_.emplace(id, std::move(r));
+  return raw;
+}
+
+void TraceRecorder::record(const ElementId& id, SimTime t,
+                           TraceEventKind kind, double value,
+                           std::string_view detail) {
+  if (!enabled_) return;
+  ring(id)->push(t, kind, value, detail);
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  uint64_t n = 0;
+  for (const auto& [id, r] : rings_) n += r->dropped_events();
+  return n;
+}
+
+uint64_t TraceRecorder::total_events() const {
+  uint64_t n = 0;
+  for (const auto& [id, r] : rings_) n += r->total_events();
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& [id, r] : rings_) {
+    std::vector<TraceEvent> s = r->snapshot();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return a.element < b.element;
+                   });
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::events_for(const ElementId& id) const {
+  auto it = rings_.find(id);
+  if (it == rings_.end()) return {};
+  return it->second->snapshot();
+}
+
+void TraceRecorder::clear() { rings_.clear(); }
+
+namespace {
+TraceRecorder g_default_recorder;
+TraceRecorder* g_recorder = &g_default_recorder;
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() { return *g_recorder; }
+
+TraceRecorder* TraceRecorder::install(TraceRecorder* r) {
+  TraceRecorder* prev = g_recorder;
+  g_recorder = r != nullptr ? r : &g_default_recorder;
+  return prev == &g_default_recorder ? nullptr : prev;
+}
+
+namespace {
+
+// Joined candidate-resource list per drop location, derived once from the
+// standard rule book so the flight recorder and the diagnosis layer can
+// never disagree about causes.
+const std::string& drop_cause(ElementKind kind) {
+  static const std::map<int, std::string> kCauses = [] {
+    std::map<int, std::string> m;
+    const RuleBook book = RuleBook::standard();
+    for (const RuleBook::Rule& r : book.rules()) {
+      std::string& s = m[static_cast<int>(r.drop_location)];
+      std::string name = to_string(r.resource);
+      if (s.find(name) != std::string::npos) continue;
+      if (!s.empty()) s += "|";
+      s += name;
+    }
+    return m;
+  }();
+  static const std::string kUnknown = "unmapped location";
+  auto it = kCauses.find(static_cast<int>(kind));
+  return it == kCauses.end() ? kUnknown : it->second;
+}
+
+}  // namespace
+
+void trace_drop(const ElementId& id, ElementKind kind, uint64_t pkts) {
+  TraceRecorder& g = TraceRecorder::global();
+  if (!g.enabled()) return;
+  g.record(id, g.now(), TraceEventKind::kDrop, static_cast<double>(pkts),
+           drop_cause(kind));
+}
+
+std::string to_chrome_trace(const TraceRecorder& recorder) {
+  std::vector<TraceEvent> evs = recorder.events();
+
+  // Stable virtual-thread ids per element, in name order.
+  std::map<std::string, int> tids;
+  for (const TraceEvent& e : evs) tids.emplace(e.element, 0);
+  int next_tid = 1;
+  for (auto& [name, tid] : tids) tid = next_tid++;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // thread_name metadata first (ts 0 keeps the stream sorted: simulated
+  // time never goes negative).
+  for (const auto& [name, tid] : tids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":";
+    out += json::number(tid);
+    out += ",\"args\":{\"name\":\"" + json::escape(name) + "\"}}";
+  }
+  for (const TraceEvent& e : evs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json::escape(to_string(e.kind)) + "\"";
+    out += ",\"ph\":\"i\",\"s\":\"t\"";
+    out += ",\"ts\":" + json::number(e.t.us());
+    out += ",\"pid\":1,\"tid\":" + json::number(tids[e.element]);
+    out += ",\"cat\":\"perfsight\"";
+    out += ",\"args\":{\"element\":\"" + json::escape(e.element) + "\"";
+    out += ",\"value\":" + json::number(e.value);
+    out += ",\"detail\":\"" + json::escape(e.detail) + "\"}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":";
+  out += json::number(static_cast<double>(recorder.dropped_events()));
+  out += "}}";
+  return out;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,205 @@
+// Flight-recorder event tracing for the software dataplane (§4 direction:
+// always-on, low-level instrumentation instead of coarse utilization
+// monitoring).
+//
+// Aggregate counters answer "how many packets were lost"; they cannot answer
+// "what *sequence* of drops, queue build-ups, grant shortfalls and state
+// transitions led to this diagnosis".  The TraceRecorder closes that gap:
+// every instrumented element owns a bounded ring of TraceEvents —
+//
+//   * kDrop                 packet loss, annotated with the rule book's
+//                           candidate causes for that drop location
+//   * kQueueHighWater/
+//     kQueueLowWater        queue occupancy crossing 3/4, draining to 1/4
+//   * kArbiterShortfall/
+//     kArbiterRecovered     a resource-pool consumer granted less than its
+//                           demand (the onset / end of contention)
+//   * kStreamState          middlebox ReadBlocked / WriteBlocked /
+//                           Overloaded / Underloaded transitions (Fig. 7)
+//   * kAgentQueryIssued/
+//     kAgentQueryCompleted  agent↔element channel activity (Fig. 9 cost)
+//   * kDiagnosisStarted/
+//     kDiagnosisCompleted   Algorithm 1/2 runs (self-profiling)
+//   * kAlertFired           an AlertWatcher threshold breach
+//
+// Rings overwrite the oldest event when full and count what they discard
+// (`dropped_events`), so the hot path never blocks and never allocates
+// unboundedly: recording is a handful of stores (strings stay within SSO
+// for the short static details used on fast paths).  With tracing disabled
+// the cost is a single branch on a global flag.
+//
+// The recorder carries a simulated-time clock stamped by the Simulator each
+// tick, so instrumentation points without a `now` parameter (queue accept,
+// drop charging) still timestamp correctly.  Wall-clock users (the hotpath
+// overhead bench) push into rings directly with their own timestamps.
+//
+// Export: to_chrome_trace() renders the merged, time-ordered event stream
+// as Chrome-trace/Perfetto JSON, so any scenario run can be opened in a
+// trace viewer (chrome://tracing, ui.perfetto.dev).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "perfsight/rulebook.h"
+
+namespace perfsight {
+
+enum class TraceEventKind {
+  kDrop = 0,
+  kQueueHighWater,
+  kQueueLowWater,
+  kArbiterShortfall,
+  kArbiterRecovered,
+  kStreamState,
+  kAgentQueryIssued,
+  kAgentQueryCompleted,
+  kDiagnosisStarted,
+  kDiagnosisCompleted,
+  kAlertFired,
+};
+
+const char* to_string(TraceEventKind k);
+
+struct TraceEvent {
+  SimTime t;
+  TraceEventKind kind = TraceEventKind::kDrop;
+  double value = 0;     // kind-specific magnitude (pkts, fraction, us, ...)
+  std::string element;  // owning element name
+  std::string detail;   // short human-readable annotation
+};
+
+// Fixed-capacity event ring for one element.  Overwrites the oldest event
+// when full; `dropped_events` counts the overwritten ones.
+class TraceRing {
+ public:
+  TraceRing(std::string element, size_t capacity);
+
+  void push(SimTime t, TraceEventKind kind, double value,
+            std::string_view detail);
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return buf_.size(); }
+  uint64_t total_events() const { return total_; }
+  uint64_t dropped_events() const { return total_ - count_; }
+  const std::string& element() const { return element_; }
+
+  // Events oldest-first.
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::string element_;
+  std::vector<TraceEvent> buf_;
+  size_t next_ = 0;   // slot the next push writes
+  size_t count_ = 0;  // live events (<= capacity)
+  uint64_t total_ = 0;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1024;
+
+  explicit TraceRecorder(size_t ring_capacity = kDefaultRingCapacity)
+      : ring_capacity_(ring_capacity) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // The recorder's clock; the Simulator stamps this at every tick so that
+  // instrumentation points without a time parameter timestamp correctly.
+  SimTime now() const { return now_; }
+  void set_now(SimTime t) { now_ = t; }
+
+  // Per-element ring, created on first use.  Hot paths that record per
+  // packet should cache this pointer; rings live as long as the recorder.
+  TraceRing* ring(const ElementId& id);
+
+  // Records one event (no-op while disabled).
+  void record(const ElementId& id, SimTime t, TraceEventKind kind,
+              double value = 0, std::string_view detail = {});
+
+  size_t ring_capacity() const { return ring_capacity_; }
+  size_t num_rings() const { return rings_.size(); }
+  // Total events discarded by overwrite across all rings.
+  uint64_t dropped_events() const;
+  uint64_t total_events() const;
+
+  // Merged event stream, ordered by timestamp (ties broken by element).
+  std::vector<TraceEvent> events() const;
+  std::vector<TraceEvent> events_for(const ElementId& id) const;
+
+  void clear();
+
+  // The process-wide recorder the instrumentation hooks talk to.  Disabled
+  // by default; install() swaps in a caller-owned recorder (tests, tools)
+  // and returns the previous one; install(nullptr) restores the default.
+  static TraceRecorder& global();
+  static TraceRecorder* install(TraceRecorder* r);
+
+ private:
+  bool enabled_ = false;
+  SimTime now_;
+  size_t ring_capacity_;
+  std::unordered_map<ElementId, std::unique_ptr<TraceRing>> rings_;
+};
+
+// RAII install+enable of a recorder (tests and tools).
+class ScopedTraceRecorder {
+ public:
+  explicit ScopedTraceRecorder(size_t ring_capacity =
+                                   TraceRecorder::kDefaultRingCapacity)
+      : recorder_(ring_capacity) {
+    recorder_.set_enabled(true);
+    prev_ = TraceRecorder::install(&recorder_);
+  }
+  ScopedTraceRecorder(const ScopedTraceRecorder&) = delete;
+  ScopedTraceRecorder& operator=(const ScopedTraceRecorder&) = delete;
+  ~ScopedTraceRecorder() { TraceRecorder::install(prev_); }
+
+  TraceRecorder& recorder() { return recorder_; }
+
+ private:
+  TraceRecorder recorder_;
+  TraceRecorder* prev_;
+};
+
+// --- hot-path hooks ---------------------------------------------------------
+// One branch when tracing is off; callers need not know about the recorder.
+
+inline bool trace_enabled() { return TraceRecorder::global().enabled(); }
+
+// Records at an explicit time (instrumentation points that know `now`).
+inline void trace_event(const ElementId& id, SimTime t, TraceEventKind kind,
+                        double value = 0, std::string_view detail = {}) {
+  TraceRecorder& g = TraceRecorder::global();
+  if (!g.enabled()) return;
+  g.record(id, t, kind, value, detail);
+}
+
+// Records at the recorder's clock (points without a time parameter).
+inline void trace_event_now(const ElementId& id, TraceEventKind kind,
+                            double value = 0, std::string_view detail = {}) {
+  TraceRecorder& g = TraceRecorder::global();
+  if (!g.enabled()) return;
+  g.record(id, g.now(), kind, value, detail);
+}
+
+// Drop with the rule book's cause taxonomy attached: the detail names the
+// candidate resources whose shortage manifests at this element kind
+// (Table 1), so the flight recorder explains drops, not just counts them.
+void trace_drop(const ElementId& id, ElementKind kind, uint64_t pkts);
+
+// --- export -----------------------------------------------------------------
+
+// Chrome-trace / Perfetto JSON ("object format"): instant events with
+// microsecond timestamps, one virtual thread per element, thread_name
+// metadata so viewers show element names.  Timestamps are sorted.
+std::string to_chrome_trace(const TraceRecorder& recorder);
+
+}  // namespace perfsight

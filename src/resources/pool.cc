@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/ids.h"
+#include "perfsight/trace.h"
+
 namespace perfsight {
 
 double ResourcePool::request(ConsumerId id, double want) {
@@ -41,7 +44,7 @@ double ResourcePool::available(ConsumerId id) const {
   return std::min(c.budget + spare_, cap_room);
 }
 
-void ResourcePool::step(SimTime /*now*/, Duration dt) {
+void ResourcePool::step(SimTime now, Duration dt) {
   // Close out the previous tick: record demands/utilization, then divide
   // this tick's capacity according to those demands.
   double consumed = 0;
@@ -78,6 +81,29 @@ void ResourcePool::step(SimTime /*now*/, Duration dt) {
     allotted += alloc[i];
   }
   spare_ = std::max(0.0, cap_tick - allotted);
+
+  // Flight recorder: edge-triggered grant-shortfall events.  A consumer is
+  // in shortfall when the arbiter allots meaningfully less than it demanded
+  // (95% slack absorbs fluid-model rounding); only transitions are logged,
+  // so a sustained squeeze costs two events, not one per tick.
+  if (trace_enabled()) {
+    for (size_t i = 0; i < consumers_.size(); ++i) {
+      State& c = consumers_[i];
+      double want = demands[i].amount;
+      if (want <= 0) continue;
+      bool short_now = alloc[i] < 0.95 * want;
+      if (short_now == c.in_shortfall) continue;
+      c.in_shortfall = short_now;
+      ElementId id{name_ + "/" + c.cfg.name};
+      if (short_now) {
+        trace_event(id, now, TraceEventKind::kArbiterShortfall,
+                    alloc[i] / want, "grant below demand");
+      } else {
+        trace_event(id, now, TraceEventKind::kArbiterRecovered,
+                    alloc[i] / want, "grant meets demand");
+      }
+    }
+  }
 }
 
 }  // namespace perfsight

@@ -106,6 +106,7 @@ class ResourcePool : public sim::Steppable {
     double consumed_tick;   // units consumed this tick
     double consumed_total;  // lifetime units
     double rate_prev = 0;   // units/sec achieved last tick
+    bool in_shortfall = false;  // arbiter granted meaningfully below demand
   };
 
   std::string name_;

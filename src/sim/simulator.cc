@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "perfsight/trace.h"
+
 namespace perfsight::sim {
 
 void Simulator::every(SimTime start, Duration period,
@@ -18,6 +20,9 @@ void Simulator::every(SimTime start, Duration period,
 
 void Simulator::run_until(SimTime until) {
   while (now_ < until) {
+    // Stamp the flight recorder's clock so instrumentation points without a
+    // `now` parameter (drop charging, queue watermarks) timestamp correctly.
+    TraceRecorder::global().set_now(now_);
     // Fire events due at or before this tick's start, in time order.
     while (!events_.empty() && events_.top().when <= now_) {
       // priority_queue::top is const; move via const_cast is UB-adjacent, so

@@ -1,0 +1,152 @@
+// AlertWatcher end-to-end: a threshold breach on a monitored series
+// auto-runs Algorithm 1 and produces the same diagnosis an operator's
+// manual run would, with cooldown suppression and a flight-recorder event.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/deployment.h"
+#include "perfsight/alert.h"
+#include "perfsight/contention.h"
+#include "perfsight/monitor.h"
+#include "perfsight/trace.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+namespace perfsight {
+namespace {
+
+// The telemetry-export scenario: two overdriven VMs plus a memory hog, so
+// TUN drops are large and Algorithm 1 finds multi-VM contention.
+struct ContendedMachine {
+  sim::Simulator sim{Duration::millis(1)};
+  vm::PhysicalMachine machine{"m0", dp::StackParams{}, &sim};
+  cluster::Deployment dep{&sim};
+  Agent* agent = nullptr;
+  const TenantId tenant{1};
+
+  ContendedMachine() {
+    for (int i = 0; i < 2; ++i) {
+      int v = machine.add_vm({"vm" + std::to_string(i), 1.0});
+      machine.set_sink_app(v);
+      FlowSpec f;
+      f.id = FlowId{static_cast<uint32_t>(i + 1)};
+      f.packet_size = 1500;
+      machine.route_flow_to_vm(f, v);
+      machine.add_ingress_source("s" + std::to_string(i), f,
+                                 DataRate::gbps(1.6));
+    }
+    machine.add_mem_hog("hog")->set_demand_bytes_per_sec(60e9);
+    agent = dep.add_agent("agent-m0");
+    dep.attach(&machine, agent);
+    PS_CHECK(dep.assign(tenant, machine.tun(0)->id(), agent).is_ok());
+  }
+};
+
+TEST(AlertWatcherTest, BreachTriggersSameDiagnosisAsManualRun) {
+  ScopedTraceRecorder scoped;
+  ContendedMachine s;
+
+  Monitor monitor(s.dep.controller(), s.tenant);
+  const ElementId tun0 = s.machine.tun(0)->id();
+  monitor.watch(tun0, attr::kDropPkts);
+  for (int i = 0; i < 4; ++i) {
+    s.sim.run_for(Duration::millis(500));
+    monitor.sample();
+  }
+  ASSERT_FALSE(monitor.rates(tun0, attr::kDropPkts).empty());
+
+  ContentionDetector detector(s.dep.controller(), RuleBook::standard());
+  detector.set_loss_threshold(100);
+
+  // The operator's manual run, for comparison.
+  ContentionReport manual = detector.diagnose(s.tenant, Duration::seconds(1),
+                                              s.machine.aux_signals());
+  ASSERT_TRUE(manual.problem_found);
+
+  AlertWatcher watcher(&monitor, &detector, nullptr);
+  AlertRule rule;
+  rule.name = "tun0-drops";
+  rule.element = tun0;
+  rule.attr = attr::kDropPkts;
+  rule.on_rate = true;
+  rule.threshold = 100;  // pkts/s; the scenario drops far more
+  watcher.add_rule(rule);
+
+  std::vector<Alert> fired = watcher.check(s.machine.aux_signals());
+  ASSERT_EQ(fired.size(), 1u);
+  const Alert& a = fired[0];
+  EXPECT_EQ(a.rule, "tun0-drops");
+  EXPECT_GE(a.observed, a.threshold);
+  ASSERT_TRUE(a.ran_contention);
+  EXPECT_FALSE(a.ran_rootcause);
+
+  // The auto-run diagnosis matches the manual one.
+  EXPECT_EQ(a.contention.problem_found, manual.problem_found);
+  EXPECT_EQ(a.contention.primary_location, manual.primary_location);
+  EXPECT_EQ(a.contention.is_contention, manual.is_contention);
+  EXPECT_EQ(a.contention.candidate_resources, manual.candidate_resources);
+
+  // The firing landed in the flight recorder.
+  bool saw_alert_event = false;
+  for (const TraceEvent& e : scoped.recorder().events_for(tun0)) {
+    if (e.kind == TraceEventKind::kAlertFired) {
+      saw_alert_event = true;
+      EXPECT_EQ(e.detail, "tun0-drops");
+    }
+  }
+  EXPECT_TRUE(saw_alert_event);
+
+  // Cooldown: the breach persists, but within the 5 s default the rule
+  // stays quiet.
+  monitor.sample();
+  EXPECT_TRUE(watcher.check(s.machine.aux_signals()).empty());
+  EXPECT_EQ(watcher.history().size(), 1u);
+}
+
+TEST(AlertWatcherTest, ActionNoneRecordsWithoutDiagnosis) {
+  ContendedMachine s;
+  Monitor monitor(s.dep.controller(), s.tenant);
+  const ElementId tun0 = s.machine.tun(0)->id();
+  monitor.watch(tun0, attr::kDropPkts);
+  for (int i = 0; i < 3; ++i) {
+    s.sim.run_for(Duration::millis(500));
+    monitor.sample();
+  }
+
+  AlertWatcher watcher(&monitor, nullptr, nullptr);
+  AlertRule rule;
+  rule.name = "raw";
+  rule.element = tun0;
+  rule.attr = attr::kDropPkts;
+  rule.on_rate = false;  // raw counter value
+  rule.threshold = 1;
+  rule.action = AlertRule::Action::kNone;
+  watcher.add_rule(rule);
+
+  std::vector<Alert> fired = watcher.check();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_FALSE(fired[0].ran_contention);
+  EXPECT_FALSE(fired[0].ran_rootcause);
+}
+
+TEST(AlertWatcherTest, QuietSeriesNeverFires) {
+  ContendedMachine s;
+  Monitor monitor(s.dep.controller(), s.tenant);
+  const ElementId tun0 = s.machine.tun(0)->id();
+  monitor.watch(tun0, attr::kDropPkts);
+  // No samples at all: rules observe nothing and stay silent.
+  AlertWatcher watcher(&monitor, nullptr, nullptr);
+  AlertRule rule;
+  rule.name = "silent";
+  rule.element = tun0;
+  rule.attr = attr::kDropPkts;
+  rule.threshold = 0;
+  rule.action = AlertRule::Action::kNone;
+  watcher.add_rule(rule);
+  EXPECT_TRUE(watcher.check().empty());
+  EXPECT_TRUE(watcher.history().empty());
+}
+
+}  // namespace
+}  // namespace perfsight

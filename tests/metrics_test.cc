@@ -1,0 +1,135 @@
+// Metrics exposition tests: histogram mechanics, Prometheus text rendering,
+// agent scraping, and the diagnosis self-profiling instruments.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/deployment.h"
+#include "perfsight/agent.h"
+#include "perfsight/contention.h"
+#include "perfsight/hotpath.h"
+#include "perfsight/metrics.h"
+#include "perfsight/monitor.h"
+#include "perfsight/trace.h"
+#include "sim/simulator.h"
+#include "vm/machine.h"
+
+namespace perfsight {
+namespace {
+
+TEST(LatencyHistogramTest, BucketsCountAndSum) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 0);
+
+  h.observe(0.5e-6);  // <= 1us -> bucket 0
+  h.observe(2e-3);    // <= 4ms -> bucket 6
+  h.observe(100.0);   // beyond the last bound -> +Inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 100.0 + 2e-3 + 0.5e-6, 1e-9);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(6), 1u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantileFollowsBucketBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.observe(2e-6);   // bucket le=4e-6
+  for (int i = 0; i < 10; ++i) h.observe(0.1);    // bucket le=256e-3
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 4e-6);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.99), 256e-3);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndRendered) {
+  MetricsRegistry reg;
+  reg.gauge("ps_queue_depth", "Current depth", "queue=\"tun0\"").set(17);
+  reg.counter("ps_alerts_total", "Alerts fired").add(3);
+  // Same (name, labels) returns the same instrument.
+  reg.gauge("ps_queue_depth", "Current depth", "queue=\"tun0\"").add(1);
+
+  std::string text = reg.expose(SimTime::millis(0));
+  EXPECT_NE(text.find("# HELP ps_queue_depth Current depth"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ps_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("ps_queue_depth{queue=\"tun0\"} 18"), std::string::npos);
+  EXPECT_NE(text.find("ps_alerts_total 3"), std::string::npos);
+  // Flight-recorder health is always present.
+  EXPECT_NE(text.find("perfsight_trace_events_total"), std::string::npos);
+  EXPECT_NE(text.find("perfsight_trace_dropped_events_total"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ScrapesAgentsAndChannelHistograms) {
+  Agent agent("agent-m0");
+  ElementStats stats;
+  stats.pkts_in.add(42);
+  HotpathStatsSource src(ElementId{"mb0"}, &stats);
+  ASSERT_TRUE(agent.add_element(&src).is_ok());
+
+  MetricsRegistry reg;
+  reg.add_agent(&agent);
+  ASSERT_EQ(reg.num_agents(), 1u);
+
+  std::string text = reg.expose(SimTime::seconds(1));
+  // Element gauges travelled the agent's channel...
+  EXPECT_NE(text.find("perfsight_element_stat{agent=\"agent-m0\","
+                      "element=\"mb0\",attr=\"rxPkts\"} 42"),
+            std::string::npos)
+      << text;
+  // ...so the scrape itself fed the per-channel latency histogram.
+  EXPECT_NE(text.find("perfsight_agent_channel_latency_seconds_bucket{"
+                      "agent=\"agent-m0\",channel="),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("perfsight_agent_channel_latency_seconds_count"),
+            std::string::npos);
+  EXPECT_GE(agent.channel_latency(ChannelKind::kMbSocket).count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DiagnosisLatencyHistogramObservesRuns) {
+  sim::Simulator sim(Duration::millis(1));
+  vm::PhysicalMachine machine("m0", dp::StackParams{}, &sim);
+  cluster::Deployment dep(&sim);
+  for (int i = 0; i < 2; ++i) {
+    int v = machine.add_vm({"vm" + std::to_string(i), 1.0});
+    machine.set_sink_app(v);
+    FlowSpec f;
+    f.id = FlowId{static_cast<uint32_t>(i + 1)};
+    f.packet_size = 1500;
+    machine.route_flow_to_vm(f, v);
+    machine.add_ingress_source("s" + std::to_string(i), f,
+                               DataRate::gbps(1.6));
+  }
+  machine.add_mem_hog("hog")->set_demand_bytes_per_sec(60e9);
+  Agent* agent = dep.add_agent("agent-m0");
+  dep.attach(&machine, agent);
+  const TenantId tenant{1};
+  ASSERT_TRUE(dep.assign(tenant, machine.tun(0)->id(), agent).is_ok());
+  sim.run_for(Duration::seconds(1));
+
+  ContentionDetector detector(dep.controller(), RuleBook::standard());
+  detector.set_loss_threshold(100);
+  detector.set_metrics(dep.metrics());
+  const Duration window = Duration::seconds(1);
+  (void)detector.diagnose(tenant, window, machine.aux_signals());
+
+  LatencyHistogram& h = dep.metrics()->histogram(
+      "perfsight_contention_diagnosis_seconds",
+      "End-to-end Algorithm 1 cost: measurement window plus modelled "
+      "channel time");
+  EXPECT_EQ(h.count(), 1u);
+  // Cost = sweep window + modelled channel time, so it exceeds the window.
+  EXPECT_GT(h.sum(), window.sec());
+
+  std::string text = dep.metrics()->expose(sim.now());
+  EXPECT_NE(text.find("perfsight_contention_diagnosis_seconds_count 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PromEscapeTest, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+}  // namespace
+}  // namespace perfsight

@@ -1,0 +1,103 @@
+// Monitor edge cases: empty and single-point series, unwatched keys, and
+// gap tolerance when an element disappears (and returns) mid-run.
+#include <gtest/gtest.h>
+
+#include "perfsight/agent.h"
+#include "perfsight/controller.h"
+#include "perfsight/hotpath.h"
+#include "perfsight/monitor.h"
+
+namespace perfsight {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : controller_([this](Duration d) { now_ = now_ + d; return now_; },
+                    [this] { return now_; }),
+        agent_("agent-a"),
+        source_(ElementId{"mb0"}, &stats_) {
+    EXPECT_TRUE(agent_.add_element(&source_).is_ok());
+    controller_.register_agent(&agent_);
+    EXPECT_TRUE(controller_.register_element(tenant_, source_.id(), &agent_)
+                    .is_ok());
+  }
+
+  SimTime now_;
+  Controller controller_;
+  Agent agent_;
+  ElementStats stats_;
+  HotpathStatsSource source_;
+  const TenantId tenant_{1};
+};
+
+TEST_F(MonitorTest, RatesOnEmptyAndSinglePointSeriesAreEmpty) {
+  Monitor mon(&controller_, tenant_);
+  mon.watch(source_.id(), attr::kRxPkts);
+
+  // Watched but never sampled.
+  EXPECT_TRUE(mon.values(source_.id(), attr::kRxPkts).empty());
+  EXPECT_TRUE(mon.rates(source_.id(), attr::kRxPkts).empty());
+  EXPECT_DOUBLE_EQ(mon.rates(source_.id(), attr::kRxPkts).last(), 0);
+
+  // One sample: a value point exists, but a rate needs two.
+  mon.sample();
+  EXPECT_EQ(mon.values(source_.id(), attr::kRxPkts).points.size(), 1u);
+  EXPECT_TRUE(mon.rates(source_.id(), attr::kRxPkts).empty());
+}
+
+TEST_F(MonitorTest, UnwatchedKeyReturnsEmptySeries) {
+  Monitor mon(&controller_, tenant_);
+  mon.watch(source_.id(), attr::kRxPkts);
+  mon.sample();
+
+  // Different attribute and different element: both unwatched.
+  EXPECT_TRUE(mon.values(source_.id(), attr::kDropPkts).empty());
+  EXPECT_TRUE(mon.values(ElementId{"nope"}, attr::kRxPkts).empty());
+  EXPECT_TRUE(mon.rates(ElementId{"nope"}, attr::kRxPkts).empty());
+  EXPECT_EQ(mon.num_watches(), 1u);
+}
+
+TEST_F(MonitorTest, ElementDisappearingMidRunLeavesGapNotFailure) {
+  Monitor mon(&controller_, tenant_);
+  mon.watch(source_.id(), attr::kRxPkts);
+
+  stats_.pkts_in.add(100);
+  mon.sample();
+  now_ = now_ + Duration::seconds(1);
+  stats_.pkts_in.add(100);
+  mon.sample();
+  ASSERT_EQ(mon.values(source_.id(), attr::kRxPkts).points.size(), 2u);
+
+  // The element goes away (VM teardown): sampling tolerates the gap.
+  ASSERT_TRUE(agent_.remove_element(source_.id()).is_ok());
+  EXPECT_FALSE(agent_.has_element(source_.id()));
+  now_ = now_ + Duration::seconds(1);
+  mon.sample();
+  EXPECT_EQ(mon.values(source_.id(), attr::kRxPkts).points.size(), 2u);
+
+  // It returns (migration back): points resume, and the rate across the
+  // gap is computed from actual timestamps, not assumed ticks.
+  ASSERT_TRUE(agent_.add_element(&source_).is_ok());
+  now_ = now_ + Duration::seconds(1);
+  stats_.pkts_in.add(300);
+  mon.sample();
+  Monitor::Series values = mon.values(source_.id(), attr::kRxPkts);
+  ASSERT_EQ(values.points.size(), 3u);
+
+  Monitor::Series rates = mon.rates(source_.id(), attr::kRxPkts);
+  ASSERT_EQ(rates.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates.points[0].value, 100.0);  // 100 pkts over 1 s
+  EXPECT_DOUBLE_EQ(rates.points[1].value, 150.0);  // 300 pkts over 2 s gap
+}
+
+TEST_F(MonitorTest, RemoveElementValidation) {
+  EXPECT_FALSE(agent_.remove_element(ElementId{"ghost"}).is_ok());
+  EXPECT_TRUE(agent_.remove_element(source_.id()).is_ok());
+  // Double removal fails too.
+  EXPECT_FALSE(agent_.remove_element(source_.id()).is_ok());
+  EXPECT_TRUE(agent_.element_ids().empty());
+}
+
+}  // namespace
+}  // namespace perfsight

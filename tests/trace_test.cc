@@ -1,0 +1,168 @@
+// Flight-recorder tests: ring semantics, global install/restore, the
+// dataplane hooks (drop + queue watermark), and Chrome-trace export shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataplane/queues.h"
+#include "perfsight/json_export.h"
+#include "perfsight/trace.h"
+
+namespace perfsight {
+namespace {
+
+TEST(TraceRingTest, OverwritesOldestAndCountsDrops) {
+  TraceRing ring("e0", 4);
+  for (int i = 0; i < 6; ++i) {
+    ring.push(SimTime::millis(i), TraceEventKind::kDrop,
+              static_cast<double>(i), "d");
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_events(), 6u);
+  EXPECT_EQ(ring.dropped_events(), 2u);
+
+  // Oldest two (0, 1) were overwritten; snapshot is oldest-first.
+  std::vector<TraceEvent> ev = ring.snapshot();
+  ASSERT_EQ(ev.size(), 4u);
+  for (size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ev[i].value, static_cast<double>(i + 2));
+    EXPECT_EQ(ev[i].element, "e0");
+  }
+  EXPECT_LE(ev.front().t.ns(), ev.back().t.ns());
+}
+
+TEST(TraceRecorderTest, DisabledRecorderIsNoOp) {
+  TraceRecorder rec;
+  ASSERT_FALSE(rec.enabled());
+  rec.record(ElementId{"e"}, SimTime::millis(1), TraceEventKind::kDrop, 1);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.total_events(), 0u);
+}
+
+TEST(TraceRecorderTest, InstallRoutesHooksAndRestores) {
+  // Default global recorder is disabled: hooks cost one branch, record
+  // nothing.
+  ASSERT_FALSE(trace_enabled());
+  trace_event_now(ElementId{"x"}, TraceEventKind::kDrop, 1, "ignored");
+  EXPECT_EQ(TraceRecorder::global().total_events(), 0u);
+
+  {
+    ScopedTraceRecorder scoped;
+    ASSERT_TRUE(trace_enabled());
+    TraceRecorder::global().set_now(SimTime::millis(7));
+    trace_event_now(ElementId{"x"}, TraceEventKind::kAlertFired, 3.5, "hi");
+    std::vector<TraceEvent> ev = scoped.recorder().events();
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].t.ms(), 7);
+    EXPECT_EQ(ev[0].kind, TraceEventKind::kAlertFired);
+    EXPECT_DOUBLE_EQ(ev[0].value, 3.5);
+    EXPECT_EQ(ev[0].detail, "hi");
+  }
+  // Scope exit restores the (disabled) default.
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(TraceHooksTest, TunOverflowRecordsDropWithRulebookCause) {
+  ScopedTraceRecorder scoped;
+  dp::Tun tun(ElementId{"m0/tun0"}, /*vm=*/0, QueueCaps{10, UINT64_MAX});
+  tun.accept(PacketBatch{FlowId{1}, 30, 30 * 1500});
+
+  std::vector<TraceEvent> drops;
+  for (const TraceEvent& e : scoped.recorder().events_for(ElementId{"m0/tun0"})) {
+    if (e.kind == TraceEventKind::kDrop) drops.push_back(e);
+  }
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_DOUBLE_EQ(drops[0].value, 20.0);  // 30 offered, 10 queued
+  // The detail carries the rule book's candidate resources for TUN drops.
+  EXPECT_FALSE(drops[0].detail.empty());
+  EXPECT_NE(drops[0].detail.find("CPU"), std::string::npos) << drops[0].detail;
+}
+
+TEST(TraceHooksTest, QueueWatermarksAreEdgeTriggered) {
+  ScopedTraceRecorder scoped;
+  dp::Tun tun(ElementId{"tun"}, 0, QueueCaps{100, UINT64_MAX});
+
+  // Fill to 80% in two steps: only the 75% crossing fires.
+  tun.accept(PacketBatch{FlowId{1}, 50, 50 * 100});
+  tun.accept(PacketBatch{FlowId{1}, 30, 30 * 100});
+  // Hover above the high mark: no extra events.
+  tun.accept(PacketBatch{FlowId{1}, 5, 5 * 100});
+  // Drain below 25%: exactly one low-water event.
+  (void)tun.fetch(70, UINT64_MAX);
+
+  std::vector<TraceEvent> ev = scoped.recorder().events_for(ElementId{"tun"});
+  std::vector<TraceEvent> marks;
+  for (const TraceEvent& e : ev) {
+    if (e.kind == TraceEventKind::kQueueHighWater ||
+        e.kind == TraceEventKind::kQueueLowWater) {
+      marks.push_back(e);
+    }
+  }
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0].kind, TraceEventKind::kQueueHighWater);
+  EXPECT_GE(marks[0].value, 0.75);
+  EXPECT_EQ(marks[1].kind, TraceEventKind::kQueueLowWater);
+  EXPECT_LE(marks[1].value, 0.25);
+}
+
+TEST(TraceRecorderTest, MergedEventsAreTimeOrdered) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.record(ElementId{"b"}, SimTime::millis(5), TraceEventKind::kDrop, 1);
+  rec.record(ElementId{"a"}, SimTime::millis(1), TraceEventKind::kDrop, 1);
+  rec.record(ElementId{"b"}, SimTime::millis(3), TraceEventKind::kDrop, 1);
+  std::vector<TraceEvent> ev = rec.events();
+  ASSERT_EQ(ev.size(), 3u);
+  for (size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].t.ns(), ev[i].t.ns());
+  }
+}
+
+// Extracts the numeric value following each occurrence of `key` in `text`.
+std::vector<double> extract_numbers(const std::string& text,
+                                    const std::string& key) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    out.push_back(std::stod(text.substr(pos)));
+  }
+  return out;
+}
+
+TEST(ChromeTraceTest, ExportIsWellFormedAndSorted) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.record(ElementId{"tun0"}, SimTime::millis(2), TraceEventKind::kDrop, 7,
+             "cause: \"CPU\"");  // quote exercises escaping
+  rec.record(ElementId{"pool/vm1"}, SimTime::millis(1),
+             TraceEventKind::kArbiterShortfall, 0.5, "grant below demand");
+  rec.record(ElementId{"tun0"}, SimTime::millis(9),
+             TraceEventKind::kQueueHighWater, 0.8);
+
+  std::string json = to_chrome_trace(rec);
+  EXPECT_TRUE(json::lint(json).is_ok()) << json::lint(json).message();
+
+  // Required Chrome-trace fields, one per event object (3 events + 2
+  // thread_name metadata records).
+  EXPECT_EQ(extract_numbers(json, "\"ts\":").size(), 5u);
+  size_t ph_count = 0;
+  for (size_t p = json.find("\"ph\":"); p != std::string::npos;
+       p = json.find("\"ph\":", p + 1)) {
+    ++ph_count;
+  }
+  EXPECT_EQ(ph_count, 5u);
+  EXPECT_NE(json.find("\"name\":"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+
+  // Timestamps non-decreasing across the whole array (metadata first at 0,
+  // then instants sorted; microseconds).
+  std::vector<double> ts = extract_numbers(json, "\"ts\":");
+  for (size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+  EXPECT_DOUBLE_EQ(ts.back(), 9000.0);  // 9 ms in us
+}
+
+}  // namespace
+}  // namespace perfsight
