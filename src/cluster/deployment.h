@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "mbox/app.h"
 #include "mbox/stream.h"
 #include "perfsight/agent.h"
@@ -25,17 +26,29 @@ namespace perfsight::cluster {
 
 class Deployment {
  public:
-  explicit Deployment(sim::Simulator* sim)
+  // `poll_workers` sizes the collection pool that fans agent polling,
+  // metrics scrapes and diagnosis sweeps out across threads.  The default
+  // of 1 spawns no threads at all, preserving the exact sequential
+  // behaviour (and simulated-time determinism) of existing scenarios;
+  // wall-clock deployments pass ThreadPool::default_workers().
+  explicit Deployment(sim::Simulator* sim, size_t poll_workers = 1)
       : sim_(sim),
+        pool_(poll_workers),
         controller_(
             [sim](Duration d) {
               sim->run_for(d);
               return sim->now();
             },
-            [sim] { return sim->now(); }) {}
+            [sim] { return sim->now(); }) {
+    metrics_.set_pool(&pool_);
+  }
 
   sim::Simulator* simulator() { return sim_; }
   Controller* controller() { return &controller_; }
+
+  // The deployment-wide collection pool (hand it to ContentionDetector /
+  // Monitor / Agent batch calls that should fan out).
+  ThreadPool* pool() { return &pool_; }
 
   // Deployment-wide metrics registry: every agent added below is scraped by
   // expose(), so one endpoint covers the whole cluster.
@@ -46,6 +59,19 @@ class Deployment {
     controller_.register_agent(agents_.back().get());
     metrics_.add_agent(agents_.back().get());
     return agents_.back().get();
+  }
+
+  // One cluster-wide poll sweep (the Fig. 16 workload at fleet scale):
+  // every agent polls its elements, independent agents in parallel across
+  // the collection pool.  Responses come back grouped by agent in
+  // registration order — each agent's RNG is its own, so the result is
+  // identical at any pool size.
+  std::vector<std::vector<QueryResponse>> poll_sweep(SimTime now) {
+    std::vector<std::vector<QueryResponse>> out(agents_.size());
+    parallel_for_or_inline(&pool_, agents_.size(), [&](size_t i) {
+      out[i] = agents_[i]->poll_all(now);
+    });
+    return out;
   }
 
   // Registers every element of a packet-path machine with `agent` and
@@ -81,6 +107,7 @@ class Deployment {
 
  private:
   sim::Simulator* sim_;
+  ThreadPool pool_;
   Controller controller_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Agent>> agents_;

@@ -1,0 +1,103 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace perfsight {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers <= 1) return;  // inline mode: no threads
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::function<void()> fn) {
+  if (sequential()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (sequential()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (sequential() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // One contiguous chunk per worker (or per index when n < workers); the
+  // caller blocks on a local completion latch rather than wait_idle() so
+  // overlapping parallel_for calls from different threads don't interfere.
+  const size_t chunks = std::min(workers(), n);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;  // first `extra` chunks get one more
+
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  } latch{{}, {}, chunks};
+
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    const size_t end = begin + len;
+    run([&body, &latch, begin, end] {
+      for (size_t i = begin; i < end; ++i) body(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.cv.notify_one();
+    });
+    begin = end;
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+size_t ThreadPool::default_workers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace perfsight

@@ -1,0 +1,84 @@
+// Fixed-size thread pool for the parallel collection runtime.
+//
+// PerfSight's agent polling is embarrassingly parallel — independent
+// elements, independent agents — but every cost is paid serially in the
+// seed implementation.  This pool is the one concurrency primitive the
+// collection layer builds on: a plain FIFO task queue behind one mutex (no
+// work stealing; collection tasks are uniform enough that stealing buys
+// nothing and costs determinism-debugging pain).
+//
+// Determinism contract: a pool constructed with `workers <= 1` spawns no
+// threads at all — run() and parallel_for() execute inline on the caller,
+// so simulated-time scenarios keep their exact sequential behaviour (same
+// RNG consumption order, same trace-event order).  Callers that need
+// byte-identical output at any pool size must draw their per-task
+// randomness before fanning out and merge results by a stable key; the
+// collection paths in perfsight/ do exactly that.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace perfsight {
+
+class ThreadPool {
+ public:
+  // `workers <= 1` selects inline (sequential) mode: no threads are spawned
+  // and every task runs on the calling thread.
+  explicit ThreadPool(size_t workers = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of worker threads (1 in inline mode).
+  size_t workers() const { return threads_.empty() ? 1 : threads_.size(); }
+  bool sequential() const { return threads_.empty(); }
+
+  // Enqueues one task (inline mode: runs it immediately).  Tasks must not
+  // throw; an escaping exception terminates the process.
+  void run(std::function<void()> fn);
+
+  // Blocks until every task submitted so far has completed.
+  void wait_idle();
+
+  // Runs body(i) for every i in [0, n), partitioned into one contiguous
+  // chunk per worker, and blocks until all indices are done.  Index-to-chunk
+  // assignment is deterministic; chunk *execution order* is not (unless the
+  // pool is sequential, which runs 0..n-1 in order on the caller).
+  void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+  // A sensible worker count for wall-clock workloads: hardware concurrency,
+  // at least 1.
+  static size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: queue non-empty/stop
+  std::condition_variable idle_cv_;  // signals wait_idle: all work drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs body(i) for i in [0, n): through `pool` when it is non-null and
+// parallel, inline otherwise.  The collection paths use this so a null pool
+// (the default everywhere) means "exactly the sequential seed behaviour".
+inline void parallel_for_or_inline(ThreadPool* pool, size_t n,
+                                   const std::function<void(size_t)>& body) {
+  if (pool != nullptr && !pool->sequential() && n > 1) {
+    pool->parallel_for(n, body);
+  } else {
+    for (size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace perfsight

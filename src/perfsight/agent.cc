@@ -47,6 +47,7 @@ ChannelLatencyModel default_latency(ChannelKind kind) {
 
 Status Agent::add_element(const StatsSource* source) {
   PS_CHECK(source != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = sources_.emplace(source->id(), source);
   (void)it;
   if (!inserted) {
@@ -57,6 +58,7 @@ Status Agent::add_element(const StatsSource* source) {
 }
 
 Status Agent::remove_element(const ElementId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sources_.erase(id) == 0) {
     return Status::not_found("agent " + name_ + ": no element " + id.name);
   }
@@ -66,29 +68,45 @@ Status Agent::remove_element(const ElementId& id) {
 
 std::vector<ElementId> Agent::element_ids() const {
   std::vector<ElementId> ids;
-  ids.reserve(sources_.size());
-  for (const auto& [id, src] : sources_) ids.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(sources_.size());
+    for (const auto& [id, src] : sources_) ids.push_back(id);
+  }
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
-Duration Agent::channel_delay(ChannelKind kind) {
+Duration Agent::channel_delay_locked(ChannelKind kind) {
   ChannelLatencyModel m = has_override_[static_cast<size_t>(kind)]
                               ? latency_override_[static_cast<size_t>(kind)]
                               : default_latency(kind);
   return m.base + m.jitter * rng_.next_double();
 }
 
+void Agent::observe_channel(ChannelKind kind, Duration delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  channel_hist_[static_cast<size_t>(kind)].observe(delay.sec());
+}
+
 Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
-  auto it = sources_.find(id);
-  if (it == sources_.end()) {
-    return Status::not_found("agent " + name_ + ": no element " + id.name);
+  const StatsSource* source = nullptr;
+  ChannelKind kind = ChannelKind::kNetDeviceFile;
+  Duration delay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sources_.find(id);
+    if (it == sources_.end()) {
+      return Status::not_found("agent " + name_ + ": no element " + id.name);
+    }
+    source = it->second;
+    kind = source->channel_kind();
+    delay = channel_delay_locked(kind);
   }
-  ChannelKind kind = it->second->channel_kind();
   QueryResponse resp;
-  resp.record = it->second->collect(now);
-  resp.response_time = channel_delay(kind);
-  channel_hist_[static_cast<size_t>(kind)].observe(resp.response_time.sec());
+  resp.record = source->collect(now);
+  resp.response_time = delay;
+  observe_channel(kind, delay);
   if (trace_enabled()) {
     trace_event(id, now, TraceEventKind::kAgentQueryIssued, 0,
                 to_string(kind));
@@ -111,24 +129,142 @@ Result<QueryResponse> Agent::query_attrs(const ElementId& id,
 
 Result<QueryResponse> Agent::query_cached(const ElementId& id, SimTime now,
                                           Duration max_age) {
-  auto it = cache_.find(id);
-  if (it != cache_.end() && now - it->second.record.timestamp <= max_age) {
-    ++cache_hits_;
-    QueryResponse hit = it->second;
-    hit.response_time = Duration::nanos(0);  // served locally
-    return hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end() && now - it->second.record.timestamp <= max_age) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse hit = it->second;
+      hit.response_time = Duration::nanos(0);  // served locally
+      // No channel was used (so no channel_hist_ observe), but the
+      // flight-recorder timeline must still show the query: emit a
+      // zero-latency cache-hit event.
+      trace_event(id, now, TraceEventKind::kAgentCacheHit, 0, "cache");
+      return hit;
+    }
   }
   Result<QueryResponse> fresh = query(id, now);
-  if (fresh.ok()) cache_[id] = fresh.value();
+  if (fresh.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[id] = fresh.value();
+  }
   return fresh;
 }
 
-std::vector<QueryResponse> Agent::poll_all(SimTime now) {
-  std::vector<QueryResponse> out;
-  out.reserve(sources_.size());
-  for (const ElementId& id : element_ids()) {
-    Result<QueryResponse> r = query(id, now);
-    if (r.ok()) out.push_back(r.value());
+BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
+                                 SimTime now, ThreadPool* pool) {
+  BatchResponse batch;
+  std::vector<PlannedQuery> plan;
+  std::array<bool, kNumChannelKinds> kind_used = {};
+  std::array<Duration, kNumChannelKinds> kind_delay = {};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan.reserve(ids.size());
+    for (const ElementId& id : ids) {
+      auto it = sources_.find(id);
+      if (it == sources_.end()) {
+        ++batch.unknown_ids;
+        continue;
+      }
+      PlannedQuery q;
+      q.id = id;
+      q.source = it->second;
+      q.kind = it->second->channel_kind();
+      kind_used[static_cast<size_t>(q.kind)] = true;
+      plan.push_back(std::move(q));
+    }
+    // One round trip per channel kind present, drawn in kind order so the
+    // RNG stream is independent of the requested id order and pool size.
+    for (size_t k = 0; k < kNumChannelKinds; ++k) {
+      if (!kind_used[k]) continue;
+      kind_delay[k] = channel_delay_locked(static_cast<ChannelKind>(k));
+      batch.channel_time += kind_delay[k];
+    }
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedQuery& a, const PlannedQuery& b) {
+              return a.id < b.id;
+            });
+  for (PlannedQuery& q : plan) {
+    q.delay = kind_delay[static_cast<size_t>(q.kind)];
+  }
+
+  batch.responses.resize(plan.size());
+  std::vector<QueryResponse>& out = batch.responses;
+  parallel_for_or_inline(pool, plan.size(), [&](size_t i) {
+    out[i].record = plan[i].source->collect(now);
+    out[i].response_time = plan[i].delay;
+  });
+
+  // Merge step, sequential on the caller: self-profiling and tracing in
+  // deterministic (kind, then id) order — one histogram observe and one
+  // trace pair per channel round trip actually paid.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t k = 0; k < kNumChannelKinds; ++k) {
+      if (kind_used[k]) channel_hist_[k].observe(kind_delay[k].sec());
+    }
+  }
+  if (trace_enabled()) {
+    const ElementId batch_id{name_ + "/batch"};
+    for (size_t k = 0; k < kNumChannelKinds; ++k) {
+      if (!kind_used[k]) continue;
+      size_t group = 0;
+      for (const PlannedQuery& q : plan) {
+        if (static_cast<size_t>(q.kind) == k) ++group;
+      }
+      trace_event(batch_id, now, TraceEventKind::kAgentQueryIssued,
+                  static_cast<double>(group),
+                  to_string(static_cast<ChannelKind>(k)));
+      trace_event(batch_id, now + kind_delay[k],
+                  TraceEventKind::kAgentQueryCompleted, kind_delay[k].us(),
+                  to_string(static_cast<ChannelKind>(k)));
+    }
+  }
+  return batch;
+}
+
+std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
+  std::vector<PlannedQuery> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan.reserve(sources_.size());
+    for (const auto& [id, src] : sources_) {
+      plan.push_back(PlannedQuery{id, src, src->channel_kind(), {}});
+    }
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedQuery& a, const PlannedQuery& b) {
+              return a.id < b.id;
+            });
+  {
+    // Jitter drawn in element-id order, exactly as the sequential sweep
+    // consumed the RNG, so any pool size yields identical delays.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (PlannedQuery& q : plan) q.delay = channel_delay_locked(q.kind);
+  }
+
+  std::vector<QueryResponse> out(plan.size());
+  parallel_for_or_inline(pool, plan.size(), [&](size_t i) {
+    out[i].record = plan[i].source->collect(now);
+    out[i].response_time = plan[i].delay;
+  });
+
+  // Deterministic merge: per-element self-profiling and trace events in
+  // element-id order, matching the sequential sweep event for event.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PlannedQuery& q : plan) {
+      channel_hist_[static_cast<size_t>(q.kind)].observe(q.delay.sec());
+    }
+  }
+  if (trace_enabled()) {
+    for (const PlannedQuery& q : plan) {
+      trace_event(q.id, now, TraceEventKind::kAgentQueryIssued, 0,
+                  to_string(q.kind));
+      trace_event(q.id, now + q.delay, TraceEventKind::kAgentQueryCompleted,
+                  q.delay.us(), to_string(q.kind));
+    }
   }
   return out;
 }

@@ -9,9 +9,22 @@
 // net-device file reads ≈2 ms; /proc, OVS, QEMU-log and middlebox-socket
 // reads ≤500 µs) with a small deterministic jitter, so response-time
 // behaviour can be studied in simulated time.
+//
+// Collection runtime (this layer's concurrency contract): the agent is
+// safe to use from multiple threads — registry/cache/RNG/histogram state is
+// guarded by one internal mutex, cache_hits_ is a relaxed atomic.  poll_all
+// and query_batch accept an optional ThreadPool and fan the element
+// collect() calls out across it; channel jitter is drawn *before* the
+// fan-out, in element-id order, and results are merged back by element id,
+// so their output is byte-identical at any pool size.  Element objects are
+// not owned: a remove_element racing an in-flight poll only deregisters the
+// element — the poll may still observe it once, and the caller must keep
+// the StatsSource alive until in-flight polls drain.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +32,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "common/units.h"
 #include "perfsight/metrics.h"
 #include "perfsight/stats.h"
@@ -39,6 +53,15 @@ struct QueryResponse {
   Duration response_time;  // modelled element-fetch latency
 };
 
+// Result of one batched fetch (query_batch): the per-element records plus
+// the total modelled channel time actually paid — one round trip per
+// channel kind present in the batch, not one per element.
+struct BatchResponse {
+  std::vector<QueryResponse> responses;  // ordered by element id
+  Duration channel_time;                 // sum of the per-kind round trips
+  size_t unknown_ids = 0;                // requested ids not registered
+};
+
 class Agent {
  public:
   explicit Agent(std::string name, uint64_t seed = 1)
@@ -54,6 +77,7 @@ class Agent {
   Status remove_element(const ElementId& id);
 
   bool has_element(const ElementId& id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return sources_.count(id) > 0;
   }
   std::vector<ElementId> element_ids() const;
@@ -72,32 +96,55 @@ class Agent {
   // to keep the per-query cost of Fig. 9 from multiplying.
   Result<QueryResponse> query_cached(const ElementId& id, SimTime now,
                                      Duration max_age);
-  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
-  // Fetches every element on this server (one poll sweep, Fig. 16 workload).
-  std::vector<QueryResponse> poll_all(SimTime now);
+  // Batched fetch: one channel round trip amortized across every requested
+  // element sharing a channel kind (a real agent reads one /proc file and
+  // parses many counters out of it).  Unknown ids are skipped and counted.
+  // With a parallel `pool`, collect() calls fan out across workers; output
+  // is byte-identical to the pool-less call.
+  BatchResponse query_batch(const std::vector<ElementId>& ids, SimTime now,
+                            ThreadPool* pool = nullptr);
+
+  // Fetches every element on this server (one poll sweep, Fig. 16
+  // workload); per-element channel cost.  With a parallel `pool` the
+  // collect() calls fan out; jitter is pre-drawn in element-id order and
+  // results merge by id, so output is byte-identical at any pool size.
+  std::vector<QueryResponse> poll_all(SimTime now, ThreadPool* pool = nullptr);
 
   // Overrides the latency model for a channel kind (tests / calibration).
   void set_latency(ChannelKind kind, ChannelLatencyModel m) {
+    std::lock_guard<std::mutex> lock(mu_);
     latency_override_[static_cast<size_t>(kind)] = m;
     has_override_[static_cast<size_t>(kind)] = true;
   }
 
   // Self-profiling: distribution of modelled channel delays this agent has
   // paid, per channel kind (the live Fig. 9 data).  Always on; one observe
-  // per query.
+  // per channel round trip.  Read when no poll is in flight.
   const LatencyHistogram& channel_latency(ChannelKind kind) const {
     return channel_hist_[static_cast<size_t>(kind)];
   }
 
  private:
-  Duration channel_delay(ChannelKind kind);
+  struct PlannedQuery {
+    ElementId id;
+    const StatsSource* source = nullptr;
+    ChannelKind kind = ChannelKind::kNetDeviceFile;
+    Duration delay;
+  };
+
+  Duration channel_delay_locked(ChannelKind kind);
+  void observe_channel(ChannelKind kind, Duration delay);
 
   std::string name_;
+  mutable std::mutex mu_;  // guards rng_, sources_, cache_, overrides, hists
   Pcg32 rng_;
   std::unordered_map<ElementId, const StatsSource*> sources_;
   std::unordered_map<ElementId, QueryResponse> cache_;
-  uint64_t cache_hits_ = 0;
+  std::atomic<uint64_t> cache_hits_{0};
   std::array<ChannelLatencyModel, kNumChannelKinds> latency_override_ = {};
   std::array<bool, kNumChannelKinds> has_override_ = {};
   std::array<LatencyHistogram, kNumChannelKinds> channel_hist_ = {};

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
 
 #include "perfsight/trace.h"
 
@@ -82,15 +81,24 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
   ContentionReport report;
   std::vector<ElementId> elements = controller_->stack_elements_for(tenant);
 
-  // One shared measurement window for the whole sweep.
-  std::unordered_map<ElementId, Sample> first;
-  for (const ElementId& e : elements) {
-    first[e] = take_sample(*controller_, tenant, e);
-  }
+  // One shared measurement window for the whole sweep.  Each sweep fans the
+  // independent per-element queries out across the pool (when one is set);
+  // samples land in per-element slots and are consumed in element order, so
+  // the report below never depends on completion order.
+  std::vector<Sample> first(elements.size());
+  std::vector<Sample> second(elements.size());
+  auto sweep = [&](std::vector<Sample>& out) {
+    parallel_for_or_inline(pool_, elements.size(), [&](size_t i) {
+      out[i] = take_sample(*controller_, tenant, elements[i]);
+    });
+  };
+  sweep(first);
   controller_->advance(window);
-  for (const ElementId& e : elements) {
-    Sample s2 = take_sample(*controller_, tenant, e);
-    const Sample& s1 = first[e];
+  sweep(second);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const ElementId& e = elements[i];
+    const Sample& s1 = first[i];
+    const Sample& s2 = second[i];
     if (!s1.valid || !s2.valid) continue;
     ElementLossEntry entry;
     entry.id = e;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "perfsight/controller.h"
 #include "perfsight/metrics.h"
 #include "perfsight/rulebook.h"
@@ -57,6 +58,12 @@ class ContentionDetector {
   // perfsight_contention_diagnosis_seconds.  Optional; not owned.
   void set_metrics(MetricsRegistry* m) { metrics_ = m; }
 
+  // Collection pool for the stack sweeps: the two sample sweeps fan their
+  // per-element queries out across workers and merge by element index, so
+  // the report is byte-identical to the sequential scan.  Optional; not
+  // owned; null means sequential.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   ContentionReport diagnose(TenantId tenant, Duration window,
                             const AuxSignals& aux = {}) const;
 
@@ -65,6 +72,7 @@ class ContentionDetector {
   RuleBook rulebook_;
   int64_t loss_threshold_ = 1;
   MetricsRegistry* metrics_ = nullptr;
+  ThreadPool* pool_ = nullptr;
 };
 
 std::string to_text(const ContentionReport& report);

@@ -76,8 +76,9 @@ Result<StatsRecord> Controller::get_attr(
   }
   Result<QueryResponse> resp = agent->query_attrs(id, attrs, now_());
   if (!resp.ok()) return resp.status();
-  ++queries_issued_;
-  channel_time_ += resp.value().response_time;
+  queries_issued_.fetch_add(1, std::memory_order_relaxed);
+  channel_time_ns_.fetch_add(resp.value().response_time.ns(),
+                             std::memory_order_relaxed);
   return resp.value().record;
 }
 

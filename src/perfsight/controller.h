@@ -9,6 +9,7 @@
 // scenario (in a real deployment it would be wall-clock sleep).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -71,9 +72,15 @@ class Controller {
   // Cumulative cost of the queries this controller has issued: how many,
   // and how much modelled channel time they spent (the per-query latencies
   // of Fig. 9, summed).  Diagnosis applications read deltas around a run to
-  // report what the run itself cost.
-  uint64_t queries_issued() const { return queries_issued_; }
-  Duration channel_time() const { return channel_time_; }
+  // report what the run itself cost.  Relaxed atomics: the parallel
+  // collection runtime issues queries from worker threads, and these are
+  // pure tallies with no ordering dependency.
+  uint64_t queries_issued() const {
+    return queries_issued_.load(std::memory_order_relaxed);
+  }
+  Duration channel_time() const {
+    return Duration::nanos(channel_time_ns_.load(std::memory_order_relaxed));
+  }
 
   // --- Fig. 6 interfaces ----------------------------------------------------
   // GETATTR(tenantID, elementID, attributes)
@@ -101,8 +108,8 @@ class Controller {
   NowFn now_;
   // get_attr is logically const (a read); the cost bookkeeping is not state
   // the read depends on.
-  mutable uint64_t queries_issued_ = 0;
-  mutable Duration channel_time_;
+  mutable std::atomic<uint64_t> queries_issued_{0};
+  mutable std::atomic<int64_t> channel_time_ns_{0};
   std::vector<Agent*> agents_;
   std::unordered_map<TenantId, std::unordered_map<ElementId, Agent*>> vnet_;
   std::unordered_map<Agent*, std::vector<ElementId>> stack_elements_;

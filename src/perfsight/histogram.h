@@ -9,7 +9,9 @@
 // "sizeHist.<lo>-<hi>" on the owning element's record.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -58,19 +60,29 @@ class PacketSizeHistogram {
     }
   }
 
-  // Approximate quantile (by bucket upper bound); returns 0 when empty.
+  // Representative size reported when a quantile lands in the open-ended
+  // jumbo bucket: its lower edge (9001), deliberately distinct from
+  // kBounds.back() so jumbo-heavy traffic is not folded into the 9000-byte
+  // bucket.
+  static constexpr uint32_t kOpenBucketSize = kBounds.back() + 1;
+
+  // Approximate quantile (by bucket upper bound; the open bucket reports
+  // kOpenBucketSize); returns 0 when empty.
   uint32_t approx_quantile(double q) const {
     uint64_t t = total();
     if (t == 0) return 0;
-    uint64_t target = static_cast<uint64_t>(static_cast<double>(t) * q);
+    // 1-based rank of the quantile sample: the smallest cumulative count
+    // covering fraction q, clamped so q<=0 picks the first non-empty
+    // bucket and q>=1 the last one instead of falling off the histogram.
+    uint64_t target =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(t)));
+    target = std::min(std::max<uint64_t>(target, 1), t);
     uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
+    for (size_t i = 0; i < kBounds.size(); ++i) {
       seen += counts_[i];
-      if (seen > target) {
-        return i < kBounds.size() ? kBounds[i] : kBounds.back();
-      }
+      if (seen >= target) return kBounds[i];
     }
-    return kBounds.back();
+    return kOpenBucketSize;
   }
 
  private:

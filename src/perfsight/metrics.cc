@@ -1,7 +1,10 @@
 #include "perfsight/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
+#include "common/threadpool.h"
 #include "perfsight/agent.h"
 #include "perfsight/json_export.h"
 #include "perfsight/trace.h"
@@ -10,13 +13,17 @@ namespace perfsight {
 
 double LatencyHistogram::approx_quantile(double q) const {
   if (count_ == 0) return 0;
-  uint64_t target = static_cast<uint64_t>(static_cast<double>(count_) * q);
+  // 1-based rank, clamped so q<=0 picks the first non-empty bucket and
+  // q>=1 the last one (the naive floor/strictly-greater walk fell off the
+  // histogram at q=1.0).  The +Inf bucket has no finite representative;
+  // report the largest finite bound.
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  target = std::min(std::max<uint64_t>(target, 1), count_);
   uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
+  for (size_t i = 0; i < kBoundsSec.size(); ++i) {
     seen += counts_[i];
-    if (seen > target) {
-      return i < kBoundsSec.size() ? kBoundsSec[i] : kBoundsSec.back();
-    }
+    if (seen >= target) return kBoundsSec[i];
   }
   return kBoundsSec.back();
 }
@@ -114,17 +121,25 @@ std::string MetricsRegistry::expose(SimTime now) const {
     out += "# HELP perfsight_element_stat Element attribute scraped via the "
            "owning agent's channel\n";
     out += "# TYPE perfsight_element_stat gauge\n";
-    for (Agent* a : agents_) {
+    // One scrape task per agent: each agent polls its own elements (own
+    // RNG, own histograms) into a private buffer; buffers concatenate in
+    // registration order, so the exposition is byte-identical whether the
+    // agents were scraped serially or across the pool.
+    std::vector<std::string> blocks(agents_.size());
+    parallel_for_or_inline(pool_, agents_.size(), [&](size_t i) {
+      Agent* a = agents_[i];
+      std::string& blk = blocks[i];
       for (const QueryResponse& resp : a->poll_all(now)) {
         const StatsRecord& r = resp.record;
         for (const Attr& at : r.attrs) {
-          out += "perfsight_element_stat{agent=\"" + prom_escape(a->name()) +
+          blk += "perfsight_element_stat{agent=\"" + prom_escape(a->name()) +
                  "\",element=\"" + prom_escape(r.element.name) +
                  "\",attr=\"" + prom_escape(at.name) + "\"} " +
                  json::number(at.value) + "\n";
         }
       }
-    }
+    });
+    for (const std::string& blk : blocks) out += blk;
 
     // --- agent self-profiling: channel latency distributions ---------------
     out += "# HELP perfsight_agent_channel_latency_seconds Modelled "

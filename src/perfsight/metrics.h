@@ -27,6 +27,7 @@
 namespace perfsight {
 
 class Agent;
+class ThreadPool;
 
 // Histogram of latencies in seconds over fixed exponential buckets
 // (1 us .. 4 s, x4 steps, plus +Inf).  Cheap enough to leave always on:
@@ -95,6 +96,11 @@ class MetricsRegistry {
   void add_agent(Agent* agent) { agents_.push_back(agent); }
   size_t num_agents() const { return agents_.size(); }
 
+  // Collection pool used by expose() to scrape agents concurrently (one
+  // task per agent; each agent's RNG is its own, so output is byte-identical
+  // to the sequential scrape).  Null, the default, scrapes sequentially.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   // Renders the full exposition: every element attribute of every agent as
   // perfsight_element_stat gauges (the scrape itself travels the modelled
   // channels, feeding the agents' latency histograms), each agent's
@@ -116,6 +122,7 @@ class MetricsRegistry {
                  const std::string& help, const std::string& labels);
 
   std::vector<Agent*> agents_;
+  ThreadPool* pool_ = nullptr;
   std::vector<Family<Gauge>> gauges_;
   std::vector<Family<CounterMetric>> counters_;
   std::vector<Family<LatencyHistogram>> histograms_;

@@ -23,15 +23,21 @@ double Monitor::Series::mean() const {
   return sum / static_cast<double>(points.size());
 }
 
-void Monitor::sample() {
-  for (auto& [key, series] : series_) {
-    Result<StatsRecord> r =
-        controller_->get_attr(tenant_, key.id, {key.attr});
-    if (!r.ok()) continue;
+void Monitor::sample(ThreadPool* pool) {
+  // Snapshot the watch list once; each task owns a distinct series, so the
+  // parallel fan-out shares nothing but the (read-only) controller maps.
+  std::vector<std::pair<const Key*, Series*>> watches;
+  watches.reserve(series_.size());
+  for (auto& [key, series] : series_) watches.emplace_back(&key, &series);
+
+  parallel_for_or_inline(pool, watches.size(), [&](size_t i) {
+    const Key& key = *watches[i].first;
+    Result<StatsRecord> r = controller_->get_attr(tenant_, key.id, {key.attr});
+    if (!r.ok()) return;
     auto v = r.value().get(key.attr);
-    if (!v) continue;
-    series.points.push_back(Point{r.value().timestamp, *v});
-  }
+    if (!v) return;
+    watches[i].second->points.push_back(Point{r.value().timestamp, *v});
+  });
 }
 
 const Monitor::Series& Monitor::values(const ElementId& id,
@@ -48,8 +54,13 @@ Monitor::Series Monitor::rates(const ElementId& id,
   for (size_t i = 1; i < v.points.size(); ++i) {
     double dt = (v.points[i].t - v.points[i - 1].t).sec();
     if (dt <= 0) continue;
-    out.points.push_back(Point{
-        v.points[i].t, (v.points[i].value - v.points[i - 1].value) / dt});
+    double dv = v.points[i].value - v.points[i - 1].value;
+    // Monotone counters never decrease; a negative delta is a counter
+    // reset (element removed and re-registered starting from zero).  Emit
+    // no rate for the reset interval instead of a huge negative spike —
+    // the series restarts from the post-reset sample.
+    if (dv < 0) continue;
+    out.points.push_back(Point{v.points[i].t, dv / dt});
   }
   return out;
 }

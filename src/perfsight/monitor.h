@@ -5,13 +5,15 @@
 // deployment layer wires this to the simulator or a wall clock), and read
 // back value/rate series — what the paper's timeline figures (8, 10, 11,
 // 13) plot.  Rates are computed from counter deltas, making the series
-// robust to when monitoring started.
+// robust to when monitoring started and to counters restarting from zero
+// (element teardown + re-registration).
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "perfsight/controller.h"
 
 namespace perfsight {
@@ -41,12 +43,18 @@ class Monitor {
   };
 
   // Takes one sample of every watched attribute (tolerates missing
-  // elements: gaps simply don't produce points).
-  void sample();
+  // elements: gaps simply don't produce points).  With a parallel `pool`
+  // the per-watch fetches fan out across workers; each task appends to its
+  // own series, so the resulting points are identical to a sequential
+  // sample at the same instant.
+  void sample(ThreadPool* pool = nullptr);
 
   // Raw counter values over time.
   const Series& values(const ElementId& id, const std::string& attr) const;
-  // Per-second rates derived from consecutive samples (n-1 points).
+  // Per-second rates derived from consecutive samples (up to n-1 points).
+  // A negative delta means the counter restarted from zero (the element was
+  // removed and re-registered): no rate point is produced for that interval
+  // and the series restarts at the post-reset sample.
   Series rates(const ElementId& id, const std::string& attr) const;
 
   size_t num_watches() const { return series_.size(); }

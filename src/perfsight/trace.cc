@@ -32,6 +32,8 @@ const char* to_string(TraceEventKind k) {
       return "diagnosis_completed";
     case TraceEventKind::kAlertFired:
       return "alert_fired";
+    case TraceEventKind::kAgentCacheHit:
+      return "agent_cache_hit";
   }
   return "?";
 }
@@ -65,7 +67,7 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
   return out;
 }
 
-TraceRing* TraceRecorder::ring(const ElementId& id) {
+TraceRing* TraceRecorder::ring_locked(const ElementId& id) {
   auto it = rings_.find(id);
   if (it != rings_.end()) return it->second.get();
   auto r = std::make_unique<TraceRing>(id.name, ring_capacity_);
@@ -74,20 +76,28 @@ TraceRing* TraceRecorder::ring(const ElementId& id) {
   return raw;
 }
 
+TraceRing* TraceRecorder::ring(const ElementId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_locked(id);
+}
+
 void TraceRecorder::record(const ElementId& id, SimTime t,
                            TraceEventKind kind, double value,
                            std::string_view detail) {
   if (!enabled_) return;
-  ring(id)->push(t, kind, value, detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_locked(id)->push(t, kind, value, detail);
 }
 
 uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& [id, r] : rings_) n += r->dropped_events();
   return n;
 }
 
 uint64_t TraceRecorder::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
   for (const auto& [id, r] : rings_) n += r->total_events();
   return n;
@@ -95,9 +105,12 @@ uint64_t TraceRecorder::total_events() const {
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> out;
-  for (const auto& [id, r] : rings_) {
-    std::vector<TraceEvent> s = r->snapshot();
-    out.insert(out.end(), s.begin(), s.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, r] : rings_) {
+      std::vector<TraceEvent> s = r->snapshot();
+      out.insert(out.end(), s.begin(), s.end());
+    }
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
@@ -108,12 +121,16 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 }
 
 std::vector<TraceEvent> TraceRecorder::events_for(const ElementId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = rings_.find(id);
   if (it == rings_.end()) return {};
   return it->second->snapshot();
 }
 
-void TraceRecorder::clear() { rings_.clear(); }
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+}
 
 namespace {
 TraceRecorder g_default_recorder;

@@ -18,6 +18,8 @@
 //                           Overloaded / Underloaded transitions (Fig. 7)
 //   * kAgentQueryIssued/
 //     kAgentQueryCompleted  agent↔element channel activity (Fig. 9 cost)
+//   * kAgentCacheHit        a cached query served locally (zero channel
+//                           latency) — timelines keep every diagnosis query
 //   * kDiagnosisStarted/
 //     kDiagnosisCompleted   Algorithm 1/2 runs (self-profiling)
 //   * kAlertFired           an AlertWatcher threshold breach
@@ -40,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -63,6 +66,7 @@ enum class TraceEventKind {
   kDiagnosisStarted,
   kDiagnosisCompleted,
   kAlertFired,
+  kAgentCacheHit,  // cached diagnosis query served without a channel trip
 };
 
 const char* to_string(TraceEventKind k);
@@ -118,6 +122,8 @@ class TraceRecorder {
 
   // Per-element ring, created on first use.  Hot paths that record per
   // packet should cache this pointer; rings live as long as the recorder.
+  // Direct TraceRing::push bypasses the recorder lock and is only safe
+  // single-threaded; concurrent recording must go through record().
   TraceRing* ring(const ElementId& id);
 
   // Records one event (no-op while disabled).
@@ -125,7 +131,10 @@ class TraceRecorder {
               double value = 0, std::string_view detail = {});
 
   size_t ring_capacity() const { return ring_capacity_; }
-  size_t num_rings() const { return rings_.size(); }
+  size_t num_rings() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rings_.size();
+  }
   // Total events discarded by overwrite across all rings.
   uint64_t dropped_events() const;
   uint64_t total_events() const;
@@ -143,9 +152,15 @@ class TraceRecorder {
   static TraceRecorder* install(TraceRecorder* r);
 
  private:
+  TraceRing* ring_locked(const ElementId& id);
+
   bool enabled_ = false;
   SimTime now_;
   size_t ring_capacity_;
+  // Guards rings_ and pushes through record(): the parallel collection
+  // runtime emits events from worker threads.  Reads (events, counts) take
+  // the same lock, so snapshots are consistent.
+  mutable std::mutex mu_;
   std::unordered_map<ElementId, std::unique_ptr<TraceRing>> rings_;
 };
 

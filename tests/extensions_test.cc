@@ -54,6 +54,42 @@ TEST(HistogramTest, ApproxQuantile) {
   EXPECT_EQ(empty.approx_quantile(0.5), 0u);
 }
 
+TEST(HistogramTest, ApproxQuantileEdgesAndJumboBucket) {
+  PacketSizeHistogram h;
+  h.record(64, 90);
+  h.record(1500, 10);
+  // q=0 picks the first non-empty bucket; q=1 the last non-empty one (the
+  // old floor/strictly-greater walk fell off the end and reported 9000).
+  EXPECT_EQ(h.approx_quantile(0.0), 64u);
+  EXPECT_EQ(h.approx_quantile(1.0), 1514u);
+
+  // A jumbo-only distribution reports the open bucket's own representative,
+  // not the 9000-byte bound of the previous bucket.
+  PacketSizeHistogram jumbo;
+  jumbo.record(9500, 100);
+  EXPECT_EQ(PacketSizeHistogram::kOpenBucketSize, 9001u);
+  EXPECT_EQ(jumbo.approx_quantile(0.0), 9001u);
+  EXPECT_EQ(jumbo.approx_quantile(0.5), 9001u);
+  EXPECT_EQ(jumbo.approx_quantile(1.0), 9001u);
+
+  // Mixed tail: p99 of mostly-jumbo traffic must land in the jumbo bucket.
+  PacketSizeHistogram mixed;
+  mixed.record(64, 5);
+  mixed.record(9500, 95);
+  EXPECT_EQ(mixed.approx_quantile(0.99), 9001u);
+  EXPECT_EQ(mixed.approx_quantile(0.01), 64u);
+}
+
+TEST(LatencyHistogramQuantileTest, TopQuantileDoesNotFallThrough) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.observe(2e-6);  // bucket le=4e-6
+  // All mass in one low bucket: every quantile, including 1.0, reports that
+  // bucket (the old walk returned the 4 s top bound for q=1.0).
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.0), 4e-6);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(0.5), 4e-6);
+  EXPECT_DOUBLE_EQ(h.approx_quantile(1.0), 4e-6);
+}
+
 TEST(HistogramTest, ExportSkipsEmptyBuckets) {
   PacketSizeHistogram h;
   h.record(64, 3);

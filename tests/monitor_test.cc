@@ -91,6 +91,40 @@ TEST_F(MonitorTest, ElementDisappearingMidRunLeavesGapNotFailure) {
   EXPECT_DOUBLE_EQ(rates.points[1].value, 150.0);  // 300 pkts over 2 s gap
 }
 
+TEST_F(MonitorTest, CounterResetRestartsRateSeriesWithoutNegativeSpike) {
+  Monitor mon(&controller_, tenant_);
+  mon.watch(source_.id(), attr::kRxPkts);
+
+  stats_.pkts_in.add(1000);
+  mon.sample();
+  now_ = now_ + Duration::seconds(1);
+  stats_.pkts_in.add(100);
+  mon.sample();
+
+  // The element is torn down and re-registered with fresh (zeroed)
+  // counters — the classic reset that used to produce a huge negative rate.
+  ASSERT_TRUE(agent_.remove_element(source_.id()).is_ok());
+  ElementStats fresh;
+  HotpathStatsSource reborn(source_.id(), &fresh);
+  ASSERT_TRUE(agent_.add_element(&reborn).is_ok());
+
+  now_ = now_ + Duration::seconds(1);
+  fresh.pkts_in.add(50);
+  mon.sample();
+  now_ = now_ + Duration::seconds(1);
+  fresh.pkts_in.add(70);
+  mon.sample();
+
+  ASSERT_EQ(mon.values(source_.id(), attr::kRxPkts).points.size(), 4u);
+  Monitor::Series rates = mon.rates(source_.id(), attr::kRxPkts);
+  // Three intervals, but the reset interval (1100 -> 50) yields no point:
+  // the series restarts at the post-reset sample.
+  ASSERT_EQ(rates.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates.points[0].value, 100.0);  // pre-reset
+  EXPECT_DOUBLE_EQ(rates.points[1].value, 70.0);   // post-reset
+  for (const Monitor::Point& p : rates.points) EXPECT_GE(p.value, 0.0);
+}
+
 TEST_F(MonitorTest, RemoveElementValidation) {
   EXPECT_FALSE(agent_.remove_element(ElementId{"ghost"}).is_ok());
   EXPECT_TRUE(agent_.remove_element(source_.id()).is_ok());

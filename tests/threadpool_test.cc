@@ -1,0 +1,86 @@
+// ThreadPool semantics: inline (sequential) mode, full index coverage under
+// parallel_for, chunk determinism, and wait_idle draining.
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace perfsight {
+namespace {
+
+TEST(ThreadPoolTest, SequentialModeSpawnsNoThreadsAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.sequential());
+  EXPECT_EQ(pool.workers(), 1u);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.run([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+
+  // Inline parallel_for preserves strict 0..n-1 order.
+  std::vector<size_t> order;
+  pool.parallel_for(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroWorkersIsAlsoSequential) {
+  ThreadPool pool(0);
+  EXPECT_TRUE(pool.sequential());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.sequential());
+  EXPECT_EQ(pool.workers(), 4u);
+
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.parallel_for(0, [&](size_t) { FAIL() << "body ran for n=0"; });
+}
+
+TEST(ThreadPoolTest, RunAndWaitIdleDrainsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.run([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, RepeatedParallelForCallsAreIndependent) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50u * 45u);
+}
+
+TEST(ThreadPoolTest, ParallelForOrInlineFallsBackWithoutPool) {
+  std::vector<size_t> order;
+  parallel_for_or_inline(nullptr, 4, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace perfsight
