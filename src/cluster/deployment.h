@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,9 +57,77 @@ class Deployment {
 
   Agent* add_agent(const std::string& name) {
     agents_.push_back(std::make_unique<Agent>(name));
-    controller_.register_agent(agents_.back().get());
-    metrics_.add_agent(agents_.back().get());
-    return agents_.back().get();
+    Agent* a = agents_.back().get();
+    controller_.register_agent(a);
+    metrics_.add_agent(a);
+    // Agents added after fault config was set inherit it.
+    if (fault_plan_ != nullptr) a->set_fault_plan(fault_plan_);
+    if (retry_set_) a->set_retry_policy(retry_);
+    if (breaker_set_) a->set_breaker_config(breaker_);
+    return a;
+  }
+
+  // --- fault tolerance (deployment-wide) ------------------------------------
+  // Installs a fault plan / retry policy / breaker config on every agent,
+  // current and future.  The plan is not owned unless it came from
+  // use_env_fault_plan().
+  void set_fault_plan(const FaultPlan* plan) {
+    fault_plan_ = plan;
+    for (auto& a : agents_) a->set_fault_plan(plan);
+  }
+  void set_retry_policy(RetryPolicy p) {
+    retry_ = p;
+    retry_set_ = true;
+    for (auto& a : agents_) a->set_retry_policy(p);
+  }
+  void set_breaker_config(CircuitBreakerConfig c) {
+    breaker_ = c;
+    breaker_set_ = true;
+    for (auto& a : agents_) a->set_breaker_config(c);
+  }
+  // Adopts PERFSIGHT_FAULTS from the environment (CI fault matrix; scenario
+  // binaries call this so operators can rerun any scenario under faults).
+  // Returns true when a plan was installed.
+  bool use_env_fault_plan() {
+    env_plan_ = FaultPlan::from_env();
+    if (!env_plan_.has_value()) return false;
+    set_fault_plan(&env_plan_.value());
+    return true;
+  }
+  const FaultPlan* fault_plan() const { return fault_plan_; }
+
+  // Aggregate view of one sweep's collection quality: how many responses
+  // came back at each DataQuality level (scenarios print this so fault runs
+  // are self-describing).
+  struct SweepQuality {
+    size_t fresh = 0;
+    size_t stale = 0;
+    size_t torn = 0;
+    size_t missing = 0;
+    size_t total() const { return fresh + stale + torn + missing; }
+  };
+  static SweepQuality summarize(
+      const std::vector<std::vector<QueryResponse>>& sweep) {
+    SweepQuality q;
+    for (const auto& per_agent : sweep) {
+      for (const QueryResponse& r : per_agent) {
+        switch (r.quality) {
+          case DataQuality::kFresh:
+            ++q.fresh;
+            break;
+          case DataQuality::kStale:
+            ++q.stale;
+            break;
+          case DataQuality::kTorn:
+            ++q.torn;
+            break;
+          case DataQuality::kMissing:
+            ++q.missing;
+            break;
+        }
+      }
+    }
+    return q;
   }
 
   // One cluster-wide poll sweep (the Fig. 16 workload at fleet scale):
@@ -111,6 +180,13 @@ class Deployment {
   Controller controller_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Agent>> agents_;
+  // Fault config replayed onto agents added later.
+  const FaultPlan* fault_plan_ = nullptr;
+  std::optional<FaultPlan> env_plan_;
+  RetryPolicy retry_;
+  CircuitBreakerConfig breaker_;
+  bool retry_set_ = false;
+  bool breaker_set_ = false;
 };
 
 }  // namespace perfsight::cluster

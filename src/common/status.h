@@ -20,6 +20,7 @@ enum class StatusCode {
   kInvalidArgument,
   kUnavailable,
   kFailedPrecondition,
+  kDeadlineExceeded,
 };
 
 class Status {
@@ -40,6 +41,12 @@ class Status {
   }
   static Status failed_precondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  // A query (or its retry budget) ran past its deadline.  Distinct from
+  // kUnavailable: the channel may be healthy but slow, and callers with
+  // budgets treat the two differently.
+  static Status deadline_exceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

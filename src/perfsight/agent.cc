@@ -45,6 +45,18 @@ ChannelLatencyModel default_latency(ChannelKind kind) {
   return {Duration::micros(500), Duration::micros(100)};
 }
 
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
 Status Agent::add_element(const StatsSource* source) {
   PS_CHECK(source != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
@@ -89,30 +101,296 @@ void Agent::observe_channel(ChannelKind kind, Duration delay) {
   channel_hist_[static_cast<size_t>(kind)].observe(delay.sec());
 }
 
+void Agent::emit_pending(const std::vector<PendingTrace>& traces) {
+  for (const PendingTrace& p : traces) {
+    trace_event(p.id, p.t, p.kind, p.value, p.detail);
+  }
+}
+
+void Agent::absorb_crashes_locked(SimTime now,
+                                  std::vector<PendingTrace>* traces) {
+  if (plan_ == nullptr || now <= last_crash_check_) return;
+  size_t n = plan_->crashes_between(name_, last_crash_check_, now);
+  last_crash_check_ = now;
+  if (n == 0) return;
+  // The whole agent restarted: in-memory state is gone and every element's
+  // counters read from zero on the next collect (the Monitor's negative-
+  // delta reset detection absorbs the discontinuity).
+  fstats_.crashes += n;
+  cache_.clear();
+  last_good_.clear();
+  reset_offset_.clear();
+  pending_reset_.clear();
+  for (const auto& [id, src] : sources_) {
+    (void)src;
+    pending_reset_.insert(id);
+  }
+  for (Breaker& b : breakers_) b = Breaker{};
+  if (trace_enabled() && traces != nullptr) {
+    traces->push_back(PendingTrace{ElementId{name_}, now,
+                                   TraceEventKind::kAgentCrashRestart,
+                                   static_cast<double>(n), "counters reset"});
+  }
+}
+
+void Agent::plan_outcome_locked(PlannedQuery& q, SimTime now,
+                                bool shared_first, Duration shared_delay,
+                                std::vector<PendingTrace>* traces) {
+  const size_t ki = static_cast<size_t>(q.kind);
+  Breaker& br = breakers_[ki];
+  const bool tracing = trace_enabled() && traces != nullptr;
+  const ElementId breaker_id{name_ + "/" + to_string(q.kind)};
+
+  if (br.state == BreakerState::kOpen) {
+    if (now - br.opened_at < breaker_cfg_.cooldown) {
+      // Fast fail: known-dead channel, no modelled time paid, no RNG drawn.
+      q.failed = true;
+      q.quality = DataQuality::kMissing;
+      q.attempts = 0;
+      q.delay = Duration::nanos(0);
+      q.fail_code = StatusCode::kUnavailable;
+      ++fstats_.breaker_fast_fails;
+      return;
+    }
+    br.state = BreakerState::kHalfOpen;
+    if (tracing) {
+      traces->push_back(PendingTrace{breaker_id, now,
+                                     TraceEventKind::kBreakerStateChange,
+                                     static_cast<double>(static_cast<int>(
+                                         BreakerState::kHalfOpen)),
+                                     "half_open"});
+    }
+  }
+
+  Duration elapsed;
+  const Duration budget = retry_.element_budget;
+  const uint32_t max_attempts = std::max<uint32_t>(1, retry_.max_attempts);
+  // Hoisted once per element: when the effective spec cannot fire, the
+  // per-attempt decision hash is skipped entirely (decide() would return
+  // kNone anyway), keeping an installed-but-inert plan near-free.
+  const ChannelFaultSpec* fspec =
+      plan_ != nullptr ? &plan_->spec_for(q.id, q.kind) : nullptr;
+  const bool may_fault = fspec != nullptr && fspec->any();
+  uint32_t attempt = 1;
+  bool success = false;
+  StatusCode last_code = StatusCode::kUnavailable;
+  for (;; ++attempt) {
+    Duration d = (attempt == 1 && shared_first) ? shared_delay
+                                                : channel_delay_locked(q.kind);
+    FaultDecision dec;
+    if (may_fault) dec = plan_->decide(q.id, q.kind, now, attempt);
+    if (dec.kind != FaultKind::kNone) ++fstats_.faults_injected;
+    bool attempt_failed = false;
+    DataQuality quality = DataQuality::kFresh;
+    switch (dec.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kStale: {
+        auto lg = last_good_.find(q.id);
+        if (lg != last_good_.end()) {
+          q.serve_stale = true;
+          q.stale_record = lg->second;
+          quality = DataQuality::kStale;
+        } else {
+          attempt_failed = true;  // nothing cached to serve: acts transient
+          last_code = StatusCode::kUnavailable;
+        }
+        break;
+      }
+      case FaultKind::kTorn:
+        q.torn_salt = dec.torn_salt;
+        quality = DataQuality::kTorn;
+        break;
+      case FaultKind::kTimeout:
+        d = plan_->timeout_spike();
+        if (retry_.attempt_timeout.ns() > 0 && retry_.attempt_timeout < d) {
+          d = retry_.attempt_timeout;
+        }
+        attempt_failed = true;
+        last_code = StatusCode::kDeadlineExceeded;
+        break;
+      case FaultKind::kTransient:
+        attempt_failed = true;
+        last_code = StatusCode::kUnavailable;
+        break;
+    }
+    if (budget.ns() > 0 && elapsed + d > budget) {
+      // Budget clamp: the sweep never runs past its deadline; the element
+      // is reported missing rather than late.
+      elapsed = budget;
+      q.fail_code = StatusCode::kDeadlineExceeded;
+      ++fstats_.deadline_hits;
+      break;
+    }
+    elapsed += d;
+    if (!attempt_failed) {
+      success = true;
+      q.quality = quality;
+      if (quality == DataQuality::kStale) ++fstats_.stale_served;
+      if (quality == DataQuality::kTorn) ++fstats_.torn_reads;
+      break;
+    }
+    if (attempt >= max_attempts) {
+      q.fail_code = last_code;
+      ++fstats_.exhausted;
+      break;
+    }
+    // Exponential backoff with deterministic jitter, drawn pre-fan-out from
+    // the same RNG stream as the channel jitter.
+    Duration backoff = retry_.initial_backoff;
+    for (uint32_t i = 1; i < attempt; ++i) {
+      backoff = backoff * retry_.backoff_multiplier;
+    }
+    if (retry_.max_backoff.ns() > 0 && retry_.max_backoff < backoff) {
+      backoff = retry_.max_backoff;
+    }
+    if (retry_.jitter_frac > 0) {
+      backoff = backoff * (1.0 + retry_.jitter_frac * rng_.next_double());
+    }
+    if (budget.ns() > 0 && elapsed + backoff >= budget) {
+      elapsed = budget;
+      q.fail_code = StatusCode::kDeadlineExceeded;
+      ++fstats_.deadline_hits;
+      break;
+    }
+    elapsed += backoff;
+    ++fstats_.retries;
+    if (tracing) {
+      traces->push_back(PendingTrace{q.id, now + elapsed,
+                                     TraceEventKind::kAgentRetry,
+                                     static_cast<double>(attempt),
+                                     to_string(dec.kind)});
+    }
+  }
+  q.delay = elapsed;
+  q.attempts = attempt;
+  q.failed = !success;
+  if (q.failed) q.quality = DataQuality::kMissing;
+
+  if (success) {
+    br.consecutive_failures = 0;
+    if (br.state == BreakerState::kHalfOpen) {
+      br.state = BreakerState::kClosed;
+      ++fstats_.breaker_closed;
+      if (tracing) {
+        traces->push_back(PendingTrace{
+            breaker_id, now, TraceEventKind::kBreakerStateChange,
+            static_cast<double>(static_cast<int>(BreakerState::kClosed)),
+            "closed"});
+      }
+    }
+  } else {
+    ++br.consecutive_failures;
+    const bool reopen = br.state == BreakerState::kHalfOpen;
+    const bool trip = br.state == BreakerState::kClosed &&
+                      br.consecutive_failures >= breaker_cfg_.failure_threshold;
+    if (reopen || trip) {
+      br.state = BreakerState::kOpen;
+      br.opened_at = now;
+      ++fstats_.breaker_opened;
+      if (tracing) {
+        traces->push_back(PendingTrace{
+            breaker_id, now, TraceEventKind::kBreakerStateChange,
+            static_cast<double>(static_cast<int>(BreakerState::kOpen)),
+            "open"});
+      }
+    }
+  }
+}
+
+void Agent::apply_fault_bookkeeping(const ElementId& id, StatsRecord& record,
+                                    bool track_last_good) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_reset_.erase(id) > 0) {
+    // First collect after a crash: capture the current monotone counter
+    // values as offsets so the element appears to restart from zero.
+    std::vector<Attr> offsets;
+    for (const Attr& a : record.attrs) {
+      if (is_monotone_counter(a.name)) offsets.push_back(a);
+    }
+    reset_offset_[id] = std::move(offsets);
+  }
+  auto it = reset_offset_.find(id);
+  if (it != reset_offset_.end()) {
+    for (Attr& a : record.attrs) {
+      for (const Attr& o : it->second) {
+        if (o.name == a.name) {
+          a.value = a.value >= o.value ? a.value - o.value : 0;
+          break;
+        }
+      }
+    }
+  }
+  if (track_last_good) last_good_[id] = record;
+}
+
 Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
-  const StatsSource* source = nullptr;
-  ChannelKind kind = ChannelKind::kNetDeviceFile;
-  Duration delay;
+  PlannedQuery q;
+  bool fault_mode = false;
+  bool track_last_good = false, bookkeep = false;
+  std::vector<PendingTrace> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    absorb_crashes_locked(now, &pending);
     auto it = sources_.find(id);
     if (it == sources_.end()) {
       return Status::not_found("agent " + name_ + ": no element " + id.name);
     }
-    source = it->second;
-    kind = source->channel_kind();
-    delay = channel_delay_locked(kind);
+    q.id = id;
+    q.source = it->second;
+    q.kind = it->second->channel_kind();
+    fault_mode = plan_ != nullptr;
+    if (fault_mode) {
+      track_last_good = plan_->serves_stale();
+      bookkeep = track_last_good || !pending_reset_.empty() ||
+                 !reset_offset_.empty();
+    }
+    plan_outcome_locked(q, now, /*shared_first=*/false, Duration{}, &pending);
   }
+  emit_pending(pending);
+
+  if (q.failed) {
+    if (q.attempts > 0) observe_channel(q.kind, q.delay);
+    if (trace_enabled()) {
+      if (q.attempts > 0) {
+        trace_event(id, now, TraceEventKind::kAgentQueryIssued, 0,
+                    to_string(q.kind));
+      }
+      trace_event(id, now + q.delay, TraceEventKind::kAgentQueryFailed,
+                  static_cast<double>(q.attempts), to_string(q.kind));
+    }
+    std::string m = "agent " + name_ + ": element " + id.name +
+                    (q.attempts == 0 ? " skipped: circuit open"
+                     : q.fail_code == StatusCode::kDeadlineExceeded
+                         ? " deadline exceeded after " +
+                               std::to_string(q.attempts) + " attempt(s)"
+                         : " unavailable after " + std::to_string(q.attempts) +
+                               " attempt(s)");
+    return q.fail_code == StatusCode::kDeadlineExceeded
+               ? Status::deadline_exceeded(std::move(m))
+               : Status::unavailable(std::move(m));
+  }
+
   QueryResponse resp;
-  resp.record = source->collect(now);
-  resp.response_time = delay;
-  observe_channel(kind, delay);
+  if (q.serve_stale) {
+    resp.record = std::move(q.stale_record);  // true (old) timestamp kept
+  } else {
+    resp.record = q.source->collect(now);
+    if (bookkeep) apply_fault_bookkeeping(id, resp.record, track_last_good);
+    if (q.quality == DataQuality::kTorn) {
+      resp.record = apply_torn_read(resp.record, q.torn_salt);
+    }
+  }
+  resp.response_time = q.delay;
+  resp.quality = q.quality;
+  resp.attempts = q.attempts;
+  observe_channel(q.kind, q.delay);
   if (trace_enabled()) {
     trace_event(id, now, TraceEventKind::kAgentQueryIssued, 0,
-                to_string(kind));
+                to_string(q.kind));
     trace_event(id, now + resp.response_time,
                 TraceEventKind::kAgentQueryCompleted, resp.response_time.us(),
-                to_string(kind));
+                to_string(q.kind));
   }
   return resp;
 }
@@ -157,8 +435,18 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
   std::vector<PlannedQuery> plan;
   std::array<bool, kNumChannelKinds> kind_used = {};
   std::array<Duration, kNumChannelKinds> kind_delay = {};
+  bool fault_mode = false;
+  bool track_last_good = false, bookkeep = false;
+  std::vector<PendingTrace> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    absorb_crashes_locked(now, &pending);
+    fault_mode = plan_ != nullptr;
+    if (fault_mode) {
+      track_last_good = plan_->serves_stale();
+      bookkeep = track_last_good || !pending_reset_.empty() ||
+                 !reset_offset_.empty();
+    }
     plan.reserve(ids.size());
     for (const ElementId& id : ids) {
       auto it = sources_.find(id);
@@ -170,7 +458,12 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
       q.id = id;
       q.source = it->second;
       q.kind = it->second->channel_kind();
-      kind_used[static_cast<size_t>(q.kind)] = true;
+      // A kind whose breaker is open (and still cooling down) gets no round
+      // trip at all; its elements fast-fail cheaply in planning below.
+      const Breaker& br = breakers_[static_cast<size_t>(q.kind)];
+      const bool fast_fail = br.state == BreakerState::kOpen &&
+                             now - br.opened_at < breaker_cfg_.cooldown;
+      if (!fast_fail) kind_used[static_cast<size_t>(q.kind)] = true;
       plan.push_back(std::move(q));
     }
     // One round trip per channel kind present, drawn in kind order so the
@@ -185,16 +478,48 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
             [](const PlannedQuery& a, const PlannedQuery& b) {
               return a.id < b.id;
             });
-  for (PlannedQuery& q : plan) {
-    q.delay = kind_delay[static_cast<size_t>(q.kind)];
+  {
+    // Fault decisions and retry chains, planned in element-id order before
+    // the fan-out.  The first attempt of each element rides its kind's
+    // shared round trip; retries pay their own trips on top.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (PlannedQuery& q : plan) {
+      const size_t k = static_cast<size_t>(q.kind);
+      plan_outcome_locked(q, now, kind_used[k], kind_delay[k], &pending);
+      if (fault_mode && q.delay > kind_delay[k]) {
+        batch.channel_time += q.delay - kind_delay[k];
+      }
+    }
   }
+  emit_pending(pending);
 
   batch.responses.resize(plan.size());
   std::vector<QueryResponse>& out = batch.responses;
   parallel_for_or_inline(pool, plan.size(), [&](size_t i) {
-    out[i].record = plan[i].source->collect(now);
-    out[i].response_time = plan[i].delay;
+    PlannedQuery& q = plan[i];
+    QueryResponse& r = out[i];
+    r.response_time = q.delay;
+    r.quality = q.quality;
+    r.attempts = q.attempts;
+    if (q.failed) {
+      // Blind spot: keep the element visible with an empty record.
+      r.record.timestamp = now;
+      r.record.element = q.id;
+      return;
+    }
+    if (q.serve_stale) {
+      r.record = std::move(q.stale_record);
+      return;
+    }
+    r.record = q.source->collect(now);
+    if (bookkeep) apply_fault_bookkeeping(q.id, r.record, track_last_good);
+    if (q.quality == DataQuality::kTorn) {
+      r.record = apply_torn_read(r.record, q.torn_salt);
+    }
   });
+  for (const QueryResponse& r : batch.responses) {
+    if (r.quality != DataQuality::kFresh) ++batch.degraded;
+  }
 
   // Merge step, sequential on the caller: self-profiling and tracing in
   // deterministic (kind, then id) order — one histogram observe and one
@@ -220,17 +545,38 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
                   TraceEventKind::kAgentQueryCompleted, kind_delay[k].us(),
                   to_string(static_cast<ChannelKind>(k)));
     }
+    // Blind spots must be visible in the flight recorder: unknown ids and
+    // non-fresh responses degrade the batch.
+    if (batch.unknown_ids > 0 || batch.degraded > 0) {
+      trace_event(batch_id, now, TraceEventKind::kAgentBatchDegraded,
+                  static_cast<double>(batch.unknown_ids + batch.degraded),
+                  "unknown or degraded elements");
+    }
   }
   return batch;
 }
 
 std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
   std::vector<PlannedQuery> plan;
+  bool fault_mode = false;
+  bool track_last_good = false, bookkeep = false;
+  std::vector<PendingTrace> pending;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    absorb_crashes_locked(now, &pending);
+    fault_mode = plan_ != nullptr;
+    if (fault_mode) {
+      track_last_good = plan_->serves_stale();
+      bookkeep = track_last_good || !pending_reset_.empty() ||
+                 !reset_offset_.empty();
+    }
     plan.reserve(sources_.size());
     for (const auto& [id, src] : sources_) {
-      plan.push_back(PlannedQuery{id, src, src->channel_kind(), {}});
+      PlannedQuery q;
+      q.id = id;
+      q.source = src;
+      q.kind = src->channel_kind();
+      plan.push_back(std::move(q));
     }
   }
   std::sort(plan.begin(), plan.end(),
@@ -238,28 +584,64 @@ std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
               return a.id < b.id;
             });
   {
-    // Jitter drawn in element-id order, exactly as the sequential sweep
-    // consumed the RNG, so any pool size yields identical delays.
+    // Jitter (and, under a fault plan, fault decisions and backoff draws)
+    // consumed in element-id order, exactly as the sequential sweep consumed
+    // the RNG, so any pool size yields identical outcomes.
     std::lock_guard<std::mutex> lock(mu_);
-    for (PlannedQuery& q : plan) q.delay = channel_delay_locked(q.kind);
+    for (PlannedQuery& q : plan) {
+      plan_outcome_locked(q, now, /*shared_first=*/false, Duration{},
+                          &pending);
+    }
   }
+  emit_pending(pending);
 
   std::vector<QueryResponse> out(plan.size());
   parallel_for_or_inline(pool, plan.size(), [&](size_t i) {
-    out[i].record = plan[i].source->collect(now);
-    out[i].response_time = plan[i].delay;
+    PlannedQuery& q = plan[i];
+    QueryResponse& r = out[i];
+    r.response_time = q.delay;
+    r.quality = q.quality;
+    r.attempts = q.attempts;
+    if (q.failed) {
+      // Blind spot: keep the element visible with an empty record so the
+      // diagnosis layer sees the hole instead of silently skipping it.
+      r.record.timestamp = now;
+      r.record.element = q.id;
+      return;
+    }
+    if (q.serve_stale) {
+      r.record = std::move(q.stale_record);
+      return;
+    }
+    r.record = q.source->collect(now);
+    if (bookkeep) apply_fault_bookkeeping(q.id, r.record, track_last_good);
+    if (q.quality == DataQuality::kTorn) {
+      r.record = apply_torn_read(r.record, q.torn_salt);
+    }
   });
 
   // Deterministic merge: per-element self-profiling and trace events in
   // element-id order, matching the sequential sweep event for event.
+  // Breaker fast-fails (attempts == 0) paid no channel time and are not
+  // observed.
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const PlannedQuery& q : plan) {
+      if (q.attempts == 0) continue;
       channel_hist_[static_cast<size_t>(q.kind)].observe(q.delay.sec());
     }
   }
   if (trace_enabled()) {
     for (const PlannedQuery& q : plan) {
+      if (q.failed) {
+        if (q.attempts > 0) {
+          trace_event(q.id, now, TraceEventKind::kAgentQueryIssued, 0,
+                      to_string(q.kind));
+        }
+        trace_event(q.id, now + q.delay, TraceEventKind::kAgentQueryFailed,
+                    static_cast<double>(q.attempts), to_string(q.kind));
+        continue;
+      }
       trace_event(q.id, now, TraceEventKind::kAgentQueryIssued, 0,
                   to_string(q.kind));
       trace_event(q.id, now + q.delay, TraceEventKind::kAgentQueryCompleted,

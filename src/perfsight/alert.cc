@@ -42,11 +42,13 @@ std::vector<Alert> AlertWatcher::check(const AuxSignals& aux) {
         alert.contention =
             contention_->diagnose(monitor_->tenant(), rule.window, aux);
         alert.ran_contention = true;
+        alert.coverage = alert.contention.coverage;
         break;
       case AlertRule::Action::kRootCause:
         PS_CHECK(rootcause_ != nullptr);
         alert.rootcause = rootcause_->analyze(monitor_->tenant(), rule.window);
         alert.ran_rootcause = true;
+        alert.coverage = alert.rootcause.coverage;
         break;
       case AlertRule::Action::kNone:
         break;
@@ -62,6 +64,11 @@ std::string to_text(const Alert& alert) {
                     alert.attr + " = " + std::to_string(alert.observed) +
                     " >= " + std::to_string(alert.threshold) + " at t=" +
                     std::to_string(alert.at.sec()) + "s\n";
+  if (alert.coverage < 1.0) {
+    out += "  (diagnosis ran on partial data: coverage " +
+           std::to_string(static_cast<int>(alert.coverage * 100 + 0.5)) +
+           "%)\n";
+  }
   if (alert.ran_contention) out += to_text(alert.contention);
   if (alert.ran_rootcause) out += to_text(alert.rootcause);
   return out;

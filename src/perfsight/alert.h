@@ -51,6 +51,9 @@ struct Alert {
   ContentionReport contention;
   bool ran_rootcause = false;
   RootCauseReport rootcause;
+  // Fraction of the triggered diagnosis's scan set measured fresh (copied
+  // from the report).  < 1 means the verdict was drawn from partial data.
+  double coverage = 1.0;
 };
 
 class AlertWatcher {

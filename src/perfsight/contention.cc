@@ -21,15 +21,17 @@ struct Sample {
   int vm = -1;
   bool valid = false;
   bool has_drop_counter = false;
+  DataQuality quality = DataQuality::kMissing;  // kFresh once sampled cleanly
 };
 
 Sample take_sample(const Controller& c, TenantId tenant, const ElementId& id) {
   Sample s;
-  Result<StatsRecord> r = c.get_attr(
+  Result<Controller::QualifiedRecord> r = c.get_attr_q(
       tenant, id,
       {attr::kDropPkts, attr::kRxPkts, attr::kTxPkts, attr::kType, attr::kVm});
   if (!r.ok()) return s;
-  const StatsRecord& rec = r.value();
+  s.quality = r.value().quality;
+  const StatsRecord& rec = r.value().record;
   s.has_drop_counter = rec.get(attr::kDropPkts).has_value();
   s.drops = rec.get_or(attr::kDropPkts, 0);
   s.in_pkts = rec.get_or(attr::kRxPkts, 0);
@@ -99,7 +101,15 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
     const ElementId& e = elements[i];
     const Sample& s1 = first[i];
     const Sample& s2 = second[i];
-    if (!s1.valid || !s2.valid) continue;
+    // A loss delta is only trustworthy when *both* endpoints were collected
+    // fresh: stale counters produce bogus deltas and torn records may be
+    // missing the very counters the delta needs.  Degraded elements become
+    // blind spots instead of ranked entries.
+    const DataQuality q = worse(s1.quality, s2.quality);
+    if (!s1.valid || !s2.valid || !is_fresh(q)) {
+      report.blind_spots.push_back(ContentionReport::BlindSpot{e, q});
+      continue;
+    }
     ElementLossEntry entry;
     entry.id = e;
     entry.kind = s2.kind;
@@ -121,9 +131,25 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
               return a.id < b.id;
             });
 
+  if (!elements.empty()) {
+    report.coverage =
+        static_cast<double>(elements.size() - report.blind_spots.size()) /
+        static_cast<double>(elements.size());
+  }
+  // Appended to every narrative when the sweep had blind spots: a verdict
+  // from partial data must say so.
+  auto blind_note = [&]() -> std::string {
+    if (report.blind_spots.empty()) return "";
+    return "; " + std::to_string(report.blind_spots.size()) +
+           " element(s) unmeasured (coverage " +
+           std::to_string(static_cast<int>(report.coverage * 100 + 0.5)) +
+           "%)";
+  };
+
   if (report.ranked.empty() ||
       report.ranked.front().loss_pkts < loss_threshold_) {
-    report.narrative = "no significant packet loss in the software dataplane";
+    report.narrative = "no significant packet loss in the software dataplane" +
+                       blind_note();
     finish(report);
     return report;
   }
@@ -167,6 +193,7 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
                                     vms.size(), report.is_contention ? 2 : 1)) +
                                 " VMs"
                           : "bottleneck confined to one VM");
+  report.narrative += blind_note();
   finish(report);
   return report;
 }
@@ -176,6 +203,13 @@ std::string to_text(const ContentionReport& r) {
   out += "=== Algorithm 1: contention / bottleneck report ===\n";
   if (!r.problem_found) {
     out += "  no significant loss detected\n";
+    if (!r.blind_spots.empty()) {
+      out += "  WARNING: verdict from partial data; " +
+             std::to_string(r.blind_spots.size()) +
+             " element(s) unmeasured (coverage " +
+             std::to_string(static_cast<int>(r.coverage * 100 + 0.5)) +
+             "%)\n";
+    }
     return out;
   }
   out += "  primary drop location: ";
@@ -194,6 +228,13 @@ std::string to_text(const ContentionReport& r) {
     if (e.loss_pkts <= 0) continue;
     out += "    " + e.id.name + " [" + to_string(e.kind) +
            "]: " + std::to_string(e.loss_pkts) + " pkts\n";
+  }
+  if (!r.blind_spots.empty()) {
+    out += "  blind spots (excluded from ranking, coverage " +
+           std::to_string(static_cast<int>(r.coverage * 100 + 0.5)) + "%):\n";
+    for (const ContentionReport::BlindSpot& b : r.blind_spots) {
+      out += "    " + b.id.name + ": " + to_string(b.quality) + "\n";
+    }
   }
   return out;
 }

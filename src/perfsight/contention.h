@@ -33,7 +33,18 @@ struct ElementLossEntry {
 };
 
 struct ContentionReport {
-  // All scanned elements, sorted by descending loss (Algorithm 1's output).
+  // An element the sweep could not measure reliably: its counters came back
+  // stale, torn, or not at all (fault-tolerant collection).  Such elements
+  // are excluded from the loss ranking — a stale counter pair yields a
+  // bogus delta — and reported here instead, so the verdict is explicit
+  // about where it is blind.
+  struct BlindSpot {
+    ElementId id;
+    DataQuality quality = DataQuality::kMissing;
+  };
+
+  // All reliably-measured elements, sorted by descending loss
+  // (Algorithm 1's output).
   std::vector<ElementLossEntry> ranked;
   bool problem_found = false;
   ElementKind primary_location = ElementKind::kOther;
@@ -41,6 +52,10 @@ struct ContentionReport {
   bool is_contention = false;  // vs single-VM bottleneck
   std::vector<int> affected_vms;
   std::vector<ResourceKind> candidate_resources;
+  // Elements with degraded or missing data, in element-id order, and the
+  // fraction of the scan set measured fresh (1.0 = full confidence).
+  std::vector<BlindSpot> blind_spots;
+  double coverage = 1.0;
   std::string narrative;
 };
 

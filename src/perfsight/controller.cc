@@ -67,7 +67,7 @@ Agent* Controller::locate(TenantId tenant, const ElementId& id) const {
   return nullptr;
 }
 
-Result<StatsRecord> Controller::get_attr(
+Result<Controller::QualifiedRecord> Controller::get_attr_q(
     TenantId tenant, const ElementId& id,
     const std::vector<std::string>& attrs) const {
   Agent* agent = locate(tenant, id);
@@ -79,36 +79,50 @@ Result<StatsRecord> Controller::get_attr(
   queries_issued_.fetch_add(1, std::memory_order_relaxed);
   channel_time_ns_.fetch_add(resp.value().response_time.ns(),
                              std::memory_order_relaxed);
-  return resp.value().record;
+  return QualifiedRecord{resp.value().record, resp.value().quality};
+}
+
+Result<StatsRecord> Controller::get_attr(
+    TenantId tenant, const ElementId& id,
+    const std::vector<std::string>& attrs) const {
+  Result<QualifiedRecord> q = get_attr_q(tenant, id, attrs);
+  if (!q.ok()) return q.status();
+  return std::move(q).take().record;
 }
 
 Result<DataRate> Controller::get_throughput(TenantId tenant,
                                             const ElementId& id,
-                                            Duration window) const {
+                                            Duration window,
+                                            DataQuality* quality) const {
   std::vector<std::string> attrs{attr::kTxBytes};
-  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s1 = get_attr_q(tenant, id, attrs);
   if (!s1.ok()) return s1.status();
   advance_(window);
-  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s2 = get_attr_q(tenant, id, attrs);
   if (!s2.ok()) return s2.status();
-  double b1 = s1.value().get_or(attr::kTxBytes, 0);
-  double b2 = s2.value().get_or(attr::kTxBytes, 0);
-  Duration dt = s2.value().timestamp - s1.value().timestamp;
+  if (quality != nullptr) *quality = worse(s1.value().quality,
+                                           s2.value().quality);
+  double b1 = s1.value().record.get_or(attr::kTxBytes, 0);
+  double b2 = s2.value().record.get_or(attr::kTxBytes, 0);
+  Duration dt = s2.value().record.timestamp - s1.value().record.timestamp;
   return rate_of(static_cast<uint64_t>(std::max(0.0, b2 - b1)), dt);
 }
 
 Result<int64_t> Controller::get_pkt_loss(TenantId tenant, const ElementId& id,
-                                         Duration window) const {
+                                         Duration window,
+                                         DataQuality* quality) const {
   std::vector<std::string> attrs{attr::kRxPkts, attr::kTxPkts,
                                  attr::kDropPkts};
-  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s1 = get_attr_q(tenant, id, attrs);
   if (!s1.ok()) return s1.status();
   advance_(window);
-  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s2 = get_attr_q(tenant, id, attrs);
   if (!s2.ok()) return s2.status();
+  if (quality != nullptr) *quality = worse(s1.value().quality,
+                                           s2.value().quality);
 
-  const StatsRecord& r1 = s1.value();
-  const StatsRecord& r2 = s2.value();
+  const StatsRecord& r1 = s1.value().record;
+  const StatsRecord& r2 = s2.value().record;
   if (r1.get(attr::kDropPkts) && r2.get(attr::kDropPkts)) {
     return static_cast<int64_t>(*r2.get(attr::kDropPkts) -
                                 *r1.get(attr::kDropPkts));
@@ -120,17 +134,20 @@ Result<int64_t> Controller::get_pkt_loss(TenantId tenant, const ElementId& id,
 
 Result<double> Controller::get_avg_pkt_size(TenantId tenant,
                                             const ElementId& id,
-                                            Duration window) const {
+                                            Duration window,
+                                            DataQuality* quality) const {
   std::vector<std::string> attrs{attr::kTxBytes, attr::kTxPkts};
-  Result<StatsRecord> s1 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s1 = get_attr_q(tenant, id, attrs);
   if (!s1.ok()) return s1.status();
   advance_(window);
-  Result<StatsRecord> s2 = get_attr(tenant, id, attrs);
+  Result<QualifiedRecord> s2 = get_attr_q(tenant, id, attrs);
   if (!s2.ok()) return s2.status();
-  double db = s2.value().get_or(attr::kTxBytes, 0) -
-              s1.value().get_or(attr::kTxBytes, 0);
-  double dp = s2.value().get_or(attr::kTxPkts, 0) -
-              s1.value().get_or(attr::kTxPkts, 0);
+  if (quality != nullptr) *quality = worse(s1.value().quality,
+                                           s2.value().quality);
+  double db = s2.value().record.get_or(attr::kTxBytes, 0) -
+              s1.value().record.get_or(attr::kTxBytes, 0);
+  double dp = s2.value().record.get_or(attr::kTxPkts, 0) -
+              s1.value().record.get_or(attr::kTxPkts, 0);
   if (dp <= 0) return 0.0;
   return db / dp;
 }

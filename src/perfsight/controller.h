@@ -83,23 +83,42 @@ class Controller {
   }
 
   // --- Fig. 6 interfaces ----------------------------------------------------
+  // A record plus the collection layer's judgement of how trustworthy it is
+  // (fault-tolerant collection: stale and torn records still flow, annotated).
+  struct QualifiedRecord {
+    StatsRecord record;
+    DataQuality quality = DataQuality::kFresh;
+  };
+
   // GETATTR(tenantID, elementID, attributes)
   Result<StatsRecord> get_attr(TenantId tenant, const ElementId& id,
                                const std::vector<std::string>& attrs) const;
+  // As get_attr, but carries the per-record DataQuality so diagnosis layers
+  // can annotate their verdicts with coverage / blind spots.
+  Result<QualifiedRecord> get_attr_q(TenantId tenant, const ElementId& id,
+                                     const std::vector<std::string>& attrs)
+      const;
+
+  // The interval utilities take two samples; when `quality` is non-null it
+  // receives the worse of the two samples' qualities (worst-case honesty:
+  // a rate computed from one stale endpoint is itself stale).
 
   // GETTHROUGHPUT: output rate of the element over window T.
   Result<DataRate> get_throughput(TenantId tenant, const ElementId& id,
-                                  Duration window) const;
+                                  Duration window,
+                                  DataQuality* quality = nullptr) const;
 
   // GETPKTLOSS: growth of (inPkts - outPkts) over window T.  For elements
   // exposing an explicit drop counter, the drop delta (more precise when
   // queues are draining/filling); otherwise the in-out delta of the paper.
   Result<int64_t> get_pkt_loss(TenantId tenant, const ElementId& id,
-                               Duration window) const;
+                               Duration window,
+                               DataQuality* quality = nullptr) const;
 
   // GETAVGPKTSIZE: bytes per packet observed over window T.
   Result<double> get_avg_pkt_size(TenantId tenant, const ElementId& id,
-                                  Duration window) const;
+                                  Duration window,
+                                  DataQuality* quality = nullptr) const;
 
  private:
   Agent* locate(TenantId tenant, const ElementId& id) const;

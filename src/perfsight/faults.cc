@@ -1,0 +1,186 @@
+#include "perfsight/faults.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace perfsight {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kStale:
+      return "stale";
+    case FaultKind::kTorn:
+      return "torn";
+  }
+  return "?";
+}
+
+const char* to_string(DataQuality q) {
+  switch (q) {
+    case DataQuality::kFresh:
+      return "fresh";
+    case DataQuality::kStale:
+      return "stale";
+    case DataQuality::kTorn:
+      return "torn";
+    case DataQuality::kMissing:
+      return "missing";
+  }
+  return "?";
+}
+
+namespace {
+
+// splitmix64: decorrelates the structured (seed, element, time, attempt)
+// tuple into an independent stream per decision.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+size_t FaultPlan::crashes_between(const std::string& agent, SimTime since,
+                                  SimTime until) const {
+  auto it = crashes_.find(agent);
+  if (it == crashes_.end()) return 0;
+  size_t n = 0;
+  for (SimTime at : it->second) {
+    if (since < at && at <= until) ++n;
+  }
+  return n;
+}
+
+bool FaultPlan::enabled() const {
+  for (const ChannelFaultSpec& s : channel_) {
+    if (s.any()) return true;
+  }
+  for (const auto& [id, s] : element_) {
+    if (s.any()) return true;
+  }
+  return !crashes_.empty();
+}
+
+bool FaultPlan::serves_stale() const {
+  for (const ChannelFaultSpec& s : channel_) {
+    if (s.stale_p > 0) return true;
+  }
+  for (const auto& [id, s] : element_) {
+    if (s.stale_p > 0) return true;
+  }
+  return false;
+}
+
+FaultDecision FaultPlan::decide(const ElementId& id, ChannelKind kind,
+                                SimTime now, uint32_t attempt) const {
+  const ChannelFaultSpec* spec = &spec_for(id, kind);
+
+  FaultDecision d;
+  if (!spec->any()) return d;
+
+  uint64_t h = mix64(seed_ ^ mix64(fnv1a(id.name)) ^
+                     mix64(static_cast<uint64_t>(now.ns())) ^
+                     mix64((static_cast<uint64_t>(kind) << 32) | attempt));
+  // Pcg32 seeded from the decision hash: one uniform draw for the fault
+  // class, one u32 for the torn-read salt.
+  Pcg32 rng(h, h >> 1);
+  double u = rng.next_double();
+  if (u < spec->transient_p) {
+    d.kind = FaultKind::kTransient;
+  } else if (u < spec->transient_p + spec->timeout_p) {
+    d.kind = FaultKind::kTimeout;
+  } else if (u < spec->transient_p + spec->timeout_p + spec->stale_p) {
+    d.kind = FaultKind::kStale;
+  } else if (u <
+             spec->transient_p + spec->timeout_p + spec->stale_p + spec->torn_p) {
+    d.kind = FaultKind::kTorn;
+    d.torn_salt = (static_cast<uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  }
+  return d;
+}
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  const char* env = std::getenv("PERFSIGHT_FAULTS");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+
+  uint64_t seed = 1;
+  ChannelFaultSpec spec;
+  std::string kv(env);
+  size_t pos = 0;
+  while (pos < kv.size()) {
+    size_t comma = kv.find(',', pos);
+    if (comma == std::string::npos) comma = kv.size();
+    std::string item = kv.substr(pos, comma - pos);
+    pos = comma + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = item.substr(0, eq);
+    double value = std::atof(item.c_str() + eq + 1);
+    if (key == "seed") {
+      seed = static_cast<uint64_t>(value);
+    } else if (key == "transient") {
+      spec.transient_p = value;
+    } else if (key == "timeout") {
+      spec.timeout_p = value;
+    } else if (key == "stale") {
+      spec.stale_p = value;
+    } else if (key == "torn") {
+      spec.torn_p = value;
+    }
+  }
+
+  FaultPlan plan(seed);
+  for (size_t k = 0; k < kNumChannelKinds; ++k) {
+    plan.set_channel_faults(static_cast<ChannelKind>(k), spec);
+  }
+  return plan;
+}
+
+StatsRecord apply_torn_read(const StatsRecord& r, uint64_t salt) {
+  if (r.attrs.size() < 2) return r;  // nothing meaningful to tear
+  StatsRecord out;
+  out.timestamp = r.timestamp;
+  out.element = r.element;
+  out.attrs.reserve(r.attrs.size());
+  for (size_t i = 0; i < r.attrs.size(); ++i) {
+    if (mix64(salt ^ (i + 1)) & 1) out.attrs.push_back(r.attrs[i]);
+  }
+  // A tear that dropped nothing (or everything) still has to be a tear: the
+  // quality annotation relies on the record being incomplete but nonempty.
+  if (out.attrs.size() == r.attrs.size()) out.attrs.pop_back();
+  if (out.attrs.empty()) out.attrs.push_back(r.attrs.front());
+  return out;
+}
+
+bool is_monotone_counter(const std::string& attr_name) {
+  static const char* kCounters[] = {
+      attr::kRxPkts,   attr::kTxPkts,   attr::kRxBytes,  attr::kTxBytes,
+      attr::kDropPkts, attr::kDropBytes, attr::kInTimeNs, attr::kOutTimeNs,
+      attr::kInBytes,  attr::kOutBytes,
+  };
+  for (const char* c : kCounters) {
+    if (attr_name == c) return true;
+  }
+  return false;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,171 @@
+// Deterministic fault injection for the collection fabric (§4.2 channels).
+//
+// PerfSight's agents pull counters over flaky real-world channels —
+// net_device files, /proc, the OVS control channel, QEMU logs, middlebox
+// sockets.  A production collection layer must keep diagnosing when some of
+// those channels misbehave, and the only way to *test* that is to make the
+// channels misbehave on demand, reproducibly.  A FaultPlan is a seeded
+// description of how channels fail:
+//
+//   * transient errors   the query fails outright (Status::unavailable);
+//   * timeouts           the channel latency spikes past the per-attempt
+//                        deadline (Status::deadline_exceeded);
+//   * stale reads        the channel serves the last good record with its
+//                        true (old) timestamp;
+//   * torn reads         the record arrives with a subset of attrs missing
+//                        (a partially parsed /proc page);
+//   * agent crashes      the whole agent restarts at a scheduled time:
+//                        caches are lost and counters restart from zero
+//                        (the Monitor's counter-reset detection absorbs the
+//                        discontinuity).
+//
+// Determinism contract: decide() is a pure function of (seed, element, time,
+// attempt) — no internal RNG stream is consumed — so the same plan yields
+// the same failure schedule regardless of call order, pool size, or how many
+// other elements are being polled.  Agents still evaluate decisions in
+// element-id order before fanning out, matching the collection runtime's
+// byte-identical parallel-vs-sequential contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "perfsight/stats.h"
+#include "perfsight/stats_source.h"
+
+namespace perfsight {
+
+// What one channel query is allowed to do to the caller.
+enum class FaultKind {
+  kNone = 0,
+  kTransient,  // fails with Status::unavailable
+  kTimeout,    // latency spikes past the deadline; Status::deadline_exceeded
+  kStale,      // serves the last good record at its true timestamp
+  kTorn,       // record arrives with a subset of attrs missing
+};
+
+const char* to_string(FaultKind k);
+
+// Trustworthiness of one returned record, reported per element by the
+// collection layer and propagated through every diagnosis verdict.
+// Severity-ordered: worse() below takes the max.
+enum class DataQuality {
+  kFresh = 0,  // collected this query, complete
+  kStale,      // served from an earlier collection; timestamp is honest
+  kTorn,       // collected this query but attrs are missing
+  kMissing,    // no record: channel dead, retries exhausted, or budget hit
+};
+
+const char* to_string(DataQuality q);
+
+inline bool is_fresh(DataQuality q) { return q == DataQuality::kFresh; }
+inline DataQuality worse(DataQuality a, DataQuality b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+// Per-query fault probabilities for one channel (or one element).
+struct ChannelFaultSpec {
+  double transient_p = 0;
+  double timeout_p = 0;
+  double stale_p = 0;
+  double torn_p = 0;
+
+  bool any() const {
+    return transient_p > 0 || timeout_p > 0 || stale_p > 0 || torn_p > 0;
+  }
+};
+
+// One channel query's fate, as decided by the plan.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t torn_salt = 0;  // selects which attrs a torn read loses
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 1) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // Fault probabilities for every element reached over `kind`.
+  void set_channel_faults(ChannelKind kind, ChannelFaultSpec spec) {
+    channel_[static_cast<size_t>(kind)] = spec;
+  }
+  // Per-element override; wins over the channel-kind spec.
+  void set_element_faults(const ElementId& id, ChannelFaultSpec spec) {
+    element_[id] = spec;
+  }
+
+  // Modelled latency of a timed-out attempt (the spike, before any
+  // per-attempt deadline clamps it).
+  void set_timeout_spike(Duration d) { timeout_spike_ = d; }
+  Duration timeout_spike() const { return timeout_spike_; }
+
+  // Schedules a whole-agent crash/restart at simulated time `at`.
+  void schedule_crash(const std::string& agent, SimTime at) {
+    crashes_[agent].push_back(at);
+  }
+  // Crashes of `agent` scheduled in (since, until]; the agent consumes each
+  // crash exactly once by advancing its own watermark.
+  size_t crashes_between(const std::string& agent, SimTime since,
+                         SimTime until) const;
+
+  // True when any fault source is configured (agents skip the fault path
+  // entirely otherwise, preserving the exact pre-fault behaviour).
+  bool enabled() const;
+
+  // The spec decide() would consult for this query (element override wins).
+  // Agents use it to skip the decision hash entirely for elements the plan
+  // cannot touch — the installed-but-inert plan must stay near-free.
+  const ChannelFaultSpec& spec_for(const ElementId& id,
+                                   ChannelKind kind) const {
+    if (!element_.empty()) {
+      auto it = element_.find(id);
+      if (it != element_.end()) return it->second;
+    }
+    return channel_[static_cast<size_t>(kind)];
+  }
+
+  // True when any spec can produce a stale read; agents only maintain the
+  // last-good records stale serving needs while this holds.
+  bool serves_stale() const;
+
+  // The fate of attempt `attempt` (1-based) of a query to `id` over `kind`
+  // at simulated time `now`.  Pure function of the plan's seed and the
+  // arguments: same plan, same query, same fate — in any order, from any
+  // thread.
+  FaultDecision decide(const ElementId& id, ChannelKind kind, SimTime now,
+                       uint32_t attempt) const;
+
+  // Builds a plan from the PERFSIGHT_FAULTS environment variable, e.g.
+  //   PERFSIGHT_FAULTS="seed=7,transient=0.05,timeout=0.01,stale=0.02,torn=0.02"
+  // (probabilities apply to every channel kind).  nullopt when the variable
+  // is unset or empty; malformed keys are ignored.
+  static std::optional<FaultPlan> from_env();
+
+ private:
+  uint64_t seed_;
+  Duration timeout_spike_ = Duration::millis(10);
+  std::array<ChannelFaultSpec, kNumChannelKinds> channel_ = {};
+  std::unordered_map<ElementId, ChannelFaultSpec> element_;
+  std::unordered_map<std::string, std::vector<SimTime>> crashes_;
+};
+
+// Deterministically drops a subset of `r`'s attrs (at least one survives,
+// at least one is lost when the record has two or more).  `salt` comes from
+// FaultDecision::torn_salt, so the same torn read always loses the same
+// attrs.
+StatsRecord apply_torn_read(const StatsRecord& r, uint64_t salt);
+
+// True for the canonical attributes that are monotone counters — the ones a
+// crash/restart resets to zero.  Gauges (capacity, queue depth) and
+// structural attrs (type, vm) keep their values across a restart.
+bool is_monotone_counter(const std::string& attr_name);
+
+}  // namespace perfsight

@@ -157,6 +157,42 @@ std::string MetricsRegistry::expose(SimTime now) const {
                        h);
       }
     }
+
+    // --- agent fault machinery -----------------------------------------------
+    // Emitted only for agents whose fault counters have moved: with no fault
+    // plan installed the exposition stays byte-identical to the pre-fault
+    // format.
+    bool any_faults = false;
+    for (Agent* a : agents_) {
+      if (a->fault_stats().any()) {
+        any_faults = true;
+        break;
+      }
+    }
+    if (any_faults) {
+      out += "# HELP perfsight_agent_fault_events_total Channel faults "
+             "injected and absorbed by the agent's retry/breaker machinery\n";
+      out += "# TYPE perfsight_agent_fault_events_total counter\n";
+      for (Agent* a : agents_) {
+        const AgentFaultStats fs = a->fault_stats();
+        if (!fs.any()) continue;
+        const std::string prefix = "perfsight_agent_fault_events_total{agent="
+                                   "\"" + prom_escape(a->name()) + "\",kind=\"";
+        auto emit = [&](const char* kind, uint64_t v) {
+          out += prefix + kind + "\"} " + std::to_string(v) + "\n";
+        };
+        emit("faults_injected", fs.faults_injected);
+        emit("retries", fs.retries);
+        emit("exhausted", fs.exhausted);
+        emit("deadline_hits", fs.deadline_hits);
+        emit("stale_served", fs.stale_served);
+        emit("torn_reads", fs.torn_reads);
+        emit("breaker_opened", fs.breaker_opened);
+        emit("breaker_closed", fs.breaker_closed);
+        emit("breaker_fast_fails", fs.breaker_fast_fails);
+        emit("crashes", fs.crashes);
+      }
+    }
   }
 
   // --- registered instruments ----------------------------------------------

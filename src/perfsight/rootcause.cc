@@ -42,16 +42,18 @@ struct MbSample {
   double out_time_ns = 0;
   double capacity_mbps = 0;
   bool valid = false;
+  DataQuality quality = DataQuality::kMissing;  // kFresh once sampled cleanly
 };
 
 MbSample sample(const Controller& c, TenantId tenant, const ElementId& id) {
   MbSample s;
-  Result<StatsRecord> r =
-      c.get_attr(tenant, id,
-                 {attr::kInBytes, attr::kInTimeNs, attr::kOutBytes,
-                  attr::kOutTimeNs, attr::kCapacityMbps});
+  Result<Controller::QualifiedRecord> r =
+      c.get_attr_q(tenant, id,
+                   {attr::kInBytes, attr::kInTimeNs, attr::kOutBytes,
+                    attr::kOutTimeNs, attr::kCapacityMbps});
   if (!r.ok()) return s;
-  const StatsRecord& rec = r.value();
+  s.quality = r.value().quality;
+  const StatsRecord& rec = r.value().record;
   s.in_bytes = rec.get_or(attr::kInBytes, 0);
   s.in_time_ns = rec.get_or(attr::kInTimeNs, 0);
   s.out_bytes = rec.get_or(attr::kOutBytes, 0);
@@ -92,7 +94,11 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
     const MbSample& s1 = first[mb];
     MbObservation obs;
     obs.id = mb;
-    if (s1.valid && s2.valid) {
+    obs.quality = worse(s1.quality, s2.quality);
+    // Refusal to exonerate on degraded data: only a fresh sample pair may
+    // classify a middlebox as blocked (and thereby remove candidates).  A
+    // stale/torn/missing middlebox stays kNormal — still a suspect.
+    if (s1.valid && s2.valid && is_fresh(obs.quality)) {
       double db_in = s2.in_bytes - s1.in_bytes;
       double dt_in = s2.in_time_ns - s1.in_time_ns;
       double db_out = s2.out_bytes - s1.out_bytes;
@@ -113,7 +119,13 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
       }
     }
     states[mb] = obs.state;
+    if (!is_fresh(obs.quality)) report.blind_spots.push_back(obs);
     report.observations.push_back(obs);
+  }
+  if (!mbs.empty()) {
+    report.coverage =
+        static_cast<double>(mbs.size() - report.blind_spots.size()) /
+        static_cast<double>(mbs.size());
   }
 
   // Candidate filtering (Algorithm 2, lines 14/17) with one refinement for
@@ -173,6 +185,8 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
     report.root_cause_roles.push_back(role);
   }
 
+  std::unordered_map<ElementId, DataQuality> quality_of;
+  for (const MbObservation& o : report.observations) quality_of[o.id] = o.quality;
   if (report.root_causes.empty()) {
     report.narrative =
         "no middlebox survives filtering: chain states are consistent with "
@@ -182,7 +196,21 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
     for (size_t i = 0; i < report.root_causes.size(); ++i) {
       report.narrative += " " + report.root_causes[i].name + " (" +
                           to_string(report.root_cause_roles[i]) + ")";
+      const DataQuality q = quality_of[report.root_causes[i]];
+      if (!is_fresh(q)) {
+        // A candidate that survived because it *could not* be measured is a
+        // different claim than one measured and not exonerated.
+        report.narrative += std::string(" [unverified: ") + to_string(q) +
+                            " counters]";
+      }
     }
+  }
+  if (!report.blind_spots.empty()) {
+    report.narrative += "; " + std::to_string(report.blind_spots.size()) +
+                        " middlebox(es) with degraded counters (coverage " +
+                        std::to_string(
+                            static_cast<int>(report.coverage * 100 + 0.5)) +
+                        "%)";
   }
 
   const SimTime t1 = controller_->now();
@@ -207,10 +235,16 @@ std::string to_text(const RootCauseReport& r) {
     char line[256];
     std::snprintf(line, sizeof(line),
                   "  %-24s b/t_in=%8.1f Mbps  b/t_out=%8.1f Mbps  C=%6.1f  "
-                  "state=%s\n",
+                  "state=%s",
                   o.id.name.c_str(), o.in_rate_mbps, o.out_rate_mbps,
                   o.capacity_mbps, to_string(o.state));
     out += line;
+    // Quality markers only for degraded rows: fresh output stays
+    // byte-identical to the pre-fault format.
+    if (!is_fresh(o.quality)) {
+      out += std::string("  [") + to_string(o.quality) + "]";
+    }
+    out += "\n";
   }
   out += "  " + r.narrative + "\n";
   return out;

@@ -41,12 +41,23 @@ struct MbObservation {
   double capacity_mbps = 0;
   bool has_input = false;
   bool has_output = false;
+  // Collection quality of the two samples behind this observation (the
+  // worse of the pair).  Non-fresh middleboxes are never classified
+  // ReadBlocked/WriteBlocked: exoneration from stale or torn counters could
+  // silently remove the true root cause, so they stay kNormal and remain
+  // candidates.
+  DataQuality quality = DataQuality::kFresh;
 };
 
 struct RootCauseReport {
   std::vector<MbObservation> observations;  // every middlebox, chain order
   std::vector<ElementId> root_causes;       // surviving candidates
   std::vector<MbRole> root_cause_roles;     // parallel to root_causes
+  // Middleboxes whose counters were degraded (stale/torn/missing), and the
+  // fraction observed fresh.  A verdict with coverage < 1 is conservative:
+  // degraded middleboxes cannot be exonerated.
+  std::vector<MbObservation> blind_spots;
+  double coverage = 1.0;
   std::string narrative;
 };
 

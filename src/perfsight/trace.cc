@@ -34,6 +34,16 @@ const char* to_string(TraceEventKind k) {
       return "alert_fired";
     case TraceEventKind::kAgentCacheHit:
       return "agent_cache_hit";
+    case TraceEventKind::kAgentRetry:
+      return "agent_retry";
+    case TraceEventKind::kAgentQueryFailed:
+      return "agent_query_failed";
+    case TraceEventKind::kAgentBatchDegraded:
+      return "agent_batch_degraded";
+    case TraceEventKind::kBreakerStateChange:
+      return "breaker_state_change";
+    case TraceEventKind::kAgentCrashRestart:
+      return "agent_crash_restart";
   }
   return "?";
 }

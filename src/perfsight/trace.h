@@ -67,6 +67,14 @@ enum class TraceEventKind {
   kDiagnosisCompleted,
   kAlertFired,
   kAgentCacheHit,  // cached diagnosis query served without a channel trip
+  // Fault-tolerant collection (faults.h): channel failures, the retry/budget
+  // machinery absorbing them, and circuit-breaker state — timelines show the
+  // collection layer degrading, not just succeeding.
+  kAgentRetry,          // one retry after a failed attempt (value = attempt#)
+  kAgentQueryFailed,    // retries exhausted / budget hit / breaker open
+  kAgentBatchDegraded,  // a batch returned with blind spots (value = count)
+  kBreakerStateChange,  // circuit breaker closed/open/half-open transition
+  kAgentCrashRestart,   // whole-agent crash: caches lost, counters reset
 };
 
 const char* to_string(TraceEventKind k);
