@@ -42,6 +42,10 @@ class Deployment {
             },
             [sim] { return sim->now(); }) {
     metrics_.set_pool(&pool_);
+    // Multi-element controller queries (get_attr_many and everything built
+    // on it) scatter per-agent batches over the same collection pool.
+    controller_.set_pool(&pool_);
+    controller_.set_metrics(&metrics_);
   }
 
   sim::Simulator* simulator() { return sim_; }

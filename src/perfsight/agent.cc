@@ -45,6 +45,20 @@ ChannelLatencyModel default_latency(ChannelKind kind) {
   return {Duration::micros(500), Duration::micros(100)};
 }
 
+Status query_failure_status(const std::string& agent_name, const ElementId& id,
+                            uint32_t attempts, StatusCode code) {
+  std::string m = "agent " + agent_name + ": element " + id.name +
+                  (attempts == 0 ? " skipped: circuit open"
+                   : code == StatusCode::kDeadlineExceeded
+                       ? " deadline exceeded after " +
+                             std::to_string(attempts) + " attempt(s)"
+                       : " unavailable after " + std::to_string(attempts) +
+                             " attempt(s)");
+  return code == StatusCode::kDeadlineExceeded
+             ? Status::deadline_exceeded(std::move(m))
+             : Status::unavailable(std::move(m));
+}
+
 const char* to_string(BreakerState s) {
   switch (s) {
     case BreakerState::kClosed:
@@ -359,16 +373,7 @@ Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
       trace_event(id, now + q.delay, TraceEventKind::kAgentQueryFailed,
                   static_cast<double>(q.attempts), to_string(q.kind));
     }
-    std::string m = "agent " + name_ + ": element " + id.name +
-                    (q.attempts == 0 ? " skipped: circuit open"
-                     : q.fail_code == StatusCode::kDeadlineExceeded
-                         ? " deadline exceeded after " +
-                               std::to_string(q.attempts) + " attempt(s)"
-                         : " unavailable after " + std::to_string(q.attempts) +
-                               " attempt(s)");
-    return q.fail_code == StatusCode::kDeadlineExceeded
-               ? Status::deadline_exceeded(std::move(m))
-               : Status::unavailable(std::move(m));
+    return query_failure_status(name_, id, q.attempts, q.fail_code);
   }
 
   QueryResponse resp;
@@ -502,6 +507,7 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
     r.quality = q.quality;
     r.attempts = q.attempts;
     if (q.failed) {
+      r.fail_code = q.fail_code;
       // Blind spot: keep the element visible with an empty record.
       r.record.timestamp = now;
       r.record.element = q.id;
@@ -603,6 +609,7 @@ std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
     r.quality = q.quality;
     r.attempts = q.attempts;
     if (q.failed) {
+      r.fail_code = q.fail_code;
       // Blind spot: keep the element visible with an empty record so the
       // diagnosis layer sees the hole instead of silently skipping it.
       r.record.timestamp = now;

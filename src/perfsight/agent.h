@@ -69,7 +69,17 @@ struct QueryResponse {
   Duration response_time;  // modelled element-fetch latency (incl. retries)
   DataQuality quality = DataQuality::kFresh;
   uint32_t attempts = 1;  // channel attempts made (0: breaker fast-fail)
+  // Why a kMissing response failed (meaningful only when quality is
+  // kMissing): batch callers reconstruct the exact Status the single-query
+  // path would have returned.
+  StatusCode fail_code = StatusCode::kOk;
 };
+
+// The Status a failed element query surfaces, shared by the single-query
+// path and the controller's scatter-gather merge so both produce
+// byte-identical error messages.
+Status query_failure_status(const std::string& agent_name, const ElementId& id,
+                            uint32_t attempts, StatusCode code);
 
 // Result of one batched fetch (query_batch): the per-element records plus
 // the total modelled channel time actually paid — one round trip per

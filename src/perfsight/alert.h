@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/threadpool.h"
 #include "common/units.h"
 #include "perfsight/contention.h"
 #include "perfsight/monitor.h"
@@ -69,6 +70,12 @@ class AlertWatcher {
   }
   size_t num_rules() const { return rules_.size(); }
 
+  // Evaluation pool: the read-only breach scan (monitor series + threshold,
+  // phase 1) fans out one task per rule; cooldown bookkeeping, traces and
+  // diagnoses stay sequential in rule order (phase 2), so output is
+  // byte-identical to the pool-less watcher.  Optional; not owned.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   // Evaluates every rule against the monitor's current series; call after
   // each Monitor::sample().  Triggered diagnoses advance simulated time by
   // their window (exactly like a manual run).  Returns the alerts fired by
@@ -87,6 +94,7 @@ class AlertWatcher {
   const Monitor* monitor_;
   const ContentionDetector* contention_;
   const RootCauseAnalyzer* rootcause_;
+  ThreadPool* pool_ = nullptr;
   std::vector<RuleState> rules_;
   std::vector<Alert> history_;
 };

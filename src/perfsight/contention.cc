@@ -24,11 +24,15 @@ struct Sample {
   DataQuality quality = DataQuality::kMissing;  // kFresh once sampled cleanly
 };
 
-Sample take_sample(const Controller& c, TenantId tenant, const ElementId& id) {
+// The attribute set one contention sample needs; shared by the single-element
+// and batched sampling paths.
+std::vector<std::string> sample_attrs() {
+  return {attr::kDropPkts, attr::kRxPkts, attr::kTxPkts, attr::kType,
+          attr::kVm};
+}
+
+Sample to_sample(const Result<Controller::QualifiedRecord>& r) {
   Sample s;
-  Result<Controller::QualifiedRecord> r = c.get_attr_q(
-      tenant, id,
-      {attr::kDropPkts, attr::kRxPkts, attr::kTxPkts, attr::kType, attr::kVm});
   if (!r.ok()) return s;
   s.quality = r.value().quality;
   const StatsRecord& rec = r.value().record;
@@ -83,16 +87,18 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
   ContentionReport report;
   std::vector<ElementId> elements = controller_->stack_elements_for(tenant);
 
-  // One shared measurement window for the whole sweep.  Each sweep fans the
-  // independent per-element queries out across the pool (when one is set);
-  // samples land in per-element slots and are consumed in element order, so
-  // the report below never depends on completion order.
+  // One shared measurement window for the whole sweep.  Each sweep is one
+  // scatter-gather fan-in: the controller groups the elements by owning
+  // agent, issues one batch per agent over the pool, and merges results
+  // back in element order — so the report below never depends on completion
+  // order, and the per-element channel cost amortizes per channel kind.
+  const std::vector<std::string> attrs = sample_attrs();
   std::vector<Sample> first(elements.size());
   std::vector<Sample> second(elements.size());
   auto sweep = [&](std::vector<Sample>& out) {
-    parallel_for_or_inline(pool_, elements.size(), [&](size_t i) {
-      out[i] = take_sample(*controller_, tenant, elements[i]);
-    });
+    std::vector<Result<Controller::QualifiedRecord>> got =
+        controller_->get_attr_many(tenant, elements, attrs, pool_);
+    for (size_t i = 0; i < elements.size(); ++i) out[i] = to_sample(got[i]);
   };
   sweep(first);
   controller_->advance(window);

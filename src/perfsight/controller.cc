@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "perfsight/trace.h"
+#include "perfsight/wire.h"
+
 namespace perfsight {
+
+namespace {
+// Trace events of the scatter-gather layer hang off a synthetic element:
+// the fan-out is controller-wide, not owned by any dataplane element.
+const ElementId& controller_trace_id() {
+  static const ElementId kId{"controller"};
+  return kId;
+}
+}  // namespace
 
 Status Controller::register_element(TenantId tenant, const ElementId& id,
                                     Agent* agent) {
@@ -67,6 +79,51 @@ Agent* Controller::locate(TenantId tenant, const ElementId& id) const {
   return nullptr;
 }
 
+void Controller::set_metrics(MetricsRegistry* m) {
+  metrics_ = m;
+  if (m == nullptr) {
+    m_queries_single_ = m_queries_batch_ = nullptr;
+    m_scatters_ = m_scatter_agents_ = nullptr;
+    m_batch_channel_s_ = nullptr;
+    return;
+  }
+  // Created once here: instrument creation mutates the registry's family
+  // vectors (not thread-safe), but the instruments themselves have stable
+  // addresses, so the query paths only touch these pointers — under
+  // cost_mu_.
+  m_queries_single_ =
+      &m->counter("perfsight_controller_queries_total",
+                  "Element queries the controller issued", "path=\"single\"");
+  m_queries_batch_ =
+      &m->counter("perfsight_controller_queries_total",
+                  "Element queries the controller issued", "path=\"batch\"");
+  m_scatters_ = &m->counter("perfsight_controller_batch_scatters_total",
+                            "Multi-element queries fanned out as batches");
+  m_scatter_agents_ =
+      &m->counter("perfsight_controller_batch_agents_total",
+                  "Per-agent batches issued by scatter-gather fan-outs");
+  m_batch_channel_s_ =
+      &m->histogram("perfsight_controller_batch_channel_seconds",
+                    "Modelled channel time per scatter-gather fan-out");
+}
+
+void Controller::account(uint64_t queries, Duration channel_time,
+                         bool batch) const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  queries_issued_ += queries;
+  channel_time_ns_ += channel_time.ns();
+  if (batch) {
+    if (m_queries_batch_ != nullptr) m_queries_batch_->add(queries);
+    if (m_scatters_ != nullptr) m_scatters_->increment();
+    if (m_batch_channel_s_ != nullptr) {
+      m_batch_channel_s_->observe(static_cast<double>(channel_time.ns()) /
+                                  1e9);
+    }
+  } else {
+    if (m_queries_single_ != nullptr) m_queries_single_->add(queries);
+  }
+}
+
 Result<Controller::QualifiedRecord> Controller::get_attr_q(
     TenantId tenant, const ElementId& id,
     const std::vector<std::string>& attrs) const {
@@ -76,9 +133,7 @@ Result<Controller::QualifiedRecord> Controller::get_attr_q(
   }
   Result<QueryResponse> resp = agent->query_attrs(id, attrs, now_());
   if (!resp.ok()) return resp.status();
-  queries_issued_.fetch_add(1, std::memory_order_relaxed);
-  channel_time_ns_.fetch_add(resp.value().response_time.ns(),
-                             std::memory_order_relaxed);
+  account(1, resp.value().response_time, /*batch=*/false);
   return QualifiedRecord{resp.value().record, resp.value().quality};
 }
 
@@ -150,6 +205,246 @@ Result<double> Controller::get_avg_pkt_size(TenantId tenant,
               s1.value().record.get_or(attr::kTxPkts, 0);
   if (dp <= 0) return 0.0;
   return db / dp;
+}
+
+// --- scatter-gather ---------------------------------------------------------
+
+std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
+    TenantId tenant, const std::vector<ElementId>& ids,
+    const std::vector<std::string>& attrs, ThreadPool* pool) const {
+  std::vector<Result<QualifiedRecord>> out(
+      ids.size(),
+      Result<QualifiedRecord>(Status::unavailable("unresolved scatter slot")));
+
+  // Group the ids by owning agent.  Groups keep first-appearance order;
+  // each group's id list is sorted and deduplicated (query_batch answers in
+  // ascending id order), with every input slot the id must fill remembered.
+  struct Group {
+    Agent* agent = nullptr;
+    std::unordered_map<ElementId, std::vector<size_t>> slots;
+    std::vector<ElementId> sorted_ids;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<Agent*, size_t> group_of;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Agent* agent = locate(tenant, ids[i]);
+    if (agent == nullptr) {
+      out[i] = Status::not_found("no agent serves element " + ids[i].name);
+      continue;
+    }
+    auto [it, fresh] = group_of.try_emplace(agent, groups.size());
+    if (fresh) {
+      groups.emplace_back();
+      groups.back().agent = agent;
+    }
+    groups[it->second].slots[ids[i]].push_back(i);
+  }
+  for (Group& g : groups) {
+    g.sorted_ids.reserve(g.slots.size());
+    for (const auto& [id, slots] : g.slots) g.sorted_ids.push_back(id);
+    std::sort(g.sorted_ids.begin(), g.sorted_ids.end());
+  }
+
+  // One timestamp for the whole fan-out: every per-agent batch samples the
+  // same instant, exactly like the sequential loop (which cannot advance
+  // time between queries either — only the interval utilities advance).
+  const SimTime now = now_();
+  trace_event(controller_trace_id(), now, TraceEventKind::kControllerScatter,
+              static_cast<double>(ids.size()), "scatter");
+
+  // Fan the agents out over the pool.  query_batch gets no pool of its own:
+  // a worker blocking inside a nested parallel_for on the same pool can
+  // deadlock, and the per-agent batch is already one channel round trip per
+  // kind — the win is agent-level parallelism.
+  std::vector<BatchResponse> br(groups.size());
+  parallel_for_or_inline(pool, groups.size(), [&](size_t gi) {
+    br[gi] = groups[gi].agent->query_batch(groups[gi].sorted_ids, now);
+  });
+
+  // Optionally round-trip each batch through the wire codec, exactly as a
+  // remote controller would receive it.  The loopback is lossless (no
+  // damage model here — that is wire_test's job), so decode must succeed
+  // and the merge below is unchanged.
+  if (wire_loopback_) {
+    for (BatchResponse& b : br) {
+      wire::DecodeStats st;
+      Result<BatchResponse> decoded = wire::decode_batch(wire::encode_batch(b),
+                                                         &st);
+      PS_CHECK(decoded.ok() && st.complete());
+      b = std::move(decoded).take();
+    }
+  }
+
+  // Gather: merge per-agent responses back into input slots, sequentially,
+  // in group order.  Response lists are ascending by element id; ids absent
+  // from a list were unknown to the agent and surface with the exact Status
+  // text Agent::query would have produced.
+  uint64_t ok_slots = 0;
+  size_t served = 0;
+  Duration total_channel;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& g = groups[gi];
+    const std::vector<QueryResponse>& resp = br[gi].responses;
+    total_channel = total_channel + br[gi].channel_time;
+    size_t ri = 0;
+    for (const ElementId& id : g.sorted_ids) {
+      while (ri < resp.size() && resp[ri].record.element < id) ++ri;
+      const std::vector<size_t>& slots = g.slots.at(id);
+      if (ri >= resp.size() || !(resp[ri].record.element == id)) {
+        Status miss = Status::not_found("agent " + g.agent->name() +
+                                        ": no element " + id.name);
+        for (size_t s : slots) out[s] = miss;
+        continue;
+      }
+      const QueryResponse& r = resp[ri];
+      ++ri;
+      if (r.quality == DataQuality::kMissing) {
+        // Retries exhausted / budget hit / breaker open: reconstruct the
+        // Status the single-query path returns for this failure.
+        Status fail =
+            query_failure_status(g.agent->name(), id, r.attempts, r.fail_code);
+        for (size_t s : slots) out[s] = fail;
+        continue;
+      }
+      QualifiedRecord q{project(r.record, attrs), r.quality};
+      for (size_t s : slots) {
+        out[s] = q;
+        ++ok_slots;
+      }
+      ++served;
+    }
+  }
+
+  account(ok_slots, total_channel, /*batch=*/true);
+  {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    if (m_scatter_agents_ != nullptr) m_scatter_agents_->add(groups.size());
+  }
+  trace_event(controller_trace_id(), now, TraceEventKind::kControllerGather,
+              static_cast<double>(served), "gather");
+  return out;
+}
+
+std::vector<Result<Controller::QualifiedRecord>> Controller::get_attr_many(
+    TenantId tenant, const std::vector<ElementId>& ids,
+    const std::vector<std::string>& attrs, ThreadPool* pool_override) const {
+  // The sequential per-element loop is the oracle the differential suite
+  // holds the scatter-gather path to; batching off selects it explicitly.
+  if (!batching_ || ids.size() <= 1) {
+    std::vector<Result<QualifiedRecord>> out;
+    out.reserve(ids.size());
+    for (const ElementId& id : ids) {
+      out.push_back(get_attr_q(tenant, id, attrs));
+    }
+    return out;
+  }
+  return scatter_gather(tenant, ids, attrs,
+                        pool_override != nullptr ? pool_override : pool_);
+}
+
+std::vector<Result<DataRate>> Controller::get_throughput_many(
+    TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+    std::vector<DataQuality>* quality, ThreadPool* pool_override) const {
+  std::vector<std::string> attrs{attr::kTxBytes};
+  auto s1 = get_attr_many(tenant, ids, attrs, pool_override);
+  advance_(window);
+  auto s2 = get_attr_many(tenant, ids, attrs, pool_override);
+  if (quality != nullptr) {
+    quality->assign(ids.size(), DataQuality::kMissing);
+  }
+  std::vector<Result<DataRate>> out;
+  out.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!s1[i].ok()) {
+      out.push_back(s1[i].status());
+      continue;
+    }
+    if (!s2[i].ok()) {
+      out.push_back(s2[i].status());
+      continue;
+    }
+    if (quality != nullptr) {
+      (*quality)[i] = worse(s1[i].value().quality, s2[i].value().quality);
+    }
+    double b1 = s1[i].value().record.get_or(attr::kTxBytes, 0);
+    double b2 = s2[i].value().record.get_or(attr::kTxBytes, 0);
+    Duration dt =
+        s2[i].value().record.timestamp - s1[i].value().record.timestamp;
+    out.push_back(rate_of(static_cast<uint64_t>(std::max(0.0, b2 - b1)), dt));
+  }
+  return out;
+}
+
+std::vector<Result<int64_t>> Controller::get_pkt_loss_many(
+    TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+    std::vector<DataQuality>* quality, ThreadPool* pool_override) const {
+  std::vector<std::string> attrs{attr::kRxPkts, attr::kTxPkts,
+                                 attr::kDropPkts};
+  auto s1 = get_attr_many(tenant, ids, attrs, pool_override);
+  advance_(window);
+  auto s2 = get_attr_many(tenant, ids, attrs, pool_override);
+  if (quality != nullptr) {
+    quality->assign(ids.size(), DataQuality::kMissing);
+  }
+  std::vector<Result<int64_t>> out;
+  out.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!s1[i].ok()) {
+      out.push_back(s1[i].status());
+      continue;
+    }
+    if (!s2[i].ok()) {
+      out.push_back(s2[i].status());
+      continue;
+    }
+    if (quality != nullptr) {
+      (*quality)[i] = worse(s1[i].value().quality, s2[i].value().quality);
+    }
+    const StatsRecord& r1 = s1[i].value().record;
+    const StatsRecord& r2 = s2[i].value().record;
+    if (r1.get(attr::kDropPkts) && r2.get(attr::kDropPkts)) {
+      out.push_back(static_cast<int64_t>(*r2.get(attr::kDropPkts) -
+                                         *r1.get(attr::kDropPkts)));
+      continue;
+    }
+    double d1 = r1.get_or(attr::kRxPkts, 0) - r1.get_or(attr::kTxPkts, 0);
+    double d2 = r2.get_or(attr::kRxPkts, 0) - r2.get_or(attr::kTxPkts, 0);
+    out.push_back(static_cast<int64_t>(d2 - d1));
+  }
+  return out;
+}
+
+std::vector<Result<double>> Controller::get_avg_pkt_size_many(
+    TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+    std::vector<DataQuality>* quality, ThreadPool* pool_override) const {
+  std::vector<std::string> attrs{attr::kTxBytes, attr::kTxPkts};
+  auto s1 = get_attr_many(tenant, ids, attrs, pool_override);
+  advance_(window);
+  auto s2 = get_attr_many(tenant, ids, attrs, pool_override);
+  if (quality != nullptr) {
+    quality->assign(ids.size(), DataQuality::kMissing);
+  }
+  std::vector<Result<double>> out;
+  out.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!s1[i].ok()) {
+      out.push_back(s1[i].status());
+      continue;
+    }
+    if (!s2[i].ok()) {
+      out.push_back(s2[i].status());
+      continue;
+    }
+    if (quality != nullptr) {
+      (*quality)[i] = worse(s1[i].value().quality, s2[i].value().quality);
+    }
+    double db = s2[i].value().record.get_or(attr::kTxBytes, 0) -
+                s1[i].value().record.get_or(attr::kTxBytes, 0);
+    double dp = s2[i].value().record.get_or(attr::kTxPkts, 0) -
+                s1[i].value().record.get_or(attr::kTxPkts, 0);
+    out.push_back(dp <= 0 ? 0.0 : db / dp);
+  }
+  return out;
 }
 
 }  // namespace perfsight

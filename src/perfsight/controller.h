@@ -9,16 +9,18 @@
 // scenario (in a real deployment it would be wall-clock sleep).
 #pragma once
 
-#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "common/units.h"
 #include "perfsight/agent.h"
+#include "perfsight/metrics.h"
 #include "perfsight/stats.h"
 #include "perfsight/topology.h"
 
@@ -68,19 +70,49 @@ class Controller {
   SimTime now() const { return now_(); }
   SimTime advance(Duration d) const { return advance_(d); }
 
+  // --- scatter-gather configuration -----------------------------------------
+  // Collection pool the scatter-gather fan-out runs over (one task per
+  // owning agent).  Not owned; null — the default — visits agents
+  // sequentially.  The deployment layer wires its pool in.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // Metrics sink for the perfsight_controller_batch_* series.  Instruments
+  // are created once here (stable addresses) so the hot paths never touch
+  // the registry's family vectors; not owned.
+  void set_metrics(MetricsRegistry* m);
+
+  // Batching toggle: with batching off, get_attr_many degrades to the
+  // sequential per-element loop — the oracle the differential test suite
+  // compares the scatter-gather path against.  Defaults to on.
+  void set_batching(bool on) { batching_ = on; }
+  bool batching() const { return batching_; }
+
+  // Round-trips every per-agent BatchResponse through the length-prefixed
+  // wire codec (wire.h) before merging, exactly as a remote controller
+  // would receive it.  The codec is lossless, so output is unchanged —
+  // which is the point: tests prove the socket-ready framing preserves the
+  // byte-identical contract.
+  void set_wire_loopback(bool on) { wire_loopback_ = on; }
+
   // --- self-profiling --------------------------------------------------------
   // Cumulative cost of the queries this controller has issued: how many,
   // and how much modelled channel time they spent (the per-query latencies
-  // of Fig. 9, summed).  Diagnosis applications read deltas around a run to
-  // report what the run itself cost.  Relaxed atomics: the parallel
-  // collection runtime issues queries from worker threads, and these are
-  // pure tallies with no ordering dependency.
-  uint64_t queries_issued() const {
-    return queries_issued_.load(std::memory_order_relaxed);
+  // of Fig. 9, summed — batched queries add one amortised round trip per
+  // channel kind, which is the saving).  Diagnosis applications read deltas
+  // around a run to report what the run itself cost.  The two tallies are
+  // kept under one mutex so a snapshot is never torn: the old pair of
+  // independent relaxed atomics let a reader observe the query count of one
+  // sweep with the channel time of another.
+  struct CostSnapshot {
+    uint64_t queries = 0;
+    Duration channel_time;
+  };
+  CostSnapshot cost() const {
+    std::lock_guard<std::mutex> lock(cost_mu_);
+    return CostSnapshot{queries_issued_, Duration::nanos(channel_time_ns_)};
   }
-  Duration channel_time() const {
-    return Duration::nanos(channel_time_ns_.load(std::memory_order_relaxed));
-  }
+  uint64_t queries_issued() const { return cost().queries; }
+  Duration channel_time() const { return cost().channel_time; }
 
   // --- Fig. 6 interfaces ----------------------------------------------------
   // A record plus the collection layer's judgement of how trustworthy it is
@@ -120,15 +152,65 @@ class Controller {
                                   Duration window,
                                   DataQuality* quality = nullptr) const;
 
+  // --- scatter-gather fan-ins ----------------------------------------------
+  // GETATTR over many elements at once: groups the ids by owning agent,
+  // issues one Agent::query_batch per agent (amortising channel round trips
+  // per kind), fans the agents out over the pool, and merges the responses
+  // back into input order.  Output is byte-identical to calling get_attr_q
+  // per element: same records, same qualities, same Status text for
+  // failures.  `pool_override`, when non-null, wins over set_pool (detectors
+  // pass their own pool through).
+  std::vector<Result<QualifiedRecord>> get_attr_many(
+      TenantId tenant, const std::vector<ElementId>& ids,
+      const std::vector<std::string>& attrs,
+      ThreadPool* pool_override = nullptr) const;
+
+  // Interval utilities over many elements: two batched sweeps around one
+  // shared window advance.  Per-element math and failure text match the
+  // single-element versions exactly; `quality`, when non-null, receives one
+  // entry per id (worse of the two samples; kMissing for failed elements).
+  std::vector<Result<DataRate>> get_throughput_many(
+      TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+      std::vector<DataQuality>* quality = nullptr,
+      ThreadPool* pool_override = nullptr) const;
+  std::vector<Result<int64_t>> get_pkt_loss_many(
+      TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+      std::vector<DataQuality>* quality = nullptr,
+      ThreadPool* pool_override = nullptr) const;
+  std::vector<Result<double>> get_avg_pkt_size_many(
+      TenantId tenant, const std::vector<ElementId>& ids, Duration window,
+      std::vector<DataQuality>* quality = nullptr,
+      ThreadPool* pool_override = nullptr) const;
+
  private:
   Agent* locate(TenantId tenant, const ElementId& id) const;
+  // The scatter-gather core: one Result per id, in input order.
+  std::vector<Result<QualifiedRecord>> scatter_gather(
+      TenantId tenant, const std::vector<ElementId>& ids,
+      const std::vector<std::string>& attrs, ThreadPool* pool) const;
+  void account(uint64_t queries, Duration channel_time, bool batch) const;
 
   AdvanceFn advance_;
   NowFn now_;
   // get_attr is logically const (a read); the cost bookkeeping is not state
-  // the read depends on.
-  mutable std::atomic<uint64_t> queries_issued_{0};
-  mutable std::atomic<int64_t> channel_time_ns_{0};
+  // the read depends on.  One mutex guards both tallies and the metric
+  // bumps so snapshots are never torn (see cost()).
+  mutable std::mutex cost_mu_;
+  mutable uint64_t queries_issued_ = 0;
+  mutable int64_t channel_time_ns_ = 0;
+  ThreadPool* pool_ = nullptr;
+  bool batching_ = true;
+  bool wire_loopback_ = false;
+  MetricsRegistry* metrics_ = nullptr;
+  // Instruments cached at set_metrics time: creation mutates the registry's
+  // family vectors (not thread-safe), but the instruments themselves have
+  // stable addresses, so the hot paths only ever touch these pointers —
+  // under cost_mu_.
+  MetricsRegistry::CounterMetric* m_queries_single_ = nullptr;
+  MetricsRegistry::CounterMetric* m_queries_batch_ = nullptr;
+  MetricsRegistry::CounterMetric* m_scatters_ = nullptr;
+  MetricsRegistry::CounterMetric* m_scatter_agents_ = nullptr;
+  LatencyHistogram* m_batch_channel_s_ = nullptr;
   std::vector<Agent*> agents_;
   std::unordered_map<TenantId, std::unordered_map<ElementId, Agent*>> vnet_;
   std::unordered_map<Agent*, std::vector<ElementId>> stack_elements_;

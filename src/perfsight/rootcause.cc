@@ -45,12 +45,15 @@ struct MbSample {
   DataQuality quality = DataQuality::kMissing;  // kFresh once sampled cleanly
 };
 
-MbSample sample(const Controller& c, TenantId tenant, const ElementId& id) {
+// The attribute set one chain-walk sample needs; both sweeps request it in
+// one scatter-gather fan-in over the whole chain.
+std::vector<std::string> sample_attrs() {
+  return {attr::kInBytes, attr::kInTimeNs, attr::kOutBytes, attr::kOutTimeNs,
+          attr::kCapacityMbps};
+}
+
+MbSample to_sample(const Result<Controller::QualifiedRecord>& r) {
   MbSample s;
-  Result<Controller::QualifiedRecord> r =
-      c.get_attr_q(tenant, id,
-                   {attr::kInBytes, attr::kInTimeNs, attr::kOutBytes,
-                    attr::kOutTimeNs, attr::kCapacityMbps});
   if (!r.ok()) return s;
   s.quality = r.value().quality;
   const StatsRecord& rec = r.value().record;
@@ -84,14 +87,20 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
   const std::vector<ElementId>& mbs = controller_->middleboxes(tenant);
   const ChainTopology& chain = controller_->chain(tenant);
 
-  std::unordered_map<ElementId, MbSample> first;
-  for (const ElementId& mb : mbs) first[mb] = sample(*controller_, tenant, mb);
+  // Both chain sweeps ride the controller's scatter-gather path: one batch
+  // per owning agent, merged back in `mbs` order.
+  const std::vector<std::string> attrs = sample_attrs();
+  std::vector<Result<Controller::QualifiedRecord>> sweep1 =
+      controller_->get_attr_many(tenant, mbs, attrs);
   controller_->advance(window);
+  std::vector<Result<Controller::QualifiedRecord>> sweep2 =
+      controller_->get_attr_many(tenant, mbs, attrs);
 
   std::unordered_map<ElementId, MbState> states;
-  for (const ElementId& mb : mbs) {
-    MbSample s2 = sample(*controller_, tenant, mb);
-    const MbSample& s1 = first[mb];
+  for (size_t mi = 0; mi < mbs.size(); ++mi) {
+    const ElementId& mb = mbs[mi];
+    MbSample s1 = to_sample(sweep1[mi]);
+    MbSample s2 = to_sample(sweep2[mi]);
     MbObservation obs;
     obs.id = mb;
     obs.quality = worse(s1.quality, s2.quality);

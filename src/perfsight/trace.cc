@@ -44,6 +44,10 @@ const char* to_string(TraceEventKind k) {
       return "breaker_state_change";
     case TraceEventKind::kAgentCrashRestart:
       return "agent_crash_restart";
+    case TraceEventKind::kControllerScatter:
+      return "controller_scatter";
+    case TraceEventKind::kControllerGather:
+      return "controller_gather";
   }
   return "?";
 }

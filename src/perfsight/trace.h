@@ -75,6 +75,11 @@ enum class TraceEventKind {
   kAgentBatchDegraded,  // a batch returned with blind spots (value = count)
   kBreakerStateChange,  // circuit breaker closed/open/half-open transition
   kAgentCrashRestart,   // whole-agent crash: caches lost, counters reset
+  // Controller scatter-gather (controller.h): a multi-element query fanned
+  // out as per-agent batches over the collection pool, then merged back in
+  // element-id order.
+  kControllerScatter,  // fan-out issued (value = elements requested)
+  kControllerGather,   // merge completed (value = elements served)
 };
 
 const char* to_string(TraceEventKind k);

@@ -1,0 +1,245 @@
+#include "perfsight/wire.h"
+
+#include <cstring>
+
+namespace perfsight::wire {
+
+namespace {
+
+// Little-endian append/read helpers.  memcpy keeps them alignment- and
+// strict-aliasing-safe; on LE hosts the compiler folds them to plain moves.
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+// Reads a T at `at`; false when fewer than sizeof(T) bytes remain.
+template <typename T>
+bool get(std::string_view bytes, size_t& at, T* v) {
+  if (bytes.size() - at < sizeof(T)) return false;
+  std::memcpy(v, bytes.data() + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+
+bool get_string(std::string_view bytes, size_t& at, std::string* s) {
+  uint16_t len = 0;
+  if (!get(bytes, at, &len)) return false;
+  if (bytes.size() - at < len) return false;
+  s->assign(bytes.data() + at, len);
+  at += len;
+  return true;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  // Names longer than a u16 cannot travel; clamp rather than corrupt the
+  // frame (element/attr names are short device-like strings in practice).
+  const uint16_t len =
+      static_cast<uint16_t>(s.size() > 0xffff ? 0xffff : s.size());
+  put(out, len);
+  out.append(s.data(), len);
+}
+
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+constexpr size_t kFramePrefixSize = 4 + 8;  // payload_len + checksum
+// A single frame larger than this is structural damage, not data: it caps
+// what a corrupted length prefix can make the decoder trust.
+constexpr uint32_t kMaxPayload = 1u << 24;
+
+std::string encode_payload(const QueryResponse& r) {
+  std::string p;
+  put<int64_t>(p, r.record.timestamp.ns());
+  put<uint8_t>(p, static_cast<uint8_t>(r.quality));
+  put<uint8_t>(p, static_cast<uint8_t>(r.fail_code));
+  put<uint32_t>(p, r.attempts);
+  put<int64_t>(p, r.response_time.ns());
+  put_string(p, r.record.element.name);
+  const uint16_t n =
+      static_cast<uint16_t>(r.record.attrs.size() > 0xffff
+                                ? 0xffff
+                                : r.record.attrs.size());
+  put(p, n);
+  for (uint16_t i = 0; i < n; ++i) {
+    const Attr& a = r.record.attrs[i];
+    put_string(p, a.name);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(a.value));
+    std::memcpy(&bits, &a.value, sizeof(bits));
+    put(p, bits);
+  }
+  return p;
+}
+
+// Decodes one payload; false on structural damage (a verified checksum
+// makes that unreachable in practice, but the decoder must not trust it).
+bool decode_payload(std::string_view payload, QueryResponse* r) {
+  size_t at = 0;
+  int64_t ts = 0, rt = 0;
+  uint8_t quality = 0, fail_code = 0;
+  uint32_t attempts = 0;
+  if (!get(payload, at, &ts)) return false;
+  if (!get(payload, at, &quality)) return false;
+  if (!get(payload, at, &fail_code)) return false;
+  if (!get(payload, at, &attempts)) return false;
+  if (!get(payload, at, &rt)) return false;
+  if (quality > static_cast<uint8_t>(DataQuality::kMissing)) return false;
+  if (fail_code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return false;
+  }
+  r->record.timestamp = SimTime::nanos(ts);
+  r->quality = static_cast<DataQuality>(quality);
+  r->fail_code = static_cast<StatusCode>(fail_code);
+  r->attempts = attempts;
+  r->response_time = Duration::nanos(rt);
+  std::string name;
+  if (!get_string(payload, at, &name)) return false;
+  r->record.element = ElementId{std::move(name)};
+  uint16_t n = 0;
+  if (!get(payload, at, &n)) return false;
+  r->record.attrs.clear();
+  r->record.attrs.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    Attr a;
+    if (!get_string(payload, at, &a.name)) return false;
+    uint64_t bits = 0;
+    if (!get(payload, at, &bits)) return false;
+    std::memcpy(&a.value, &bits, sizeof(bits));
+    r->record.attrs.push_back(std::move(a));
+  }
+  return at == payload.size();  // trailing payload bytes = damage
+}
+
+}  // namespace
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string encode_frame(const QueryResponse& r) {
+  std::string payload = encode_payload(r);
+  std::string out;
+  out.reserve(kFramePrefixSize + payload.size());
+  put<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  put<uint64_t>(out, fnv1a64(payload));
+  out += payload;
+  return out;
+}
+
+std::string encode_batch(const BatchResponse& b) {
+  std::string out;
+  put<uint32_t>(out, kMagic);
+  put<uint32_t>(out, static_cast<uint32_t>(b.responses.size()));
+  put<uint64_t>(out, static_cast<uint64_t>(b.channel_time.ns()));
+  put<uint32_t>(out, static_cast<uint32_t>(b.unknown_ids));
+  for (const QueryResponse& r : b.responses) out += encode_frame(r);
+  return out;
+}
+
+Result<QueryResponse> decode_frame(std::string_view bytes, size_t* consumed) {
+  *consumed = 0;
+  size_t at = 0;
+  uint32_t len = 0;
+  uint64_t sum = 0;
+  if (!get(bytes, at, &len) || !get(bytes, at, &sum)) {
+    return Status::invalid_argument("wire frame truncated in prefix");
+  }
+  if (len > kMaxPayload || bytes.size() - at < len) {
+    return Status::invalid_argument("wire frame truncated in payload");
+  }
+  std::string_view payload = bytes.substr(at, len);
+  if (fnv1a64(payload) != sum) {
+    return Status::invalid_argument("wire frame checksum mismatch");
+  }
+  QueryResponse r;
+  if (!decode_payload(payload, &r)) {
+    return Status::invalid_argument("wire frame structurally damaged");
+  }
+  *consumed = kFramePrefixSize + len;
+  return r;
+}
+
+Result<BatchResponse> decode_batch(std::string_view bytes,
+                                   DecodeStats* stats) {
+  DecodeStats local;
+  DecodeStats& st = stats != nullptr ? *stats : local;
+  st = DecodeStats{};
+
+  size_t at = 0;
+  uint32_t magic = 0, count = 0, unknown = 0;
+  uint64_t channel_ns = 0;
+  if (bytes.size() < kHeaderSize) {
+    return Status::invalid_argument("wire batch shorter than header");
+  }
+  get(bytes, at, &magic);
+  if (magic != kMagic) {
+    return Status::invalid_argument("wire batch bad magic");
+  }
+  get(bytes, at, &count);
+  get(bytes, at, &channel_ns);
+  get(bytes, at, &unknown);
+  st.frames_expected = count;
+
+  BatchResponse out;
+  out.channel_time = Duration::nanos(static_cast<int64_t>(channel_ns));
+  out.unknown_ids = unknown;
+  for (uint32_t i = 0; i < count; ++i) {
+    size_t consumed = 0;
+    Result<QueryResponse> r = decode_frame(bytes.substr(at), &consumed);
+    if (!r.ok()) {
+      // Truncation if the bytes simply ran out; corruption otherwise.  Either
+      // way the length chain past this point is untrustworthy: stop.
+      if (at >= bytes.size()) {
+        st.truncated = true;
+      } else {
+        st.corrupt = true;
+      }
+      return out;
+    }
+    at += consumed;
+    ++st.frames_ok;
+    if (r.value().quality != DataQuality::kFresh) ++out.degraded;
+    out.responses.push_back(std::move(r).take());
+  }
+  st.trailing_bytes = bytes.size() - at;
+  return out;
+}
+
+BatchResponse reconcile(const std::vector<ElementId>& sorted_ids,
+                        const BatchResponse& decoded) {
+  BatchResponse out;
+  out.channel_time = decoded.channel_time;
+  out.unknown_ids = decoded.unknown_ids;
+  size_t ri = 0;
+  for (const ElementId& id : sorted_ids) {
+    while (ri < decoded.responses.size() &&
+           decoded.responses[ri].record.element < id) {
+      ++ri;
+    }
+    if (ri < decoded.responses.size() &&
+        decoded.responses[ri].record.element == id) {
+      out.responses.push_back(decoded.responses[ri]);
+      ++ri;
+    } else {
+      // Frame lost on the wire: the element stays visible as a blind spot.
+      QueryResponse miss;
+      miss.record.element = id;
+      miss.quality = DataQuality::kMissing;
+      miss.attempts = 1;
+      miss.fail_code = StatusCode::kUnavailable;
+      out.responses.push_back(std::move(miss));
+    }
+  }
+  for (const QueryResponse& r : out.responses) {
+    if (r.quality != DataQuality::kFresh) ++out.degraded;
+  }
+  return out;
+}
+
+}  // namespace perfsight::wire

@@ -1,0 +1,83 @@
+// Length-prefixed binary framing for agent→controller batch responses.
+//
+// The in-process batch path (Agent::query_batch) amortises channel round
+// trips; a *remote* controller needs the same amortisation across a real
+// socket.  This codec frames a BatchResponse — each element's StatsRecord
+// qualified with DataQuality / attempts / modelled latency — so one write()
+// carries a whole batch and the receiving side can stream-decode it.
+//
+// Stream layout (all integers little-endian):
+//
+//   batch  := header frame*
+//   header := u32 magic ("PSB1") | u32 frame_count | u64 channel_time_ns |
+//             u32 unknown_ids
+//   frame  := u32 payload_len | u64 fnv1a64(payload) | payload
+//   payload:= i64 timestamp_ns | u8 quality | u8 fail_code | u32 attempts |
+//             i64 response_time_ns | u16 name_len | name bytes |
+//             u16 attr_count | { u16 len | name bytes | f64 value }*
+//
+// Damage contract (what the property/fuzz suite locks down): decoding
+// arbitrary bytes never crashes and never yields a silently wrong record.
+// Every frame is guarded by a checksum over its payload; a frame that fails
+// the checksum — or whose length prefix runs past the buffer — poisons the
+// remainder of the stream (the length chain is untrustworthy past it), so
+// the decoder stops and reports how much survived.  Callers map the damage
+// to DataQuality with reconcile(): every element they asked for comes back,
+// lost ones as kMissing blind spots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "perfsight/agent.h"
+
+namespace perfsight::wire {
+
+inline constexpr uint32_t kMagic = 0x31425350;  // "PSB1"
+
+// FNV-1a 64-bit, the frame integrity check.
+uint64_t fnv1a64(std::string_view bytes);
+
+// One element response as a self-delimiting frame.
+std::string encode_frame(const QueryResponse& r);
+// Header plus one frame per response, in the batch's (element-id) order.
+std::string encode_batch(const BatchResponse& b);
+
+// What the decoder saw, beyond the records themselves.
+struct DecodeStats {
+  size_t frames_expected = 0;  // header's frame count
+  size_t frames_ok = 0;        // frames that decoded and verified
+  bool truncated = false;      // stream ended mid-frame (or before count)
+  bool corrupt = false;        // checksum/structure failure; decoding stopped
+  size_t trailing_bytes = 0;   // bytes left after the last expected frame
+
+  bool complete() const {
+    return !truncated && !corrupt && frames_ok == frames_expected &&
+           trailing_bytes == 0;
+  }
+};
+
+// Decodes the frame at the head of `bytes`; `*consumed` receives how many
+// bytes the frame occupied.  Fails (without crashing) on truncation,
+// checksum mismatch, or structural damage.
+Result<QueryResponse> decode_frame(std::string_view bytes, size_t* consumed);
+
+// Decodes a whole batch.  Only a bad header is a hard error; damaged frames
+// degrade: the responses that verified are returned (always a prefix of the
+// encoded sequence) and `stats` says what was lost.
+Result<BatchResponse> decode_batch(std::string_view bytes,
+                                   DecodeStats* stats = nullptr);
+
+// Maps wire damage to DataQuality: returns one response per id in
+// `sorted_ids` (ascending element-id order, matching query_batch output).
+// Ids whose frames were lost to truncation/corruption come back as
+// kMissing responses — a damaged stream degrades to visible blind spots
+// instead of silently shrinking the batch.
+BatchResponse reconcile(const std::vector<ElementId>& sorted_ids,
+                        const BatchResponse& decoded);
+
+}  // namespace perfsight::wire

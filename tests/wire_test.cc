@@ -1,0 +1,269 @@
+// Property/fuzz battery for the wire codec (perfsight/wire.h).
+//
+// The damage contract under test: decoding arbitrary bytes never crashes
+// and never yields a silently wrong record.  Whatever decode_batch returns
+// is always a verified prefix of what was encoded; everything lost is
+// reported through DecodeStats and, via reconcile(), surfaces as kMissing
+// blind spots rather than a silently shrunken batch.  All randomness comes
+// from seeded Pcg32 draws — every run is bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "perfsight/agent.h"
+#include "perfsight/wire.h"
+
+namespace perfsight {
+namespace {
+
+std::string random_name(Pcg32& rng, size_t max_len) {
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789/_-.";
+  std::string s;
+  size_t len = rng.next_below(static_cast<uint32_t>(max_len)) + 1;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(alphabet[rng.next_below(sizeof(alphabet) - 1)]);
+  }
+  return s;
+}
+
+QueryResponse random_response(Pcg32& rng) {
+  QueryResponse r;
+  r.record.timestamp = SimTime::nanos(static_cast<int64_t>(rng.next_u32()) *
+                                      static_cast<int64_t>(rng.next_u32() % 7));
+  r.record.element = ElementId{random_name(rng, 24)};
+  size_t attrs = rng.next_below(8);
+  for (size_t i = 0; i < attrs; ++i) {
+    double v = rng.uniform(-1e12, 1e12);
+    if (rng.next_below(10) == 0) v = 0.0;
+    r.record.attrs.push_back({random_name(rng, 16), v});
+  }
+  r.response_time = Duration::nanos(rng.next_below(1u << 30));
+  switch (rng.next_below(4)) {
+    case 0: r.quality = DataQuality::kFresh; break;
+    case 1: r.quality = DataQuality::kStale; break;
+    case 2: r.quality = DataQuality::kTorn; break;
+    default: r.quality = DataQuality::kMissing; break;
+  }
+  r.attempts = rng.next_below(5);
+  r.fail_code = r.quality == DataQuality::kMissing
+                    ? StatusCode::kUnavailable
+                    : StatusCode::kOk;
+  return r;
+}
+
+BatchResponse random_batch(Pcg32& rng, size_t max_frames) {
+  BatchResponse b;
+  size_t n = rng.next_below(static_cast<uint32_t>(max_frames) + 1);
+  for (size_t i = 0; i < n; ++i) b.responses.push_back(random_response(rng));
+  b.channel_time = Duration::nanos(rng.next_below(1u << 28));
+  b.unknown_ids = rng.next_below(4);
+  return b;
+}
+
+// Canonical byte form of one response — the equality yardstick everywhere
+// below (covers every field the codec carries, including NaN-free floats).
+std::string canon(const QueryResponse& r) { return wire::encode_frame(r); }
+
+TEST(WireCodecTest, RoundTripIdentity) {
+  Pcg32 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    BatchResponse b = random_batch(rng, 12);
+    std::string bytes = wire::encode_batch(b);
+
+    wire::DecodeStats st;
+    Result<BatchResponse> got = wire::decode_batch(bytes, &st);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ASSERT_TRUE(st.complete());
+    EXPECT_EQ(st.frames_expected, b.responses.size());
+    EXPECT_EQ(st.frames_ok, b.responses.size());
+
+    const BatchResponse& d = got.value();
+    ASSERT_EQ(d.responses.size(), b.responses.size());
+    for (size_t i = 0; i < b.responses.size(); ++i) {
+      EXPECT_EQ(canon(d.responses[i]), canon(b.responses[i]));
+    }
+    EXPECT_EQ(d.channel_time.ns(), b.channel_time.ns());
+    EXPECT_EQ(d.unknown_ids, b.unknown_ids);
+    // Re-encoding the decoded batch reproduces the original bytes exactly.
+    EXPECT_EQ(wire::encode_batch(d), bytes);
+  }
+}
+
+TEST(WireCodecTest, EmptyBatchRoundTrips) {
+  BatchResponse b;
+  b.channel_time = Duration::micros(7);
+  std::string bytes = wire::encode_batch(b);
+  wire::DecodeStats st;
+  Result<BatchResponse> got = wire::decode_batch(bytes, &st);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(st.complete());
+  EXPECT_TRUE(got.value().responses.empty());
+  EXPECT_EQ(got.value().channel_time.ns(), b.channel_time.ns());
+}
+
+TEST(WireCodecTest, TruncationIsDetected) {
+  Pcg32 rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    BatchResponse b = random_batch(rng, 6);
+    std::string bytes = wire::encode_batch(b);
+    if (bytes.size() < 2) continue;
+    // Every strict prefix: never crash, never fabricate a record.
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      wire::DecodeStats st;
+      Result<BatchResponse> got =
+          wire::decode_batch(std::string_view(bytes.data(), cut), &st);
+      if (!got.ok()) continue;  // header didn't survive — fine.
+      ASSERT_LE(got.value().responses.size(), b.responses.size());
+      for (size_t i = 0; i < got.value().responses.size(); ++i) {
+        EXPECT_EQ(canon(got.value().responses[i]), canon(b.responses[i]))
+            << "cut=" << cut << ": decoded frame " << i
+            << " is not the original — silent corruption";
+      }
+      if (got.value().responses.size() < b.responses.size()) {
+        EXPECT_TRUE(st.truncated || st.corrupt)
+            << "cut=" << cut << " lost frames without flagging damage";
+        EXPECT_FALSE(st.complete());
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, BitFlipNeverYieldsWrongRecord) {
+  Pcg32 rng(4242);
+  int damaged_detected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    BatchResponse b = random_batch(rng, 8);
+    std::string bytes = wire::encode_batch(b);
+    if (bytes.empty()) continue;
+    std::string mutated = bytes;
+    size_t pos = rng.next_below(static_cast<uint32_t>(mutated.size()));
+    mutated[pos] = static_cast<char>(
+        static_cast<unsigned char>(mutated[pos]) ^
+        (1u << rng.next_below(8)));
+
+    wire::DecodeStats st;
+    Result<BatchResponse> got = wire::decode_batch(mutated, &st);
+    if (!got.ok()) {
+      ++damaged_detected;  // header damage is a hard error — acceptable.
+      continue;
+    }
+    // Every returned record must be byte-identical to the corresponding
+    // original: a flipped bit may shrink the batch, never rewrite it.
+    // (A flip in the header's aux fields can legally alter channel_time /
+    // unknown_ids — those are not checksummed records — but frames are.)
+    ASSERT_LE(got.value().responses.size(), b.responses.size());
+    for (size_t i = 0; i < got.value().responses.size(); ++i) {
+      EXPECT_EQ(canon(got.value().responses[i]), canon(b.responses[i]))
+          << "trial " << trial << ": bit flip at byte " << pos
+          << " produced a silently wrong record";
+    }
+    if (got.value().responses.size() < b.responses.size()) {
+      EXPECT_TRUE(st.truncated || st.corrupt);
+      ++damaged_detected;
+    }
+  }
+  // The fuzz loop must actually exercise the damage paths.
+  EXPECT_GT(damaged_detected, 50);
+}
+
+TEST(WireCodecTest, GarbageDecodesSafely) {
+  Pcg32 rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string junk;
+    size_t len = rng.next_below(256);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    wire::DecodeStats st;
+    Result<BatchResponse> got = wire::decode_batch(junk, &st);
+    if (got.ok()) {
+      // Random bytes that pass the magic check can only yield frames whose
+      // checksums verify — astronomically unlikely, but structurally legal.
+      EXPECT_TRUE(st.frames_ok == got.value().responses.size());
+    }
+    // And the single-frame entry point.
+    size_t consumed = 0;
+    (void)wire::decode_frame(junk, &consumed);
+    EXPECT_LE(consumed, junk.size());
+  }
+}
+
+TEST(WireCodecTest, DecodeFrameRejectsEveryTruncation) {
+  Pcg32 rng(11);
+  QueryResponse r = random_response(rng);
+  std::string frame = wire::encode_frame(r);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    size_t consumed = 0;
+    Result<QueryResponse> got =
+        wire::decode_frame(std::string_view(frame.data(), cut), &consumed);
+    EXPECT_FALSE(got.ok()) << "truncated frame (cut=" << cut << ") decoded";
+  }
+  size_t consumed = 0;
+  Result<QueryResponse> got = wire::decode_frame(frame, &consumed);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(canon(got.value()), canon(r));
+}
+
+TEST(WireCodecTest, ReconcileMapsDamageToMissing) {
+  // Build a batch for three known ids, truncate after the first frame, and
+  // check the lost ids come back as kMissing with the failure metadata the
+  // sequential path would synthesize.
+  std::vector<ElementId> ids = {ElementId{"el-a"}, ElementId{"el-b"},
+                                ElementId{"el-c"}};
+  BatchResponse b;
+  for (const ElementId& id : ids) {
+    QueryResponse r;
+    r.record.element = id;
+    r.record.timestamp = SimTime::micros(5);
+    r.record.attrs = {{"rxPkts", 42.0}};
+    r.response_time = Duration::micros(3);
+    b.responses.push_back(r);
+  }
+  b.channel_time = Duration::micros(9);
+
+  std::string bytes = wire::encode_batch(b);
+  // Find the end of frame 1: header is fixed-size, then len-prefixed frames.
+  size_t header_size = wire::encode_batch(BatchResponse{}).size();
+  uint32_t payload_len;
+  std::memcpy(&payload_len, bytes.data() + header_size, sizeof(payload_len));
+  size_t first_frame_end =
+      header_size + sizeof(uint32_t) + sizeof(uint64_t) + payload_len;
+  ASSERT_LT(first_frame_end, bytes.size());
+
+  wire::DecodeStats st;
+  Result<BatchResponse> got = wire::decode_batch(
+      std::string_view(bytes.data(), first_frame_end), &st);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().responses.size(), 1u);
+  EXPECT_TRUE(st.truncated);
+  EXPECT_FALSE(st.complete());
+
+  BatchResponse healed = wire::reconcile(ids, got.value());
+  ASSERT_EQ(healed.responses.size(), ids.size());
+  EXPECT_EQ(canon(healed.responses[0]), canon(b.responses[0]));
+  for (size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_EQ(healed.responses[i].record.element, ids[i]);
+    EXPECT_EQ(healed.responses[i].quality, DataQuality::kMissing);
+    EXPECT_EQ(healed.responses[i].fail_code, StatusCode::kUnavailable);
+    EXPECT_EQ(healed.responses[i].attempts, 1u);
+  }
+  EXPECT_EQ(healed.degraded, ids.size() - 1);
+  EXPECT_EQ(healed.channel_time.ns(), got.value().channel_time.ns());
+}
+
+TEST(WireCodecTest, ChecksumIsFnv1a64) {
+  // Pin the hash so the wire format can't silently change: standard FNV-1a
+  // test vectors.
+  EXPECT_EQ(wire::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(wire::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(wire::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(wire::kMagic, 0x31425350u);
+}
+
+}  // namespace
+}  // namespace perfsight
