@@ -19,6 +19,7 @@
 #include "perfsight/contention.h"
 #include "perfsight/controller.h"
 #include "perfsight/metrics.h"
+#include "perfsight/remote_agent.h"
 #include "perfsight/rootcause.h"
 #include "sim/simulator.h"
 #include "vm/machine.h"
@@ -69,6 +70,33 @@ class Deployment {
     if (retry_set_) a->set_retry_policy(retry_);
     if (breaker_set_) a->set_breaker_config(breaker_);
     return a;
+  }
+
+  // Registers a socket-backed agent: dials `endpoint_spec` (see
+  // transport::Endpoint::parse — "tcp:<host>:<port>" or "unix:<path>"),
+  // completes the hello handshake, and registers the adapter with the
+  // controller.  The scatter-gather path then treats it exactly like an
+  // in-process agent; transport loss degrades to kMissing blind spots.
+  // The deployment-wide retry/breaker config drives its reconnect policy.
+  Result<RemoteAgent*> add_remote_agent(const std::string& endpoint_spec) {
+    Result<transport::Endpoint> ep = transport::Endpoint::parse(endpoint_spec);
+    if (!ep.ok()) return ep.status();
+    auto remote = std::make_unique<RemoteAgent>(std::move(ep).take());
+    if (retry_set_) remote->set_retry_policy(retry_);
+    if (breaker_set_) remote->set_breaker_config(breaker_);
+    Status st = remote->connect();
+    if (!st.is_ok()) return st;
+    remote->set_metrics(&metrics_);
+    RemoteAgent* r = remote.get();
+    remote_agents_.push_back(std::move(remote));
+    controller_.register_agent(r);
+    return r;
+  }
+
+  // Maps a tenant's element to a socket-backed agent (the remote mirror of
+  // assign()).
+  Status assign_remote(TenantId tenant, const ElementId& id, RemoteAgent* r) {
+    return controller_.register_element(tenant, id, r);
   }
 
   // --- fault tolerance (deployment-wide) ------------------------------------
@@ -184,6 +212,7 @@ class Deployment {
   Controller controller_;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<std::unique_ptr<RemoteAgent>> remote_agents_;
   // Fault config replayed onto agents added later.
   const FaultPlan* fault_plan_ = nullptr;
   std::optional<FaultPlan> env_plan_;

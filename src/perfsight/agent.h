@@ -126,6 +126,34 @@ struct CircuitBreakerConfig {
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
 const char* to_string(BreakerState s);
 
+// The query surface the controller scatters over.  In-process `Agent`
+// implements it directly; `RemoteAgent` (remote_agent.h) implements it over
+// a socket speaking the PSB1/PSM1 wire codec.  The contract both uphold:
+// query_batch returns one response per *known* requested id in ascending
+// element-id order (unknown ids are counted, not returned), and failures
+// carry the attempts/fail_code a caller needs to reconstruct the exact
+// single-path Status via query_failure_status — so the controller merge is
+// byte-identical whichever implementation sits behind it.
+class AgentClient {
+ public:
+  virtual ~AgentClient() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual bool has_element(const ElementId& id) const = 0;
+  virtual std::vector<ElementId> element_ids() const = 0;
+
+  // Fetches a projection of one element (the paper's GetAttr reaches this).
+  virtual Result<QueryResponse> query_attrs(
+      const ElementId& id, const std::vector<std::string>& attrs,
+      SimTime now) = 0;
+
+  // Batched fetch: one channel round trip per channel kind in the batch.
+  // `pool` is advisory (in-process agents fan collect() out; a remote agent
+  // has its own concurrency and may ignore it).
+  virtual BatchResponse query_batch(const std::vector<ElementId>& ids,
+                                    SimTime now, ThreadPool* pool = nullptr) = 0;
+};
+
 // Running totals of the fault machinery, per agent.  Scraped into the
 // MetricsRegistry exposition; read under the agent lock via fault_stats().
 struct AgentFaultStats {
@@ -147,12 +175,12 @@ struct AgentFaultStats {
   }
 };
 
-class Agent {
+class Agent : public AgentClient {
  public:
   explicit Agent(std::string name, uint64_t seed = 1)
       : name_(std::move(name)), rng_(seed) {}
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const override { return name_; }
 
   // Registers an element; not owned.  Fails if the id is already taken.
   Status add_element(const StatsSource* source);
@@ -161,11 +189,11 @@ class Agent {
   // id is unknown; the Monitor simply stops producing points for it.
   Status remove_element(const ElementId& id);
 
-  bool has_element(const ElementId& id) const {
+  bool has_element(const ElementId& id) const override {
     std::lock_guard<std::mutex> lock(mu_);
     return sources_.count(id) > 0;
   }
-  std::vector<ElementId> element_ids() const;
+  std::vector<ElementId> element_ids() const override;
 
   // Fetches all counters of one element.
   Result<QueryResponse> query(const ElementId& id, SimTime now);
@@ -173,7 +201,7 @@ class Agent {
   // Fetches a projection (the paper's GetAttr reaches this).
   Result<QueryResponse> query_attrs(const ElementId& id,
                                     const std::vector<std::string>& attrs,
-                                    SimTime now);
+                                    SimTime now) override;
 
   // Cached fetch: reuses the last record if it is no older than `max_age`,
   // saving the channel round trip (response_time 0 on a hit).  Diagnosis
@@ -191,7 +219,7 @@ class Agent {
   // With a parallel `pool`, collect() calls fan out across workers; output
   // is byte-identical to the pool-less call.
   BatchResponse query_batch(const std::vector<ElementId>& ids, SimTime now,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr) override;
 
   // Fetches every element on this server (one poll sweep, Fig. 16
   // workload); per-element channel cost.  With a parallel `pool` the

@@ -18,7 +18,7 @@ const ElementId& controller_trace_id() {
 }  // namespace
 
 Status Controller::register_element(TenantId tenant, const ElementId& id,
-                                    Agent* agent) {
+                                    AgentClient* agent) {
   PS_CHECK(agent != nullptr);
   if (!agent->has_element(id)) {
     return Status::not_found("agent " + agent->name() +
@@ -54,9 +54,9 @@ std::vector<ElementId> Controller::stack_elements_for(TenantId tenant) const {
   std::vector<ElementId> out;
   auto it = vnet_.find(tenant);
   if (it == vnet_.end()) return out;
-  std::unordered_set<Agent*> machines;
+  std::unordered_set<AgentClient*> machines;
   for (const auto& [id, agent] : it->second) machines.insert(agent);
-  for (Agent* agent : machines) {
+  for (AgentClient* agent : machines) {
     auto sit = stack_elements_.find(agent);
     if (sit == stack_elements_.end()) continue;
     out.insert(out.end(), sit->second.begin(), sit->second.end());
@@ -65,7 +65,7 @@ std::vector<ElementId> Controller::stack_elements_for(TenantId tenant) const {
   return out;
 }
 
-Agent* Controller::locate(TenantId tenant, const ElementId& id) const {
+AgentClient* Controller::locate(TenantId tenant, const ElementId& id) const {
   auto tit = vnet_.find(tenant);
   if (tit != vnet_.end()) {
     auto eit = tit->second.find(id);
@@ -73,7 +73,7 @@ Agent* Controller::locate(TenantId tenant, const ElementId& id) const {
   }
   // Stack elements are shared infrastructure, not owned by any tenant;
   // resolve them by asking the agents directly.
-  for (Agent* a : agents_) {
+  for (AgentClient* a : agents_) {
     if (a->has_element(id)) return a;
   }
   return nullptr;
@@ -127,7 +127,7 @@ void Controller::account(uint64_t queries, Duration channel_time,
 Result<Controller::QualifiedRecord> Controller::get_attr_q(
     TenantId tenant, const ElementId& id,
     const std::vector<std::string>& attrs) const {
-  Agent* agent = locate(tenant, id);
+  AgentClient* agent = locate(tenant, id);
   if (agent == nullptr) {
     return Status::not_found("no agent serves element " + id.name);
   }
@@ -220,14 +220,14 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
   // each group's id list is sorted and deduplicated (query_batch answers in
   // ascending id order), with every input slot the id must fill remembered.
   struct Group {
-    Agent* agent = nullptr;
+    AgentClient* agent = nullptr;
     std::unordered_map<ElementId, std::vector<size_t>> slots;
     std::vector<ElementId> sorted_ids;
   };
   std::vector<Group> groups;
-  std::unordered_map<Agent*, size_t> group_of;
+  std::unordered_map<AgentClient*, size_t> group_of;
   for (size_t i = 0; i < ids.size(); ++i) {
-    Agent* agent = locate(tenant, ids[i]);
+    AgentClient* agent = locate(tenant, ids[i]);
     if (agent == nullptr) {
       out[i] = Status::not_found("no agent serves element " + ids[i].name);
       continue;
@@ -267,9 +267,10 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
   // and the merge below is unchanged.
   if (wire_loopback_) {
     for (BatchResponse& b : br) {
+      Result<std::string> bytes = wire::encode_batch(b);
+      PS_CHECK(bytes.ok());
       wire::DecodeStats st;
-      Result<BatchResponse> decoded = wire::decode_batch(wire::encode_batch(b),
-                                                         &st);
+      Result<BatchResponse> decoded = wire::decode_batch(bytes.value(), &st);
       PS_CHECK(decoded.ok() && st.complete());
       b = std::move(decoded).take();
     }

@@ -37,14 +37,18 @@ class Controller {
       : advance_(std::move(advance)), now_(std::move(now)) {}
 
   // --- registration (performed by the deployment layer) -----------------
-  void register_agent(Agent* agent) { agents_.push_back(agent); }
+  // Agents register through the AgentClient surface: the controller never
+  // cares whether an agent is in-process (Agent) or on the far end of a
+  // socket (RemoteAgent) — the scatter-gather path is identical.
+  void register_agent(AgentClient* agent) { agents_.push_back(agent); }
 
   // Maps a tenant's element to the agent serving it.
-  Status register_element(TenantId tenant, const ElementId& id, Agent* agent);
+  Status register_element(TenantId tenant, const ElementId& id,
+                          AgentClient* agent);
 
   // Declares `id` part of the virtualization stack on `agent`'s machine
   // (Algorithm 1 scans these).
-  void register_stack_element(Agent* agent, const ElementId& id) {
+  void register_stack_element(AgentClient* agent, const ElementId& id) {
     stack_elements_[agent].push_back(id);
   }
 
@@ -65,7 +69,7 @@ class Controller {
   // Every virtualization-stack element on every machine hosting a tenant
   // element (the scan set of Algorithm 1).
   std::vector<ElementId> stack_elements_for(TenantId tenant) const;
-  const std::vector<Agent*>& agents() const { return agents_; }
+  const std::vector<AgentClient*>& agents() const { return agents_; }
 
   SimTime now() const { return now_(); }
   SimTime advance(Duration d) const { return advance_(d); }
@@ -183,7 +187,7 @@ class Controller {
       ThreadPool* pool_override = nullptr) const;
 
  private:
-  Agent* locate(TenantId tenant, const ElementId& id) const;
+  AgentClient* locate(TenantId tenant, const ElementId& id) const;
   // The scatter-gather core: one Result per id, in input order.
   std::vector<Result<QualifiedRecord>> scatter_gather(
       TenantId tenant, const std::vector<ElementId>& ids,
@@ -211,9 +215,10 @@ class Controller {
   MetricsRegistry::CounterMetric* m_scatters_ = nullptr;
   MetricsRegistry::CounterMetric* m_scatter_agents_ = nullptr;
   LatencyHistogram* m_batch_channel_s_ = nullptr;
-  std::vector<Agent*> agents_;
-  std::unordered_map<TenantId, std::unordered_map<ElementId, Agent*>> vnet_;
-  std::unordered_map<Agent*, std::vector<ElementId>> stack_elements_;
+  std::vector<AgentClient*> agents_;
+  std::unordered_map<TenantId, std::unordered_map<ElementId, AgentClient*>>
+      vnet_;
+  std::unordered_map<AgentClient*, std::vector<ElementId>> stack_elements_;
   std::unordered_map<TenantId, std::vector<ElementId>> tenant_mbs_;
   std::unordered_map<TenantId, ChainTopology> tenant_chain_;
 };

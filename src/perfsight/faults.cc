@@ -1,8 +1,11 @@
 #include "perfsight/faults.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.h"
 #include "common/rng.h"
 
 namespace perfsight {
@@ -118,6 +121,30 @@ FaultDecision FaultPlan::decide(const ElementId& id, ChannelKind kind,
   return d;
 }
 
+namespace {
+
+// Strict double parse: the whole string must be a number.  std::atof turned
+// "0.05x" into 0.05 and "x" into 0.0 — a typo'd intensity silently became a
+// different experiment.
+bool parse_double_strict(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+// Clamps a probability to [0,1], warning when the operator asked for more
+// faults than probability allows (torn=1.5 means "always", not UB in the
+// cumulative-threshold draw of decide()).
+double clamp_probability(const std::string& key, double v) {
+  if (v >= 0.0 && v <= 1.0) return v;
+  double c = std::clamp(v, 0.0, 1.0);
+  PS_LOG_WARN("PERFSIGHT_FAULTS: %s=%g outside [0,1], clamped to %g",
+              key.c_str(), v, c);
+  return c;
+}
+
+}  // namespace
+
 std::optional<FaultPlan> FaultPlan::from_env() {
   const char* env = std::getenv("PERFSIGHT_FAULTS");
   if (env == nullptr || *env == '\0') return std::nullopt;
@@ -131,20 +158,45 @@ std::optional<FaultPlan> FaultPlan::from_env() {
     if (comma == std::string::npos) comma = kv.size();
     std::string item = kv.substr(pos, comma - pos);
     pos = comma + 1;
+    if (item.empty()) continue;
     size_t eq = item.find('=');
-    if (eq == std::string::npos) continue;
+    if (eq == std::string::npos) {
+      PS_LOG_WARN("PERFSIGHT_FAULTS: item '%s' is not key=value; rejected",
+                  item.c_str());
+      continue;
+    }
     std::string key = item.substr(0, eq);
-    double value = std::atof(item.c_str() + eq + 1);
+    std::string raw = item.substr(eq + 1);
     if (key == "seed") {
-      seed = static_cast<uint64_t>(value);
-    } else if (key == "transient") {
-      spec.transient_p = value;
+      uint64_t s = 0;
+      auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), s);
+      if (ec != std::errc() || ptr != raw.data() + raw.size() || raw.empty()) {
+        PS_LOG_WARN("PERFSIGHT_FAULTS: bad seed '%s'; rejected (seed stays "
+                    "%llu)",
+                    raw.c_str(), static_cast<unsigned long long>(seed));
+        continue;
+      }
+      seed = s;
+      continue;
+    }
+    double value = 0;
+    if (!parse_double_strict(raw, &value)) {
+      PS_LOG_WARN("PERFSIGHT_FAULTS: bad value '%s' for key '%s'; rejected",
+                  raw.c_str(), key.c_str());
+      continue;
+    }
+    if (key == "transient") {
+      spec.transient_p = clamp_probability(key, value);
     } else if (key == "timeout") {
-      spec.timeout_p = value;
+      spec.timeout_p = clamp_probability(key, value);
     } else if (key == "stale") {
-      spec.stale_p = value;
+      spec.stale_p = clamp_probability(key, value);
     } else if (key == "torn") {
-      spec.torn_p = value;
+      spec.torn_p = clamp_probability(key, value);
+    } else {
+      // A typo'd key ("transiet=0.05") silently skipped means the operator
+      // believes faults are on when they are not.
+      PS_LOG_WARN("PERFSIGHT_FAULTS: unknown key '%s'; rejected", key.c_str());
     }
   }
 

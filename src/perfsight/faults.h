@@ -146,7 +146,9 @@ class FaultPlan {
   // Builds a plan from the PERFSIGHT_FAULTS environment variable, e.g.
   //   PERFSIGHT_FAULTS="seed=7,transient=0.05,timeout=0.01,stale=0.02,torn=0.02"
   // (probabilities apply to every channel kind).  nullopt when the variable
-  // is unset or empty; malformed keys are ignored.
+  // is unset or empty.  Parsing is strict: an unknown key, a value with
+  // trailing garbage, or an empty value is rejected with a warning (never
+  // silently treated as 0), and probabilities are clamped to [0,1].
   static std::optional<FaultPlan> from_env();
 
  private:

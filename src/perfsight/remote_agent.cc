@@ -1,0 +1,470 @@
+#include "perfsight/remote_agent.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "perfsight/trace.h"
+#include "perfsight/wire.h"
+
+namespace perfsight {
+
+namespace {
+
+// Transport lifecycle trace events hang off a synthetic element, like the
+// controller's scatter events.
+const ElementId& transport_trace_id() {
+  static const ElementId kId{"transport"};
+  return kId;
+}
+
+// The serve loop wakes this often to notice stop().
+constexpr transport::WallDuration kServePoll{200};
+
+std::chrono::nanoseconds to_wall(Duration d) {
+  return std::chrono::nanoseconds(d.ns());
+}
+
+}  // namespace
+
+// --- RemoteAgentServer -------------------------------------------------------
+
+Status RemoteAgentServer::start() {
+  PS_CHECK(!thread_.joinable());
+  Result<transport::Listener> l = transport::Listener::listen(ep_);
+  if (!l.ok()) return l.status();
+  listener_ = std::move(l).take();
+  ep_ = listener_.bound_endpoint();  // ephemeral tcp port resolved
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { serve(); });
+  return Status::ok();
+}
+
+void RemoteAgentServer::stop() {
+  stop_ = true;
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+  running_ = false;
+}
+
+void RemoteAgentServer::inject_truncate_next_batch(size_t bytes) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  truncate_next_ = bytes;
+}
+
+void RemoteAgentServer::inject_corrupt_next_batch(size_t index) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  corrupt_next_ = index;
+}
+
+void RemoteAgentServer::inject_drop_next_reply() {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  drop_next_ = true;
+}
+
+std::string RemoteAgentServer::hello_bytes() const {
+  wire::HelloMsg hello;
+  hello.agent_name = agent_->name();
+  hello.elements = agent_->element_ids();  // already ascending
+  return wire::encode_message(wire::MessageKind::kHello,
+                              wire::encode_hello(hello));
+}
+
+void RemoteAgentServer::serve() {
+  while (!stop_) {
+    Result<transport::Socket> conn = listener_.accept(kServePoll);
+    if (!conn.ok()) continue;  // deadline tick or transient accept error
+    handle_connection(std::move(conn).take());
+  }
+}
+
+void RemoteAgentServer::handle_connection(transport::Socket conn) {
+  if (!conn.send_all(hello_bytes()).is_ok()) return;
+
+  while (!stop_) {
+    // Idle on readability first: a short-deadline read could consume and
+    // discard half a message prefix; this never touches the stream.
+    if (!transport::wait_readable(conn, kServePoll)) continue;
+    Result<std::string> raw = transport::read_message_bytes(conn, kServePoll);
+    if (!raw.ok()) return;  // peer closed, or the stream is not PSM1
+    Result<wire::Message> msg = wire::decode_message(raw.value());
+    if (!msg.ok()) return;  // checksum failure: framing is untrustworthy
+
+    switch (msg.value().kind) {
+      case wire::MessageKind::kBatchRequest: {
+        Result<wire::BatchRequestMsg> req =
+            wire::decode_batch_request(msg.value().body);
+        if (!req.ok()) return;
+        BatchResponse b =
+            agent_->query_batch(req.value().ids, req.value().now);
+        Result<std::string> bytes = wire::encode_batch(b);
+        // The agent produced this response; if it cannot travel, that is a
+        // programming error (oversize names never enter via add_element).
+        PS_CHECK(bytes.ok());
+        std::string payload = std::move(bytes).take();
+
+        // Consume any armed damage.
+        std::optional<size_t> truncate;
+        std::optional<size_t> corrupt;
+        bool drop = false;
+        {
+          std::lock_guard<std::mutex> lock(inject_mu_);
+          truncate = truncate_next_;
+          corrupt = corrupt_next_;
+          drop = drop_next_;
+          truncate_next_.reset();
+          corrupt_next_.reset();
+          drop_next_ = false;
+        }
+        batches_served_.fetch_add(1, std::memory_order_relaxed);
+        if (drop) return;  // close without a reply
+        if (corrupt && !payload.empty()) {
+          payload[*corrupt % payload.size()] ^= 0x20;
+        }
+        if (truncate) {
+          conn.send_all(
+              std::string_view(payload).substr(0, std::min(*truncate,
+                                                           payload.size())));
+          return;  // kill the connection mid-frame: a torn stream
+        }
+        if (!conn.send_all(payload).is_ok()) return;
+        break;
+      }
+      case wire::MessageKind::kSingleRequest: {
+        Result<wire::SingleRequestMsg> req =
+            wire::decode_single_request(msg.value().body);
+        if (!req.ok()) return;
+        Result<QueryResponse> r = agent_->query_attrs(
+            req.value().id, req.value().attrs, req.value().now);
+        std::string reply;
+        if (r.ok()) {
+          Result<std::string> frame = wire::encode_frame(r.value());
+          PS_CHECK(frame.ok());
+          reply = wire::encode_message(wire::MessageKind::kSingleResponse,
+                                       frame.value());
+        } else {
+          // The Status travels verbatim: the adapter re-raises the exact
+          // text the in-process path produced.
+          reply = wire::encode_message(
+              wire::MessageKind::kError,
+              wire::encode_error(
+                  {r.status().code(), r.status().message()}));
+        }
+        if (!conn.send_all(reply).is_ok()) return;
+        break;
+      }
+      case wire::MessageKind::kListElements: {
+        if (!conn.send_all(hello_bytes()).is_ok()) return;
+        break;
+      }
+      default:
+        return;  // a client speaking server->client kinds is confused
+    }
+  }
+}
+
+// --- RemoteAgent -------------------------------------------------------------
+
+const std::string& RemoteAgent::name() const {
+  // Set once by the first successful connect(), before the adapter is
+  // handed to a controller; immutable afterwards.
+  return name_;
+}
+
+bool RemoteAgent::has_element(const ElementId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return element_set_.count(id) > 0;
+}
+
+std::vector<ElementId> RemoteAgent::element_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return elements_;
+}
+
+void RemoteAgent::set_retry_policy(RetryPolicy p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_ = p;
+}
+
+void RemoteAgent::set_breaker_config(CircuitBreakerConfig c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  breaker_cfg_ = c;
+}
+
+void RemoteAgent::set_deadline(transport::WallDuration d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_ = d;
+}
+
+void RemoteAgent::set_metrics(MetricsRegistry* m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m == nullptr) {
+    m_connects_ = m_reconnects_ = m_batches_ = m_damaged_ = nullptr;
+    return;
+  }
+  const std::string label = "agent=\"" + prom_escape(name_) + "\"";
+  m_connects_ = &m->counter("perfsight_transport_connects_total",
+                            "Successful dial+hello handshakes", label);
+  m_reconnects_ = &m->counter("perfsight_transport_reconnects_total",
+                              "Connections re-established after loss", label);
+  m_batches_ = &m->counter("perfsight_transport_batches_total",
+                           "Batch round trips attempted over the socket",
+                           label);
+  m_damaged_ = &m->counter("perfsight_transport_damaged_batches_total",
+                           "Batches that arrived short or corrupt", label);
+}
+
+BreakerState RemoteAgent::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_state_;
+}
+
+RemoteAgent::TransportStats RemoteAgent::transport_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status RemoteAgent::connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connect_locked(SimTime());
+}
+
+void RemoteAgent::drop_connection_locked() { sock_.close(); }
+
+void RemoteAgent::note_connect_failure_locked() {
+  ++consecutive_failures_;
+  if (breaker_state_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= breaker_cfg_.failure_threshold) {
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = transport::Clock::now();
+  }
+}
+
+Status RemoteAgent::connect_locked(SimTime now) {
+  Result<transport::Socket> s = transport::connect(ep_, deadline_);
+  if (!s.ok()) return s.status();
+  transport::Socket sock = std::move(s).take();
+
+  Result<std::string> raw = transport::read_message_bytes(sock, deadline_);
+  if (!raw.ok()) return raw.status();
+  Result<wire::Message> msg = wire::decode_message(raw.value());
+  if (!msg.ok() || msg.value().kind != wire::MessageKind::kHello) {
+    return Status::unavailable("transport: peer did not send a hello");
+  }
+  Result<wire::HelloMsg> hello = wire::decode_hello(msg.value().body);
+  if (!hello.ok()) return hello.status();
+  if (!name_.empty() && hello.value().agent_name != name_) {
+    return Status::failed_precondition(
+        "transport: endpoint " + ep_.to_string() + " now serves agent '" +
+        hello.value().agent_name + "', expected '" + name_ + "'");
+  }
+
+  const bool first = name_.empty();
+  name_ = hello.value().agent_name;
+  elements_ = std::move(hello.value().elements);
+  element_set_.clear();
+  element_set_.insert(elements_.begin(), elements_.end());
+  sock_ = std::move(sock);
+
+  ++stats_.connects;
+  if (!first) ++stats_.reconnects;
+  consecutive_failures_ = 0;
+  breaker_state_ = BreakerState::kClosed;
+  if (m_connects_ != nullptr) m_connects_->increment();
+  if (!first && m_reconnects_ != nullptr) m_reconnects_->increment();
+  trace_event(transport_trace_id(), now,
+              first ? TraceEventKind::kTransportConnect
+                    : TraceEventKind::kTransportReconnect,
+              static_cast<double>(stats_.connects), name_);
+  return Status::ok();
+}
+
+Status RemoteAgent::ensure_connected_locked(SimTime now) {
+  if (sock_.valid()) return Status::ok();
+
+  // Breaker gate: while open, skip the dial timeout entirely until the
+  // cooldown (wall clock) expires; the next query then probes half-open.
+  if (breaker_state_ == BreakerState::kOpen) {
+    auto since = transport::Clock::now() - breaker_opened_at_;
+    if (since < to_wall(breaker_cfg_.cooldown)) {
+      ++stats_.fast_fails;
+      return Status::unavailable("transport: breaker open for " +
+                                 ep_.to_string());
+    }
+    breaker_state_ = BreakerState::kHalfOpen;
+  }
+
+  const uint32_t attempts = std::max<uint32_t>(1, retry_.max_attempts);
+  Duration backoff = retry_.initial_backoff;
+  Status last = Status::unavailable("transport: never attempted");
+  for (uint32_t a = 1; a <= attempts; ++a) {
+    Status st = connect_locked(now);
+    if (st.is_ok()) return st;
+    last = st;
+    if (a < attempts) {
+      std::this_thread::sleep_for(to_wall(backoff));
+      backoff = Duration::nanos(std::min<int64_t>(
+          static_cast<int64_t>(static_cast<double>(backoff.ns()) *
+                               retry_.backoff_multiplier),
+          retry_.max_backoff.ns()));
+    }
+  }
+  note_connect_failure_locked();
+  return last;
+}
+
+BatchResponse RemoteAgent::total_loss_locked(
+    const std::vector<ElementId>& sorted_known, size_t unknown) const {
+  BatchResponse decoded;  // empty: every known id reconciles to kMissing
+  BatchResponse out = wire::reconcile(sorted_known, decoded);
+  out.unknown_ids = unknown;
+  return out;
+}
+
+BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
+                                       SimTime now, ThreadPool* /*pool*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.batches;
+  if (m_batches_ != nullptr) m_batches_->increment();
+
+  // Sort + dedupe like the in-process agent, and split known/unknown from
+  // the hello cache — on a total transport loss, ids the agent never served
+  // must stay *absent* (the controller's not_found path), not turn into
+  // kMissing blind spots.
+  std::vector<ElementId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<ElementId> known;
+  known.reserve(sorted.size());
+  for (const ElementId& id : sorted) {
+    if (element_set_.count(id) > 0) known.push_back(id);
+  }
+  const size_t unknown = sorted.size() - known.size();
+
+  Status st = ensure_connected_locked(now);
+  if (!st.is_ok()) return total_loss_locked(known, unknown);
+
+  const std::string request = wire::encode_message(
+      wire::MessageKind::kBatchRequest,
+      wire::encode_batch_request({now, sorted}));
+
+  // Queries are idempotent reads, so a connection that died *before any
+  // reply byte arrived* earns exactly one reconnect + resend.  Once reply
+  // bytes exist, no resend: the surviving prefix is reconciled instead
+  // (resending could double modelled channel time and tear determinism).
+  transport::BatchReadResult read;
+  for (int attempt = 0;; ++attempt) {
+    Status sent = sock_.send_all(request);
+    if (sent.is_ok()) {
+      read = transport::read_batch(sock_, deadline_);
+      if (read.clean()) break;
+      if (!read.bytes.empty()) break;  // partial reply: reconcile below
+    }
+    drop_connection_locked();
+    if (attempt >= 1) return total_loss_locked(known, unknown);
+    Status re = ensure_connected_locked(now);
+    if (!re.is_ok()) return total_loss_locked(known, unknown);
+    trace_event(transport_trace_id(), now, TraceEventKind::kTransportReconnect,
+                1.0, "resend");
+  }
+
+  wire::DecodeStats dstats;
+  Result<BatchResponse> decoded = wire::decode_batch(read.bytes, &dstats);
+  if (!decoded.ok()) {
+    // Header never made it whole (or is garbage): nothing usable arrived.
+    drop_connection_locked();
+    ++stats_.damaged;
+    if (m_damaged_ != nullptr) m_damaged_->increment();
+    return total_loss_locked(known, unknown);
+  }
+
+  if (read.clean() && dstats.complete()) {
+    // The common path: the batch crossed byte-identical; hand it through
+    // untouched (responses, channel time, unknown count, degraded tally all
+    // came off the wire).
+    return std::move(decoded).take();
+  }
+
+  // Torn or corrupt stream: the connection's framing is gone, so drop it,
+  // and reconcile what survived.  Expected set = known request ids plus
+  // anything the server actually answered (covers elements added remotely
+  // since the hello).
+  drop_connection_locked();
+  ++stats_.damaged;
+  if (m_damaged_ != nullptr) m_damaged_->increment();
+
+  std::vector<ElementId> expected = known;
+  for (const QueryResponse& r : decoded.value().responses) {
+    expected.push_back(r.record.element);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  BatchResponse out = wire::reconcile(expected, decoded.value());
+  const double lost =
+      static_cast<double>(expected.size() - decoded.value().responses.size());
+  trace_event(transport_trace_id(), now, TraceEventKind::kTransportDamaged,
+              lost, name_);
+  return out;
+}
+
+Result<QueryResponse> RemoteAgent::query_attrs(
+    const ElementId& id, const std::vector<std::string>& attrs, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Status st = ensure_connected_locked(now);
+  if (!st.is_ok()) {
+    return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+  }
+
+  const std::string request = wire::encode_message(
+      wire::MessageKind::kSingleRequest,
+      wire::encode_single_request({now, id, attrs}));
+
+  Result<std::string> raw = Status::unavailable("unsent");
+  for (int attempt = 0;; ++attempt) {
+    Status sent = sock_.send_all(request);
+    if (sent.is_ok()) {
+      raw = transport::read_message_bytes(sock_, deadline_);
+      if (raw.ok()) break;
+    }
+    drop_connection_locked();
+    if (attempt >= 1) {
+      return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+    }
+    Status re = ensure_connected_locked(now);
+    if (!re.is_ok()) {
+      return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+    }
+  }
+
+  Result<wire::Message> msg = wire::decode_message(raw.value());
+  if (!msg.ok()) {
+    drop_connection_locked();
+    return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+  }
+  if (msg.value().kind == wire::MessageKind::kError) {
+    Result<wire::ErrorMsg> err = wire::decode_error(msg.value().body);
+    if (!err.ok()) {
+      drop_connection_locked();
+      return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+    }
+    // The exact Status the in-process path produced, re-raised verbatim.
+    return Status(err.value().code, err.value().message);
+  }
+  if (msg.value().kind != wire::MessageKind::kSingleResponse) {
+    drop_connection_locked();
+    return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+  }
+  size_t consumed = 0;
+  Result<QueryResponse> r = wire::decode_frame(msg.value().body, &consumed);
+  if (!r.ok()) {
+    drop_connection_locked();
+    return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
+  }
+  return r;
+}
+
+}  // namespace perfsight

@@ -1,0 +1,186 @@
+// Remote agents: PerfSight's per-server agent behind a real socket (§3,
+// §4.2–4.3 — the architecture is distributed; this is where the repo's
+// bytes first cross a process boundary).
+//
+// Two halves:
+//
+//   RemoteAgentServer — the stub that runs next to an Agent on the agent's
+//   machine.  It listens on a transport::Endpoint, greets each connection
+//   with a hello (agent name + element ids), then answers PSM1-framed
+//   requests: a batch request becomes Agent::query_batch and streams back as
+//   raw PSB1 frames; a single request becomes Agent::query_attrs and comes
+//   back as one frame or a verbatim Status.
+//
+//   RemoteAgent — the controller-side adapter.  It implements AgentClient
+//   over one connection to a server, so the controller's scatter-gather path
+//   (controller.cc) treats socket-backed and in-process agents identically.
+//
+// The contract the differential suite (transport_test) holds this pair to:
+// on a clean stream, every byte of a BatchResponse — records, qualities,
+// attempts, fail codes, channel time, unknown-id count — crosses unchanged,
+// so controller output over sockets is byte-identical to in-process.  On a
+// damaged stream (torn connection, corrupt frame), the surviving prefix is
+// decoded and wire::reconcile turns the lost frames into kMissing blind
+// spots with StatusCode::kUnavailable — the controller merge then produces
+// the same "unavailable after N attempt(s)" text a local channel failure
+// would, while ids the agent never had keep their not_found text (they are
+// absent from the reconcile set, not missing from it).
+//
+// Failure handling reuses PR 3's RetryPolicy/CircuitBreakerConfig machinery
+// with a wall-clock interpretation: reconnects back off exponentially
+// (initial_backoff × backoff_multiplier^k, capped at max_backoff, slept on
+// the OS clock), and after `failure_threshold` consecutive connect failures
+// the breaker opens — queries fast-fail to all-kMissing without paying a
+// dial timeout until `cooldown` (wall clock) expires and a half-open probe
+// reconnects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "perfsight/agent.h"
+#include "perfsight/metrics.h"
+#include "perfsight/transport.h"
+
+namespace perfsight {
+
+// --- server stub -------------------------------------------------------------
+
+class RemoteAgentServer {
+ public:
+  // Serves `agent` (not owned; must outlive the server) on `ep`.
+  RemoteAgentServer(Agent* agent, transport::Endpoint ep)
+      : agent_(agent), ep_(std::move(ep)) {}
+  ~RemoteAgentServer() { stop(); }
+  RemoteAgentServer(const RemoteAgentServer&) = delete;
+  RemoteAgentServer& operator=(const RemoteAgentServer&) = delete;
+
+  // Binds + starts the serve thread.  After success, endpoint() carries the
+  // resolved address (ephemeral tcp ports are filled in).
+  Status start();
+  // Stops the serve thread and closes the listener.  Idempotent.
+  void stop();
+  bool running() const { return running_; }
+  const transport::Endpoint& endpoint() const { return ep_; }
+
+  uint64_t batches_served() const {
+    return batches_served_.load(std::memory_order_relaxed);
+  }
+
+  // --- damage injection (tests) --------------------------------------------
+  // Each arms the *next* batch reply, once.  Truncate sends only the first
+  // `bytes` of the encoded batch and then kills the connection (a torn
+  // stream); corrupt XORs the byte at `index` (a checksum failure); drop
+  // closes the connection without replying at all.
+  void inject_truncate_next_batch(size_t bytes);
+  void inject_corrupt_next_batch(size_t index);
+  void inject_drop_next_reply();
+
+ private:
+  void serve();
+  // Handles one connection until EOF, stop, or injected kill.
+  void handle_connection(transport::Socket conn);
+  std::string hello_bytes() const;
+
+  Agent* agent_;
+  transport::Endpoint ep_;
+  transport::Listener listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> batches_served_{0};
+
+  std::mutex inject_mu_;
+  std::optional<size_t> truncate_next_;
+  std::optional<size_t> corrupt_next_;
+  bool drop_next_ = false;
+};
+
+// --- controller-side adapter -------------------------------------------------
+
+class RemoteAgent : public AgentClient {
+ public:
+  explicit RemoteAgent(transport::Endpoint ep) : ep_(std::move(ep)) {}
+
+  // Dials the server and completes the hello handshake, caching the remote
+  // agent's name and element set.  Must succeed before the adapter is
+  // registered with a controller (name()/has_element() answer from the
+  // cache).  Reconnects after that are automatic.
+  Status connect();
+
+  const std::string& name() const override;
+  bool has_element(const ElementId& id) const override;
+  std::vector<ElementId> element_ids() const override;
+
+  Result<QueryResponse> query_attrs(const ElementId& id,
+                                    const std::vector<std::string>& attrs,
+                                    SimTime now) override;
+
+  // One wire round trip per call.  `pool` is ignored — concurrency across
+  // remote agents comes from the controller's fan-out; the connection itself
+  // is serialized.  Never fails outright: transport loss degrades to
+  // kMissing responses (see header comment).
+  BatchResponse query_batch(const std::vector<ElementId>& ids, SimTime now,
+                            ThreadPool* pool = nullptr) override;
+
+  // Reconnect/backoff knobs (wall-clock interpretation; see header comment).
+  void set_retry_policy(RetryPolicy p);
+  void set_breaker_config(CircuitBreakerConfig c);
+  // Per-read/connect wall-clock deadline.
+  void set_deadline(transport::WallDuration d);
+  // Creates the perfsight_transport_* counters (labeled by agent) in `m`.
+  void set_metrics(MetricsRegistry* m);
+
+  BreakerState breaker_state() const;
+
+  struct TransportStats {
+    uint64_t connects = 0;    // successful dial+hello handshakes
+    uint64_t reconnects = 0;  // connects after the first
+    uint64_t batches = 0;     // batch round trips attempted
+    uint64_t damaged = 0;     // batches that came back short/corrupt
+    uint64_t fast_fails = 0;  // queries skipped while the breaker was open
+  };
+  TransportStats transport_stats() const;
+
+ private:
+  // All _locked members require mu_.
+  Status connect_locked(SimTime now);
+  // Breaker gate + RetryPolicy reconnect loop.  Ok when a live connection
+  // is available.
+  Status ensure_connected_locked(SimTime now);
+  void drop_connection_locked();
+  void note_connect_failure_locked();
+  // All-blind-spots batch for a total transport loss (every known requested
+  // id kMissing/kUnavailable, unknowns counted like the in-process agent).
+  BatchResponse total_loss_locked(const std::vector<ElementId>& sorted_known,
+                                  size_t unknown) const;
+
+  transport::Endpoint ep_;
+  transport::WallDuration deadline_{2000};
+
+  mutable std::mutex mu_;
+  transport::Socket sock_;
+  std::string name_;
+  std::vector<ElementId> elements_;          // ascending, from the hello
+  std::unordered_set<ElementId> element_set_;
+  RetryPolicy retry_;
+  CircuitBreakerConfig breaker_cfg_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  transport::Clock::time_point breaker_opened_at_{};
+  TransportStats stats_;
+  MetricsRegistry::CounterMetric* m_connects_ = nullptr;
+  MetricsRegistry::CounterMetric* m_reconnects_ = nullptr;
+  MetricsRegistry::CounterMetric* m_batches_ = nullptr;
+  MetricsRegistry::CounterMetric* m_damaged_ = nullptr;
+};
+
+}  // namespace perfsight

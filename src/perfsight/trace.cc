@@ -48,6 +48,12 @@ const char* to_string(TraceEventKind k) {
       return "controller_scatter";
     case TraceEventKind::kControllerGather:
       return "controller_gather";
+    case TraceEventKind::kTransportConnect:
+      return "transport_connect";
+    case TraceEventKind::kTransportReconnect:
+      return "transport_reconnect";
+    case TraceEventKind::kTransportDamaged:
+      return "transport_damaged";
   }
   return "?";
 }

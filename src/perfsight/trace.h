@@ -80,6 +80,12 @@ enum class TraceEventKind {
   // element-id order.
   kControllerScatter,  // fan-out issued (value = elements requested)
   kControllerGather,   // merge completed (value = elements served)
+  // Socket transport (transport.h / remote_agent.h): connection lifecycle of
+  // socket-backed agents, so timelines show when measurement crossed a real
+  // process boundary and when that boundary failed.
+  kTransportConnect,    // RemoteAgent dialed + completed the hello handshake
+  kTransportReconnect,  // a dead connection was re-dialed (value = attempt#)
+  kTransportDamaged,    // a batch arrived torn/short (value = frames lost)
 };
 
 const char* to_string(TraceEventKind k);

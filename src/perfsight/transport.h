@@ -1,0 +1,144 @@
+// Socket transport for the PSB1/PSM1 wire codec (ROADMAP: "Real sockets
+// under the wire codec").
+//
+// This is the first layer where PerfSight's bytes cross a process boundary:
+// a remote-agent stub (remote_agent.h) listens here, the controller-side
+// RemoteAgent adapter dials here, and the frames of wire.h travel between
+// them over TCP or a unix-domain socket.
+//
+// Design constraints, in order:
+//   - Deadlines on every blocking call.  The collection runtime owns its
+//     sweep budget; a wedged peer must cost a bounded wall-clock wait, not a
+//     hung controller.  recv/accept/connect all poll() with a deadline and
+//     report kDeadlineExceeded on expiry.
+//   - Partial data survives.  recv_exact returns whatever arrived before the
+//     stream died, so the batch reader can hand a damaged prefix to
+//     wire::decode_batch + wire::reconcile instead of discarding a
+//     half-received sweep.
+//   - Length-chain-aware reads.  read_batch walks the PSB1 structure (header
+//     frame-count, per-frame payload_len) with the bounds-checked wire::get_*
+//     primitives, so a corrupted length prefix caps out at kMaxPayload and
+//     never makes the reader trust a multi-gigabyte allocation.
+//
+// Everything here is wall-clock and OS-level; simulated time never enters —
+// it travels *inside* the request messages (BatchRequestMsg::now).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace perfsight::transport {
+
+using Clock = std::chrono::steady_clock;
+using WallDuration = std::chrono::milliseconds;
+
+// Where a remote agent listens.  Spec strings:
+//   "tcp:<host>:<port>"   e.g. "tcp:127.0.0.1:7070"  (port 0 = ephemeral)
+//   "unix:<path>"         e.g. "unix:/tmp/perfsight-agent.sock"
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;  // kTcp: numeric IPv4 address
+  uint16_t port = 0; // kTcp; 0 requests an ephemeral port
+  std::string path;  // kUnix
+
+  static Endpoint tcp(std::string host, uint16_t port);
+  static Endpoint unix_path(std::string path);
+  static Result<Endpoint> parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// A connected stream socket.  Move-only RAII over the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  // Writes all of `bytes` (MSG_NOSIGNAL; a dead peer is a Status, not a
+  // SIGPIPE).  kUnavailable on any send error.
+  Status send_all(std::string_view bytes);
+
+  // Reads exactly `n` bytes into `*out` (appended), polling with `deadline`
+  // per wait.  On failure `*out` still holds every byte that arrived —
+  // partial data is the caller's to reconcile:
+  //   kDeadlineExceeded — the deadline expired mid-read
+  //   kUnavailable      — peer closed (EOF) or socket error
+  Status recv_exact(size_t n, std::string* out, WallDuration deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+// A bound, listening socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& o) noexcept;
+  Listener& operator=(Listener&& o) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds + listens.  For tcp port 0, the resolved ephemeral port is
+  // reflected into bound_endpoint().  For unix, a stale socket file at the
+  // path is removed first.
+  static Result<Listener> listen(const Endpoint& ep);
+
+  // Accepts one connection; kDeadlineExceeded if none arrives in time.
+  Result<Socket> accept(WallDuration deadline);
+
+  const Endpoint& bound_endpoint() const { return ep_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint ep_;
+};
+
+// Dials `ep` (non-blocking connect + poll, so the deadline holds even while
+// the peer's backlog is full or the host is black-holing SYNs).
+Result<Socket> connect(const Endpoint& ep, WallDuration deadline);
+
+// What a stream read of one PSB1 batch yielded.  `bytes` always holds
+// everything that arrived — on a clean read the whole batch, on a torn one
+// the surviving prefix (which wire::decode_batch turns into verified frames
+// and wire::reconcile turns into kMissing blind spots).
+struct BatchReadResult {
+  std::string bytes;
+  Status status = Status::ok();  // ok / kDeadlineExceeded / kUnavailable
+  bool clean() const { return status.is_ok(); }
+};
+
+// Reads one PSB1 batch off the stream by walking its length chain: the
+// 20-byte header yields the frame count; each frame's 12-byte prefix yields
+// its payload length.  `deadline` applies per read step, so total wait is
+// bounded by (2 × frames + 1) × deadline in the worst trickle case.  A
+// length prefix exceeding wire::kMaxPayload stops the read (corrupt stream);
+// the bytes so far are returned for reconciliation.
+BatchReadResult read_batch(Socket& s, WallDuration deadline);
+
+// Reads one PSM1 control message (17-byte prefix, then body), returning its
+// raw bytes for wire::decode_message.  kDeadlineExceeded / kUnavailable on
+// transport failure, kInvalidArgument on a malformed envelope.
+Result<std::string> read_message_bytes(Socket& s, WallDuration deadline);
+
+// True when at least one byte (or EOF) is readable within `deadline`.  Serve
+// loops idle on this instead of a short-deadline read, so a slow-trickling
+// message prefix is never read halfway and discarded.
+bool wait_readable(const Socket& s, WallDuration deadline);
+
+}  // namespace perfsight::transport

@@ -6,8 +6,8 @@ namespace perfsight::wire {
 
 namespace {
 
-// Little-endian append/read helpers.  memcpy keeps them alignment- and
-// strict-aliasing-safe; on LE hosts the compiler folds them to plain moves.
+// Little-endian append helper.  memcpy keeps it alignment- and
+// strict-aliasing-safe; on LE hosts the compiler folds it to plain moves.
 template <typename T>
 void put(std::string& out, T v) {
   char buf[sizeof(T)];
@@ -15,39 +15,62 @@ void put(std::string& out, T v) {
   out.append(buf, sizeof(T));
 }
 
-// Reads a T at `at`; false when fewer than sizeof(T) bytes remain.
+// Reads a T at `at`.  The `at > size` guard is explicit: `bytes.size() - at`
+// is unsigned, and a caller that over-advanced `at` (the streaming transport
+// reader walks length chains from untrusted prefixes) must get `false`, not
+// a wrapped-around huge remainder.
+template <typename T>
+bool get(std::string_view bytes, size_t at_in, size_t& at, T* v) {
+  if (at_in > bytes.size() || bytes.size() - at_in < sizeof(T)) return false;
+  std::memcpy(v, bytes.data() + at_in, sizeof(T));
+  at = at_in + sizeof(T);
+  return true;
+}
+
 template <typename T>
 bool get(std::string_view bytes, size_t& at, T* v) {
-  if (bytes.size() - at < sizeof(T)) return false;
-  std::memcpy(v, bytes.data() + at, sizeof(T));
-  at += sizeof(T);
-  return true;
+  return get(bytes, at, at, v);
 }
 
 bool get_string(std::string_view bytes, size_t& at, std::string* s) {
   uint16_t len = 0;
   if (!get(bytes, at, &len)) return false;
-  if (bytes.size() - at < len) return false;
+  if (at > bytes.size() || bytes.size() - at < len) return false;
   s->assign(bytes.data() + at, len);
   at += len;
   return true;
 }
 
+// Strings longer than a u16 cannot travel.  The public encoders validate
+// before building, so reaching this with an oversize string is a programmer
+// error — the old behaviour (clamp to 64 KiB) produced frames that
+// checksummed fine but decoded to a record different from what was encoded.
 void put_string(std::string& out, const std::string& s) {
-  // Names longer than a u16 cannot travel; clamp rather than corrupt the
-  // frame (element/attr names are short device-like strings in practice).
-  const uint16_t len =
-      static_cast<uint16_t>(s.size() > 0xffff ? 0xffff : s.size());
-  put(out, len);
-  out.append(s.data(), len);
+  PS_CHECK(s.size() <= 0xffff);
+  put(out, static_cast<uint16_t>(s.size()));
+  out.append(s.data(), s.size());
 }
 
-constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
-constexpr size_t kFramePrefixSize = 4 + 8;  // payload_len + checksum
-// A single frame larger than this is structural damage, not data: it caps
-// what a corrupted length prefix can make the decoder trust.
-constexpr uint32_t kMaxPayload = 1u << 24;
+Status check_encodable(const QueryResponse& r) {
+  if (r.record.element.name.size() > 0xffff) {
+    return Status::invalid_argument("wire: element name exceeds 64 KiB: " +
+                                    r.record.element.name.substr(0, 64));
+  }
+  if (r.record.attrs.size() > 0xffff) {
+    return Status::invalid_argument(
+        "wire: element " + r.record.element.name + " has " +
+        std::to_string(r.record.attrs.size()) + " attrs (wire limit 65535)");
+  }
+  for (const Attr& a : r.record.attrs) {
+    if (a.name.size() > 0xffff) {
+      return Status::invalid_argument("wire: attr name exceeds 64 KiB: " +
+                                      a.name.substr(0, 64));
+    }
+  }
+  return Status::ok();
+}
 
+// Builds the payload of an already-validated response.
 std::string encode_payload(const QueryResponse& r) {
   std::string p;
   put<int64_t>(p, r.record.timestamp.ns());
@@ -56,13 +79,8 @@ std::string encode_payload(const QueryResponse& r) {
   put<uint32_t>(p, r.attempts);
   put<int64_t>(p, r.response_time.ns());
   put_string(p, r.record.element.name);
-  const uint16_t n =
-      static_cast<uint16_t>(r.record.attrs.size() > 0xffff
-                                ? 0xffff
-                                : r.record.attrs.size());
-  put(p, n);
-  for (uint16_t i = 0; i < n; ++i) {
-    const Attr& a = r.record.attrs[i];
+  put<uint16_t>(p, static_cast<uint16_t>(r.record.attrs.size()));
+  for (const Attr& a : r.record.attrs) {
     put_string(p, a.name);
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(a.value));
@@ -111,6 +129,28 @@ bool decode_payload(std::string_view payload, QueryResponse* r) {
   return at == payload.size();  // trailing payload bytes = damage
 }
 
+bool decode_id_list(std::string_view body, size_t& at,
+                    std::vector<ElementId>* ids) {
+  uint32_t count = 0;
+  if (!get(body, at, &count)) return false;
+  // An id needs at least its 2-byte length prefix: cap what a corrupted
+  // count can make us reserve.
+  if (count > (body.size() - at) / 2 + 1) return false;
+  ids->clear();
+  ids->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!get_string(body, at, &name)) return false;
+    ids->push_back(ElementId{std::move(name)});
+  }
+  return true;
+}
+
+void put_id_list(std::string& out, const std::vector<ElementId>& ids) {
+  put<uint32_t>(out, static_cast<uint32_t>(ids.size()));
+  for (const ElementId& id : ids) put_string(out, id.name);
+}
+
 }  // namespace
 
 uint64_t fnv1a64(std::string_view bytes) {
@@ -122,8 +162,29 @@ uint64_t fnv1a64(std::string_view bytes) {
   return h;
 }
 
-std::string encode_frame(const QueryResponse& r) {
+bool get_u8(std::string_view bytes, size_t& at, uint8_t* v) {
+  return get(bytes, at, v);
+}
+bool get_u16(std::string_view bytes, size_t& at, uint16_t* v) {
+  return get(bytes, at, v);
+}
+bool get_u32(std::string_view bytes, size_t& at, uint32_t* v) {
+  return get(bytes, at, v);
+}
+bool get_u64(std::string_view bytes, size_t& at, uint64_t* v) {
+  return get(bytes, at, v);
+}
+
+Result<std::string> encode_frame(const QueryResponse& r) {
+  Status st = check_encodable(r);
+  if (!st.is_ok()) return st;
   std::string payload = encode_payload(r);
+  if (payload.size() > kMaxPayload) {
+    return Status::invalid_argument(
+        "wire: frame payload for element " + r.record.element.name + " is " +
+        std::to_string(payload.size()) + " bytes (cap " +
+        std::to_string(kMaxPayload) + ")");
+  }
   std::string out;
   out.reserve(kFramePrefixSize + payload.size());
   put<uint32_t>(out, static_cast<uint32_t>(payload.size()));
@@ -132,13 +193,20 @@ std::string encode_frame(const QueryResponse& r) {
   return out;
 }
 
-std::string encode_batch(const BatchResponse& b) {
+Result<std::string> encode_batch(const BatchResponse& b) {
+  if (b.responses.size() > 0xffffffffULL) {
+    return Status::invalid_argument("wire: batch frame count exceeds u32");
+  }
   std::string out;
   put<uint32_t>(out, kMagic);
   put<uint32_t>(out, static_cast<uint32_t>(b.responses.size()));
   put<uint64_t>(out, static_cast<uint64_t>(b.channel_time.ns()));
   put<uint32_t>(out, static_cast<uint32_t>(b.unknown_ids));
-  for (const QueryResponse& r : b.responses) out += encode_frame(r);
+  for (const QueryResponse& r : b.responses) {
+    Result<std::string> frame = encode_frame(r);
+    if (!frame.ok()) return frame.status();
+    out += frame.value();
+  }
   return out;
 }
 
@@ -174,7 +242,7 @@ Result<BatchResponse> decode_batch(std::string_view bytes,
   size_t at = 0;
   uint32_t magic = 0, count = 0, unknown = 0;
   uint64_t channel_ns = 0;
-  if (bytes.size() < kHeaderSize) {
+  if (bytes.size() < kBatchHeaderSize) {
     return Status::invalid_argument("wire batch shorter than header");
   }
   get(bytes, at, &magic);
@@ -240,6 +308,164 @@ BatchResponse reconcile(const std::vector<ElementId>& sorted_ids,
     if (r.quality != DataQuality::kFresh) ++out.degraded;
   }
   return out;
+}
+
+// --- transport control messages ---------------------------------------------
+
+const char* to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kHello:
+      return "hello";
+    case MessageKind::kBatchRequest:
+      return "batch_request";
+    case MessageKind::kSingleRequest:
+      return "single_request";
+    case MessageKind::kListElements:
+      return "list_elements";
+    case MessageKind::kSingleResponse:
+      return "single_response";
+    case MessageKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string encode_message(MessageKind kind, std::string_view body) {
+  PS_CHECK(body.size() <= kMaxPayload);
+  std::string out;
+  out.reserve(kMessagePrefixSize + body.size());
+  put<uint32_t>(out, kMessageMagic);
+  put<uint8_t>(out, static_cast<uint8_t>(kind));
+  put<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  put<uint64_t>(out, fnv1a64(body));
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Result<Message> decode_message(std::string_view bytes, size_t* consumed) {
+  if (consumed != nullptr) *consumed = 0;
+  size_t at = 0;
+  uint32_t magic = 0, len = 0;
+  uint8_t kind = 0;
+  uint64_t sum = 0;
+  if (!get(bytes, at, &magic) || !get(bytes, at, &kind) ||
+      !get(bytes, at, &len) || !get(bytes, at, &sum)) {
+    return Status::invalid_argument("wire message truncated in prefix");
+  }
+  if (magic != kMessageMagic) {
+    return Status::invalid_argument("wire message bad magic");
+  }
+  if (kind < static_cast<uint8_t>(MessageKind::kHello) ||
+      kind > static_cast<uint8_t>(MessageKind::kError)) {
+    return Status::invalid_argument("wire message unknown kind");
+  }
+  if (len > kMaxPayload || bytes.size() - at < len) {
+    return Status::invalid_argument("wire message truncated in body");
+  }
+  std::string_view body = bytes.substr(at, len);
+  if (fnv1a64(body) != sum) {
+    return Status::invalid_argument("wire message checksum mismatch");
+  }
+  if (consumed != nullptr) *consumed = kMessagePrefixSize + len;
+  Message m;
+  m.kind = static_cast<MessageKind>(kind);
+  m.body.assign(body.data(), body.size());
+  return m;
+}
+
+std::string encode_hello(const HelloMsg& h) {
+  std::string body;
+  put_string(body, h.agent_name);
+  put_id_list(body, h.elements);
+  return body;
+}
+
+Result<HelloMsg> decode_hello(std::string_view body) {
+  HelloMsg h;
+  size_t at = 0;
+  if (!get_string(body, at, &h.agent_name) ||
+      !decode_id_list(body, at, &h.elements) || at != body.size()) {
+    return Status::invalid_argument("wire hello structurally damaged");
+  }
+  return h;
+}
+
+std::string encode_batch_request(const BatchRequestMsg& r) {
+  std::string body;
+  put<int64_t>(body, r.now.ns());
+  put_id_list(body, r.ids);
+  return body;
+}
+
+Result<BatchRequestMsg> decode_batch_request(std::string_view body) {
+  BatchRequestMsg r;
+  size_t at = 0;
+  int64_t now_ns = 0;
+  if (!get(body, at, &now_ns) || !decode_id_list(body, at, &r.ids) ||
+      at != body.size()) {
+    return Status::invalid_argument("wire batch request structurally damaged");
+  }
+  r.now = SimTime::nanos(now_ns);
+  return r;
+}
+
+std::string encode_single_request(const SingleRequestMsg& r) {
+  std::string body;
+  put<int64_t>(body, r.now.ns());
+  put_string(body, r.id.name);
+  put<uint32_t>(body, static_cast<uint32_t>(r.attrs.size()));
+  for (const std::string& a : r.attrs) put_string(body, a);
+  return body;
+}
+
+Result<SingleRequestMsg> decode_single_request(std::string_view body) {
+  SingleRequestMsg r;
+  size_t at = 0;
+  int64_t now_ns = 0;
+  std::string name;
+  uint32_t count = 0;
+  if (!get(body, at, &now_ns) || !get_string(body, at, &name) ||
+      !get(body, at, &count)) {
+    return Status::invalid_argument("wire single request structurally damaged");
+  }
+  if (count > (body.size() - at) / 2 + 1) {
+    return Status::invalid_argument("wire single request structurally damaged");
+  }
+  r.now = SimTime::nanos(now_ns);
+  r.id = ElementId{std::move(name)};
+  r.attrs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string a;
+    if (!get_string(body, at, &a)) {
+      return Status::invalid_argument(
+          "wire single request structurally damaged");
+    }
+    r.attrs.push_back(std::move(a));
+  }
+  if (at != body.size()) {
+    return Status::invalid_argument("wire single request structurally damaged");
+  }
+  return r;
+}
+
+std::string encode_error(const ErrorMsg& e) {
+  std::string body;
+  put<uint8_t>(body, static_cast<uint8_t>(e.code));
+  body += e.message;
+  return body;
+}
+
+Result<ErrorMsg> decode_error(std::string_view body) {
+  ErrorMsg e;
+  size_t at = 0;
+  uint8_t code = 0;
+  if (!get(body, at, &code) ||
+      code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::invalid_argument("wire error message structurally damaged");
+  }
+  e.code = static_cast<StatusCode>(code);
+  e.message.assign(body.data() + at, body.size() - at);
+  return e;
 }
 
 }  // namespace perfsight::wire

@@ -1,4 +1,5 @@
-// Length-prefixed binary framing for agent→controller batch responses.
+// Length-prefixed binary framing for agent→controller batch responses, plus
+// the request/hello/error envelopes the socket transport speaks.
 //
 // The in-process batch path (Agent::query_batch) amortises channel round
 // trips; a *remote* controller needs the same amortisation across a real
@@ -16,6 +17,12 @@
 //             i64 response_time_ns | u16 name_len | name bytes |
 //             u16 attr_count | { u16 len | name bytes | f64 value }*
 //
+// Control messages (requests, the connect-time hello, and error replies)
+// travel in a separate checksummed envelope:
+//
+//   message := u32 magic ("PSM1") | u8 kind | u32 body_len |
+//              u64 fnv1a64(body) | body
+//
 // Damage contract (what the property/fuzz suite locks down): decoding
 // arbitrary bytes never crashes and never yields a silently wrong record.
 // Every frame is guarded by a checksum over its payload; a frame that fails
@@ -24,6 +31,11 @@
 // the decoder stops and reports how much survived.  Callers map the damage
 // to DataQuality with reconcile(): every element they asked for comes back,
 // lost ones as kMissing blind spots.
+//
+// The encode side upholds the mirror contract: input that cannot travel
+// losslessly (names longer than a u16, more than 65535 attrs, a payload
+// past the structural cap) is *rejected* with a Status — never clamped to
+// fit.  A frame that encodes always decodes back byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -37,15 +49,38 @@
 
 namespace perfsight::wire {
 
-inline constexpr uint32_t kMagic = 0x31425350;  // "PSB1"
+inline constexpr uint32_t kMagic = 0x31425350;         // "PSB1"
+inline constexpr uint32_t kMessageMagic = 0x314d5350;  // "PSM1"
+
+// Structural sizes the stream transport's length-chain reader walks.
+inline constexpr size_t kBatchHeaderSize = 4 + 4 + 8 + 4;
+inline constexpr size_t kFramePrefixSize = 4 + 8;  // payload_len + checksum
+inline constexpr size_t kMessagePrefixSize = 4 + 1 + 4 + 8;
+// A single frame (or message body) larger than this is structural damage,
+// not data: it caps what a corrupted length prefix can make a reader trust.
+inline constexpr uint32_t kMaxPayload = 1u << 24;
 
 // FNV-1a 64-bit, the frame integrity check.
 uint64_t fnv1a64(std::string_view bytes);
 
-// One element response as a self-delimiting frame.
-std::string encode_frame(const QueryResponse& r);
+// --- bounds-checked primitive reads -----------------------------------------
+// Little-endian reads used by the decoder and by the stream transport's
+// length-chain reader.  Safe for ANY `at`, including `at > bytes.size()`
+// (the guard is explicit — no unsigned `size() - at` underflow): they return
+// false and leave `at` unchanged when fewer than sizeof(T) bytes remain.
+bool get_u8(std::string_view bytes, size_t& at, uint8_t* v);
+bool get_u16(std::string_view bytes, size_t& at, uint16_t* v);
+bool get_u32(std::string_view bytes, size_t& at, uint32_t* v);
+bool get_u64(std::string_view bytes, size_t& at, uint64_t* v);
+
+// One element response as a self-delimiting frame.  Fails (instead of
+// truncating) when a name exceeds 64 KiB, the record has more than 65535
+// attrs, or the payload would exceed kMaxPayload — a successful encode is
+// guaranteed to decode back byte-identical.
+Result<std::string> encode_frame(const QueryResponse& r);
 // Header plus one frame per response, in the batch's (element-id) order.
-std::string encode_batch(const BatchResponse& b);
+// Fails if any response is unencodable; never emits a shrunken batch.
+Result<std::string> encode_batch(const BatchResponse& b);
 
 // What the decoder saw, beyond the records themselves.
 struct DecodeStats {
@@ -79,5 +114,70 @@ Result<BatchResponse> decode_batch(std::string_view bytes,
 // instead of silently shrinking the batch.
 BatchResponse reconcile(const std::vector<ElementId>& sorted_ids,
                         const BatchResponse& decoded);
+
+// --- transport control messages ---------------------------------------------
+// Everything except batch responses (which stream as raw PSB1 above) rides
+// the PSM1 envelope.  Bodies are checksummed; decoders are total functions
+// over arbitrary bytes.
+
+enum class MessageKind : uint8_t {
+  kHello = 1,           // server → client on accept: agent name + element ids
+  kBatchRequest = 2,    // client → server: query_batch(ids, now)
+  kSingleRequest = 3,   // client → server: query_attrs(id, attrs, now)
+  kListElements = 4,    // client → server: re-fetch the hello element set
+  kSingleResponse = 5,  // server → client: one PSB1 frame (success)
+  kError = 6,           // server → client: Status code + message
+};
+
+const char* to_string(MessageKind k);
+
+struct Message {
+  MessageKind kind = MessageKind::kError;
+  std::string body;
+};
+
+// Wraps `body` in the PSM1 envelope.
+std::string encode_message(MessageKind kind, std::string_view body);
+// Decodes the message at the head of `bytes`; `*consumed` receives its full
+// size.  Fails on truncation, bad magic/kind, oversize body, or checksum
+// mismatch.
+Result<Message> decode_message(std::string_view bytes,
+                               size_t* consumed = nullptr);
+
+// Connect-time handshake: which agent is on the far end and what it serves.
+struct HelloMsg {
+  std::string agent_name;
+  std::vector<ElementId> elements;  // ascending element-id order
+};
+std::string encode_hello(const HelloMsg& h);
+Result<HelloMsg> decode_hello(std::string_view body);
+
+// query_batch over the wire: the requested ids plus the (simulated) query
+// timestamp, so the remote agent samples the same instant the controller
+// asked for.
+struct BatchRequestMsg {
+  SimTime now;
+  std::vector<ElementId> ids;
+};
+std::string encode_batch_request(const BatchRequestMsg& r);
+Result<BatchRequestMsg> decode_batch_request(std::string_view body);
+
+// query_attrs over the wire (the single-element GetAttr path).
+struct SingleRequestMsg {
+  SimTime now;
+  ElementId id;
+  std::vector<std::string> attrs;
+};
+std::string encode_single_request(const SingleRequestMsg& r);
+Result<SingleRequestMsg> decode_single_request(std::string_view body);
+
+// A Status carried verbatim, so remote failures reproduce the exact message
+// text the in-process path would have produced.
+struct ErrorMsg {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;
+};
+std::string encode_error(const ErrorMsg& e);
+Result<ErrorMsg> decode_error(std::string_view body);
 
 }  // namespace perfsight::wire

@@ -181,6 +181,52 @@ TEST(FaultPlanTest, FromEnvParsesSpec) {
   EXPECT_FALSE(FaultPlan::from_env().has_value());
 }
 
+// Regression (lossy-atof bugfix): std::atof turned "0.05x" into 0.05 and any
+// typo into 0.0, silently running a different experiment than the operator
+// asked for.  Parsing is now strict — malformed items are rejected whole —
+// and probabilities clamp to [0,1].
+TEST(FaultPlanTest, FromEnvRejectsMalformedAndClamps) {
+  const ElementId e{"e"};
+
+  // Trailing garbage on a value: the item is rejected, not parsed as 0.05.
+  setenv("PERFSIGHT_FAULTS", "transient=0.05x", 1);
+  std::optional<FaultPlan> plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->spec_for(e, ChannelKind::kProcFs).transient_p, 0.0);
+  EXPECT_FALSE(plan->enabled());
+
+  // Typo'd key: rejected (was silently skipped — same outcome, but now with
+  // a warning); the plan must not gain faults from it.
+  setenv("PERFSIGHT_FAULTS", "transiet=0.05", 1);
+  plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->enabled());
+
+  // Empty seed value: rejected; the default seed survives and well-formed
+  // items later in the string still apply.
+  setenv("PERFSIGHT_FAULTS", "seed=,transient=0.25", 1);
+  plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed(), 1u);
+  EXPECT_EQ(plan->spec_for(e, ChannelKind::kProcFs).transient_p, 0.25);
+
+  // Probability above 1: clamped to 1.0 (atof let 1.5 skew the cumulative
+  // threshold draw in decide()).
+  setenv("PERFSIGHT_FAULTS", "torn=1.5", 1);
+  plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->spec_for(e, ChannelKind::kProcFs).torn_p, 1.0);
+  EXPECT_TRUE(plan->enabled());
+
+  // Negative probability: clamped to 0.
+  setenv("PERFSIGHT_FAULTS", "stale=-0.3", 1);
+  plan = FaultPlan::from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->spec_for(e, ChannelKind::kProcFs).stale_p, 0.0);
+
+  unsetenv("PERFSIGHT_FAULTS");
+}
+
 // --- retry / budgets --------------------------------------------------------
 
 TEST(RetryTest, RetryAbsorbsTransientFault) {

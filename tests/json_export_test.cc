@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace perfsight::json {
 namespace {
@@ -25,6 +27,32 @@ TEST(JsonNumberTest, IntegersPrintExactly) {
 TEST(JsonNumberTest, NonFiniteBecomesNull) {
   EXPECT_EQ(number(std::nan("")), "null");
   EXPECT_EQ(number(1.0 / 0.0 * 1.0), "null");
+}
+
+// Regression (%.10g bugfix): byte counters above ~1e10 — a few seconds of
+// traffic at modelled 10 Gbps — lost their low digits on export.  %.17g is
+// the shortest printf width guaranteed to round-trip any double exactly.
+TEST(JsonNumberTest, LargeCountersRoundTripExactly) {
+  // Non-integral values above 1e10: the integer fast path does not apply,
+  // so these exercise the %g branch end to end.
+  const double values[] = {
+      98765432109.875,         // ~9.9e10 with a fractional part
+      1.23456789012345e14,     // full-precision mantissa
+      40271998156.03125,       // exact binary fraction above 1e10
+  };
+  for (double v : values) {
+    std::string printed = number(v);
+    EXPECT_EQ(std::strtod(printed.c_str(), nullptr), v)
+        << "'" << printed << "' does not round-trip";
+  }
+  // The old format demonstrably loses these: %.10g of 98765432109.875 is
+  // "9.876543211e+10" == 98765432110.0.
+  char old_buf[64];
+  std::snprintf(old_buf, sizeof(old_buf), "%.10g", 98765432109.875);
+  EXPECT_NE(std::strtod(old_buf, nullptr), 98765432109.875);
+
+  // Integral counters above 1e10 keep the plain-integer fast path.
+  EXPECT_EQ(number(12500000000.0), "12500000000");
 }
 
 TEST(JsonRecordTest, SerializesRecord) {

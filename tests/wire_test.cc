@@ -66,13 +66,16 @@ BatchResponse random_batch(Pcg32& rng, size_t max_frames) {
 
 // Canonical byte form of one response — the equality yardstick everywhere
 // below (covers every field the codec carries, including NaN-free floats).
-std::string canon(const QueryResponse& r) { return wire::encode_frame(r); }
+// Every response built in this file is encodable, so .value() is safe.
+std::string canon(const QueryResponse& r) {
+  return wire::encode_frame(r).value();
+}
 
 TEST(WireCodecTest, RoundTripIdentity) {
   Pcg32 rng(2024);
   for (int trial = 0; trial < 200; ++trial) {
     BatchResponse b = random_batch(rng, 12);
-    std::string bytes = wire::encode_batch(b);
+    std::string bytes = wire::encode_batch(b).value();
 
     wire::DecodeStats st;
     Result<BatchResponse> got = wire::decode_batch(bytes, &st);
@@ -89,14 +92,14 @@ TEST(WireCodecTest, RoundTripIdentity) {
     EXPECT_EQ(d.channel_time.ns(), b.channel_time.ns());
     EXPECT_EQ(d.unknown_ids, b.unknown_ids);
     // Re-encoding the decoded batch reproduces the original bytes exactly.
-    EXPECT_EQ(wire::encode_batch(d), bytes);
+    EXPECT_EQ(wire::encode_batch(d).value(), bytes);
   }
 }
 
 TEST(WireCodecTest, EmptyBatchRoundTrips) {
   BatchResponse b;
   b.channel_time = Duration::micros(7);
-  std::string bytes = wire::encode_batch(b);
+  std::string bytes = wire::encode_batch(b).value();
   wire::DecodeStats st;
   Result<BatchResponse> got = wire::decode_batch(bytes, &st);
   ASSERT_TRUE(got.ok());
@@ -109,7 +112,7 @@ TEST(WireCodecTest, TruncationIsDetected) {
   Pcg32 rng(7);
   for (int trial = 0; trial < 60; ++trial) {
     BatchResponse b = random_batch(rng, 6);
-    std::string bytes = wire::encode_batch(b);
+    std::string bytes = wire::encode_batch(b).value();
     if (bytes.size() < 2) continue;
     // Every strict prefix: never crash, never fabricate a record.
     for (size_t cut = 0; cut < bytes.size(); ++cut) {
@@ -137,7 +140,7 @@ TEST(WireCodecTest, BitFlipNeverYieldsWrongRecord) {
   int damaged_detected = 0;
   for (int trial = 0; trial < 400; ++trial) {
     BatchResponse b = random_batch(rng, 8);
-    std::string bytes = wire::encode_batch(b);
+    std::string bytes = wire::encode_batch(b).value();
     if (bytes.empty()) continue;
     std::string mutated = bytes;
     size_t pos = rng.next_below(static_cast<uint32_t>(mutated.size()));
@@ -195,7 +198,7 @@ TEST(WireCodecTest, GarbageDecodesSafely) {
 TEST(WireCodecTest, DecodeFrameRejectsEveryTruncation) {
   Pcg32 rng(11);
   QueryResponse r = random_response(rng);
-  std::string frame = wire::encode_frame(r);
+  std::string frame = wire::encode_frame(r).value();
   for (size_t cut = 0; cut < frame.size(); ++cut) {
     size_t consumed = 0;
     Result<QueryResponse> got =
@@ -226,9 +229,9 @@ TEST(WireCodecTest, ReconcileMapsDamageToMissing) {
   }
   b.channel_time = Duration::micros(9);
 
-  std::string bytes = wire::encode_batch(b);
+  std::string bytes = wire::encode_batch(b).value();
   // Find the end of frame 1: header is fixed-size, then len-prefixed frames.
-  size_t header_size = wire::encode_batch(BatchResponse{}).size();
+  size_t header_size = wire::encode_batch(BatchResponse{}).value().size();
   uint32_t payload_len;
   std::memcpy(&payload_len, bytes.data() + header_size, sizeof(payload_len));
   size_t first_frame_end =
@@ -254,6 +257,158 @@ TEST(WireCodecTest, ReconcileMapsDamageToMissing) {
   }
   EXPECT_EQ(healed.degraded, ids.size() - 1);
   EXPECT_EQ(healed.channel_time.ns(), got.value().channel_time.ns());
+}
+
+// Regression (silent-truncation bugfix): encode used to clamp names >64 KiB
+// and attr lists >65535 to fit the u16 prefixes — the frame checksummed fine
+// but decoded to a record different from what was encoded.  The contract is
+// now round-trip identity or an explicit error, never a shrunken record.
+TEST(WireCodecTest, OversizeInputIsRejectedNotClamped) {
+  // Element name one past the u16 limit.
+  {
+    QueryResponse r;
+    r.record.element = ElementId{std::string(0x10000, 'n')};
+    Result<std::string> frame = wire::encode_frame(r);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Attr name past the limit.
+  {
+    QueryResponse r;
+    r.record.element = ElementId{"el"};
+    r.record.attrs.push_back({std::string(0x10000, 'a'), 1.0});
+    ASSERT_FALSE(wire::encode_frame(r).ok());
+  }
+  // More attrs than the u16 count can carry.
+  {
+    QueryResponse r;
+    r.record.element = ElementId{"el"};
+    r.record.attrs.resize(0x10000, {"a", 1.0});
+    ASSERT_FALSE(wire::encode_frame(r).ok());
+  }
+  // A batch containing one unencodable frame fails whole — never a batch
+  // with a silently dropped or shrunken member.
+  {
+    BatchResponse b;
+    QueryResponse ok_r;
+    ok_r.record.element = ElementId{"fine"};
+    QueryResponse bad;
+    bad.record.element = ElementId{std::string(0x10000, 'x')};
+    b.responses.push_back(ok_r);
+    b.responses.push_back(bad);
+    ASSERT_FALSE(wire::encode_batch(b).ok());
+  }
+  // At the boundary (exactly 0xffff), encode succeeds and round-trips
+  // byte-identical.
+  {
+    QueryResponse r;
+    r.record.element = ElementId{std::string(0xffff, 'b')};
+    Result<std::string> frame = wire::encode_frame(r);
+    ASSERT_TRUE(frame.ok()) << frame.status().message();
+    size_t consumed = 0;
+    Result<QueryResponse> back = wire::decode_frame(frame.value(), &consumed);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(consumed, frame.value().size());
+    EXPECT_EQ(back.value().record.element.name.size(), 0xffffu);
+    EXPECT_EQ(canon(back.value()), frame.value());
+  }
+}
+
+// Regression (unsigned-underflow bugfix): the primitive reads computed
+// `bytes.size() - at` unsigned, so a caller that over-advanced `at` — the
+// streaming transport's length-chain reader is exactly such a caller — saw a
+// wrapped-around huge remainder instead of a refusal.
+TEST(WireCodecTest, PrimitiveReadsGuardOffsetPastEnd) {
+  const std::string bytes = "\x01\x02\x03\x04\x05\x06\x07\x08";
+  const size_t offsets[] = {bytes.size() + 1, bytes.size() + 1000,
+                            static_cast<size_t>(-1), bytes.size()};
+  for (size_t start : offsets) {
+    size_t at = start;
+    uint8_t v8 = 0;
+    uint16_t v16 = 0;
+    uint32_t v32 = 0;
+    uint64_t v64 = 0;
+    EXPECT_FALSE(wire::get_u8(bytes, at, &v8)) << "at=" << start;
+    EXPECT_EQ(at, start) << "failed read must not move the cursor";
+    EXPECT_FALSE(wire::get_u16(bytes, at, &v16));
+    EXPECT_FALSE(wire::get_u32(bytes, at, &v32));
+    EXPECT_FALSE(wire::get_u64(bytes, at, &v64));
+    EXPECT_EQ(at, start);
+  }
+  // In-range reads still work and advance.
+  size_t at = 0;
+  uint32_t v32 = 0;
+  ASSERT_TRUE(wire::get_u32(bytes, at, &v32));
+  EXPECT_EQ(at, 4u);
+  EXPECT_EQ(v32, 0x04030201u);
+
+  // Fuzz the decoder with frames whose length prefixes point past the end
+  // in every combination the guard must absorb.
+  Pcg32 rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string junk;
+    size_t len = wire::kFramePrefixSize + rng.next_below(64);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    // Force a huge payload_len some of the time.
+    if (trial % 3 == 0) {
+      uint32_t huge = 0xffffff00u + rng.next_below(256);
+      std::memcpy(junk.data(), &huge, sizeof(huge));
+    }
+    size_t consumed = 0;
+    Result<QueryResponse> got = wire::decode_frame(junk, &consumed);
+    if (got.ok()) EXPECT_LE(consumed, junk.size());
+  }
+}
+
+// The PSM1 control-message envelope: round trip + damage refusal for every
+// message the transport speaks.
+TEST(WireMessageTest, ControlMessagesRoundTrip) {
+  wire::HelloMsg hello{"agent-7", {ElementId{"a"}, ElementId{"b/c"}}};
+  std::string m = wire::encode_message(wire::MessageKind::kHello,
+                                       wire::encode_hello(hello));
+  size_t consumed = 0;
+  Result<wire::Message> got = wire::decode_message(m, &consumed);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(consumed, m.size());
+  EXPECT_EQ(got.value().kind, wire::MessageKind::kHello);
+  Result<wire::HelloMsg> h = wire::decode_hello(got.value().body);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().agent_name, "agent-7");
+  ASSERT_EQ(h.value().elements.size(), 2u);
+  EXPECT_EQ(h.value().elements[1].name, "b/c");
+
+  wire::BatchRequestMsg req{SimTime::millis(12),
+                            {ElementId{"x"}, ElementId{"y"}}};
+  Result<wire::BatchRequestMsg> r = wire::decode_batch_request(
+      wire::encode_batch_request(req));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().now.ns(), SimTime::millis(12).ns());
+  ASSERT_EQ(r.value().ids.size(), 2u);
+
+  wire::SingleRequestMsg sr{SimTime::micros(3), ElementId{"z"},
+                            {"rxPkts", "txPkts"}};
+  Result<wire::SingleRequestMsg> sd = wire::decode_single_request(
+      wire::encode_single_request(sr));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd.value().id.name, "z");
+  ASSERT_EQ(sd.value().attrs.size(), 2u);
+
+  wire::ErrorMsg err{StatusCode::kNotFound, "agent a: no element z"};
+  Result<wire::ErrorMsg> ed = wire::decode_error(wire::encode_error(err));
+  ASSERT_TRUE(ed.ok());
+  EXPECT_EQ(ed.value().code, StatusCode::kNotFound);
+  EXPECT_EQ(ed.value().message, "agent a: no element z");
+
+  // Damage: every strict prefix of the envelope is refused, and a body bit
+  // flip fails the checksum.
+  for (size_t cut = 0; cut < m.size(); ++cut) {
+    EXPECT_FALSE(wire::decode_message(std::string_view(m.data(), cut)).ok());
+  }
+  std::string flipped = m;
+  flipped.back() = static_cast<char>(flipped.back() ^ 1);
+  EXPECT_FALSE(wire::decode_message(flipped).ok());
 }
 
 TEST(WireCodecTest, ChecksumIsFnv1a64) {
