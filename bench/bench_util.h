@@ -2,12 +2,23 @@
 // prints (a) the scenario parameters it used, (b) the series/rows matching
 // the paper's figure or table, and (c) a SHAPE-CHECK line summarising
 // whether the qualitative result matches the paper.
+//
+// Benches additionally emit their headline numbers as machine-readable
+// BENCH_<name>.json files via Reporter, so the performance trajectory
+// exists as data: CI diffs the `gate` metrics (deterministic, modelled
+// quantities) against bench/BASELINE.json with a ±10% regression gate
+// (tools/bench_gate.cc); `info` metrics (wall-clock, machine-dependent)
+// ride along for humans and trend plots but never gate.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "perfsight/json_export.h"
 
 namespace perfsight::bench {
 
@@ -42,5 +53,65 @@ inline std::string fmt(const char* f, double v) {
   std::snprintf(buf, sizeof(buf), f, v);
   return buf;
 }
+
+// Collects a bench's headline metrics and writes BENCH_<name>.json into
+// $PERFSIGHT_BENCH_DIR (default: the working directory) at destruction.
+//
+//   {"bench": "<name>",
+//    "gate": {"<metric>": <value>, ...},    // deterministic; CI-gated ±10%
+//    "info": {"<metric>": <value>, ...}}    // wall-clock etc.; never gated
+//
+// gate() is for modelled/counted quantities that are bit-stable across
+// machines (channel time, wire bytes, event counts); info() is for anything
+// an overloaded CI runner could legitimately wobble (ns/op, speedups).
+class Reporter {
+ public:
+  explicit Reporter(std::string name) : name_(std::move(name)) {}
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+  ~Reporter() { write(); }
+
+  void gate(const std::string& metric, double value) {
+    gate_.emplace_back(metric, value);
+  }
+  void info(const std::string& metric, double value) {
+    info_.emplace_back(metric, value);
+  }
+
+ private:
+  static void append(std::string& out, const char* section,
+                     const std::vector<std::pair<std::string, double>>& m) {
+    out += std::string("\"") + section + "\":{";
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + json::escape(m[i].first) + "\":" + json::number(m[i].second);
+    }
+    out += "}";
+  }
+
+  void write() const {
+    const char* dir = std::getenv("PERFSIGHT_BENCH_DIR");
+    const std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+        "BENCH_" + name_ + ".json";
+    std::string out = "{\"bench\":\"" + json::escape(name_) + "\",";
+    append(out, "gate", gate_);
+    out += ",";
+    append(out, "info", info_);
+    out += "}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("BENCH-JSON %s\n", path.c_str());
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> gate_;
+  std::vector<std::pair<std::string, double>> info_;
+};
 
 }  // namespace perfsight::bench

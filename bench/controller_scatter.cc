@@ -129,6 +129,7 @@ double sweep_seconds(Fleet& fleet, std::string* wire_out) {
 int main() {
   heading("Controller scatter-gather over the deployment pool",
           "PerfSight (IMC'15) Sec. 5 GetAttr fan-in, batched per agent");
+  Reporter report("controller_scatter");
   note("%zu agents x %zu elements, %d sweeps per config", kAgents,
        kElementsPerAgent, kSweepsPerConfig);
   note("per-element cost: %lld us channel RTT + /proc text parse",
@@ -169,6 +170,15 @@ int main() {
        "batched %.2f ms (one round trip per channel kind per agent)",
        kSweepsPerConfig, seq_cost.channel_time.ns() / 1e6,
        batch_cost.channel_time.ns() / 1e6);
+
+  // Modelled channel bills and the wire rendering are deterministic; the
+  // wall-clock speedup is the runner's business.
+  report.gate("batched_channel_ms",
+              static_cast<double>(batch_cost.channel_time.ns()) / 1e6);
+  report.gate("sequential_channel_ms",
+              static_cast<double>(seq_cost.channel_time.ns()) / 1e6);
+  report.gate("wire_bytes", static_cast<double>(wire_seq.size()));
+  report.info("speedup_at_4", speedup_at_4);
 
   shape_check(speedup_at_4 >= 2.0,
               "64-element query >= 2x faster with 4 workers than 1");

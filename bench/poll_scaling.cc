@@ -125,6 +125,7 @@ double sweep_seconds(Fleet& fleet, std::string* wire_out) {
 int main() {
   heading("Poll-sweep scaling across the collection pool",
           "PerfSight (IMC'15) Sec. 7.4 collection overhead, parallelised");
+  Reporter report("poll_scaling");
   note("%zu agents x %zu elements, %d sweeps per pool size", kAgents,
        kElementsPerAgent, kSweepsPerConfig);
   note("per-element cost: %lld us channel RTT + /proc text parse",
@@ -146,6 +147,12 @@ int main() {
     row({fmt("%.0f", static_cast<double>(workers)),
          fmt("%.2f", s * 1e3 / kSweepsPerConfig), fmt("%.2fx", speedup)});
   }
+
+  // The sweep's wire encoding is deterministic (fixed fleet, fixed seeds);
+  // its byte count gates.  Wall-clock speedup depends on the runner's cores.
+  report.gate("wire_bytes", static_cast<double>(wire_seq.size()));
+  report.info("speedup_at_4", speedup_at_4);
+  report.info("sweep_ms_sequential", base_s * 1e3 / kSweepsPerConfig);
 
   shape_check(speedup_at_4 >= 2.0,
               "fleet sweep >= 2x faster with 4 workers than sequential");

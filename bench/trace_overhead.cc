@@ -38,6 +38,7 @@ double best_pkts_per_sec(const HotpathConfig& cfg, uint64_t packets,
 int main() {
   bench::heading("flight-recorder tracing overhead on the hotpath",
                  "overhead budget of Table 2 / Fig. 15 (< 5%)");
+  bench::Reporter report("trace_overhead");
 
   constexpr uint64_t kPackets = 100000;
   constexpr int kRepeats = 3;
@@ -98,7 +99,15 @@ int main() {
                 .count()) /
         static_cast<double>(kIters);
     bench::note("isolated ring push: %.1f ns/event", ns_per_push);
+    report.info("ns_per_push", ns_per_push);
   }
+
+  // Deterministic quantities gate; wall-clock throughput is informational.
+  report.gate("ring_total_events", static_cast<double>(ring_total));
+  report.gate("ring_live_events", static_cast<double>(ring_live));
+  report.info("regression_pct", regression);
+  report.info("pkts_per_sec_trace_off", off);
+  report.info("pkts_per_sec_trace_on", on);
 
   bench::shape_check(regression < 5.0,
                      "per-packet tracing costs the hotpath < 5%");

@@ -80,6 +80,7 @@ double sweep_seconds(RemoteAgent& remote, const std::vector<ElementId>& ids) {
 int main() {
   heading("PSB1 batch round trips over real sockets",
           "PerfSight (IMC'15) Sec. 3 distributed agents; transport layer");
+  Reporter report("transport_roundtrip");
   note("%zu elements on one agent, %d sweeps per config", kElements, kSweeps);
 
   Agent agent("bench-agent", 1);
@@ -136,6 +137,12 @@ int main() {
   const double amortisation = (tcp_single_s * 64.0) / tcp_batch64_s;
   note("tcp amortisation: 64x1 would cost %.2fx one 64-wide batch",
        amortisation);
+
+  // The oracle's wire rendering is a pure function of the fixed fleet, so
+  // its size gates; round-trip timings are loopback wall clock, info only.
+  report.gate("oracle_record_bytes", static_cast<double>(oracle.size()));
+  report.info("tcp_amortisation_64", amortisation);
+  report.info("tcp_batch64_sweep_us", tcp_batch64_s * 1e6 / kSweeps);
 
   shape_check(identical,
               "records off the socket byte-identical to in-process agent");

@@ -6,8 +6,13 @@
 // dials it with add_remote_agent() — after which the controller cannot tell
 // it apart from an in-process agent.  The second half tears a batch mid-frame
 // to show the degradation contract: lost frames come back as kMissing blind
-// spots ("unavailable after 1 attempt(s)"), never as silent absence.
+// spots ("unavailable after 1 attempt(s)"), never as silent absence.  The
+// finale turns on fleet tracing: a traced query scatters with a trace context
+// on the envelope, the server's serve spans come back on the reply, and the
+// merged Chrome trace (controller + agent process lanes) lands in a file you
+// can open at ui.perfetto.dev.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <unistd.h>
@@ -18,6 +23,7 @@
 #include "perfsight/remote_agent.h"
 #include "perfsight/stats.h"
 #include "perfsight/stats_source.h"
+#include "perfsight/trace.h"
 #include "perfsight/transport.h"
 #include "perfsight/wire.h"
 #include "sim/simulator.h"
@@ -118,5 +124,39 @@ int main() {
       static_cast<unsigned long long>(stats.reconnects),
       static_cast<unsigned long long>(stats.batches),
       static_cast<unsigned long long>(stats.damaged));
+
+  // --- fleet tracing: one traced scatter, merged across processes ----------
+  // Installing a recorder flips tracing on; the next query carries a trace
+  // context over the wire, the server spans piggyback on the reply, and an
+  // explicit harvest drains whatever is left in the agent's rings.
+  {
+    ScopedTraceRecorder scoped;
+    for (const auto& r : dep.controller()->get_attr_many(
+             tenant, ids, {attr::kRxPkts, attr::kDropPkts})) {
+      PS_CHECK(r.ok());
+    }
+    PS_CHECK(remote.value()->harvest_trace().is_ok());
+
+    TraceRecorder& rec = scoped.recorder();
+    size_t serve_spans = 0;
+    for (const auto& lane : rec.remote_lanes()) {
+      for (const TraceEvent& e : lane.events) {
+        if (e.is_span()) ++serve_spans;
+      }
+    }
+    std::printf(
+        "\nfleet tracing: %zu local events, %zu remote lane(s), "
+        "%zu remote span(s), clock offset %+lld ns\n",
+        rec.events().size(), rec.num_remote_lanes(), serve_spans,
+        static_cast<long long>(remote.value()->clock_offset_ns()));
+
+    const std::string path = "/tmp/perfsight-fleet-trace-" +
+                             std::to_string(::getpid()) + ".json";
+    std::ofstream out(path);
+    out << to_chrome_trace(rec);
+    PS_CHECK(out.good());
+    std::printf("merged Chrome trace written to %s (ui.perfetto.dev)\n",
+                path.c_str());
+  }
   return 0;
 }

@@ -538,6 +538,13 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
   }
   if (trace_enabled()) {
     const ElementId batch_id{name_ + "/batch"};
+    // With an active trace context (a traced scatter above us — installed by
+    // the controller's fan-out worker or a remote server's serve loop), the
+    // batch also records its span subtree: one kSpanAgentBatch covering the
+    // slowest channel trip, one kSpanChannelTrip child per kind paid.
+    const TraceContext ctx = current_trace_context();
+    const uint64_t batch_span = ctx.active() ? next_span_id() : 0;
+    Duration slowest;
     for (size_t k = 0; k < kNumChannelKinds; ++k) {
       if (!kind_used[k]) continue;
       size_t group = 0;
@@ -550,6 +557,18 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
       trace_event(batch_id, now + kind_delay[k],
                   TraceEventKind::kAgentQueryCompleted, kind_delay[k].us(),
                   to_string(static_cast<ChannelKind>(k)));
+      if (ctx.active()) {
+        trace_span(batch_id, now, TraceEventKind::kSpanChannelTrip,
+                   kind_delay[k], next_span_id(), batch_span,
+                   static_cast<double>(group),
+                   to_string(static_cast<ChannelKind>(k)));
+        if (kind_delay[k] > slowest) slowest = kind_delay[k];
+      }
+    }
+    if (ctx.active()) {
+      trace_span(batch_id, now, TraceEventKind::kSpanAgentBatch, slowest,
+                 batch_span, ctx.span_id, static_cast<double>(plan.size()),
+                 name_);
     }
     // Blind spots must be visible in the flight recorder: unknown ids and
     // non-fresh responses degrade the batch.

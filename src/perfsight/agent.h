@@ -134,6 +134,14 @@ const char* to_string(BreakerState s);
 // carry the attempts/fail_code a caller needs to reconstruct the exact
 // single-path Status via query_failure_status — so the controller merge is
 // byte-identical whichever implementation sits behind it.
+//
+// Tracing: when the calling thread carries an active TraceContext
+// (trace.h), implementations record span events under it — the in-process
+// agent an agent-batch span with one channel-trip span per kind, the
+// remote adapter a transport round-trip span, and the remote *server* a
+// serve span in its own process parented to the caller's span id off the
+// wire.  With no context (or tracing disabled) both record nothing and the
+// remote conversation is byte-identical.
 class AgentClient {
  public:
   virtual ~AgentClient() = default;

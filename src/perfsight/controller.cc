@@ -252,12 +252,21 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
   trace_event(controller_trace_id(), now, TraceEventKind::kControllerScatter,
               static_cast<double>(ids.size()), "scatter");
 
+  // Root of this sweep's span tree.  Each pool worker re-installs the
+  // context (thread-locals do not cross the fan-out boundary), so agent
+  // batch spans — and, over sockets, the remote server's serve spans — all
+  // parent to this scatter span.
+  const bool traced = trace_enabled();
+  const TraceContext scatter_ctx =
+      traced ? TraceContext{next_span_id(), next_span_id()} : TraceContext{};
+
   // Fan the agents out over the pool.  query_batch gets no pool of its own:
   // a worker blocking inside a nested parallel_for on the same pool can
   // deadlock, and the per-agent batch is already one channel round trip per
   // kind — the win is agent-level parallelism.
   std::vector<BatchResponse> br(groups.size());
   parallel_for_or_inline(pool, groups.size(), [&](size_t gi) {
+    ScopedTraceContext span_ctx(scatter_ctx);
     br[gi] = groups[gi].agent->query_batch(groups[gi].sorted_ids, now);
   });
 
@@ -323,6 +332,14 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
   }
   trace_event(controller_trace_id(), now, TraceEventKind::kControllerGather,
               static_cast<double>(served), "gather");
+  if (traced) {
+    // The scatter span covers the whole fan-out; its duration is the
+    // modelled channel time the sweep consumed (deterministic, unlike the
+    // wall clock the pool happens to deliver).
+    trace_span(controller_trace_id(), now, TraceEventKind::kSpanScatter,
+               total_channel, scatter_ctx.span_id, /*parent_span=*/0,
+               static_cast<double>(ids.size()), "scatter");
+  }
   return out;
 }
 

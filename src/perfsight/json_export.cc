@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace perfsight::json {
 
@@ -51,6 +52,38 @@ std::string number(double v) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
   }
   return buf;
+}
+
+std::vector<double> find_numbers(const std::string& text,
+                                 const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\"";
+  size_t at = 0;
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    size_t p = at + needle.size();
+    at = p;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t' ||
+                               text[p] == '\n' || text[p] == '\r')) {
+      ++p;
+    }
+    if (p >= text.size() || text[p] != ':') continue;
+    ++p;
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t' ||
+                               text[p] == '\n' || text[p] == '\r')) {
+      ++p;
+    }
+    const char* start = text.c_str() + p;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end != start) out.push_back(v);
+  }
+  return out;
+}
+
+double find_number(const std::string& text, const std::string& key,
+                   double fallback) {
+  std::vector<double> v = find_numbers(text, key);
+  return v.empty() ? fallback : v.front();
 }
 
 namespace {

@@ -17,6 +17,16 @@ namespace perfsight::json {
 std::string escape(const std::string& s);
 std::string number(double v);
 
+// Every numeric value appearing as `"key": <number>` in `text`, in document
+// order.  A deliberately shallow scanner (no path awareness) for the bench
+// regression gate and trace-shape tests, which own both ends of the format;
+// it is not a general JSON query.
+std::vector<double> find_numbers(const std::string& text,
+                                 const std::string& key);
+// First such value, or `fallback` when the key never carries a number.
+double find_number(const std::string& text, const std::string& key,
+                   double fallback = 0);
+
 // Structural well-formedness check of a complete JSON document: balanced
 // objects/arrays, valid strings/numbers/literals, commas and colons where
 // the grammar requires them.  Returns the byte offset of the first error in

@@ -117,7 +117,7 @@ std::string MetricsRegistry::expose(SimTime now) const {
   std::string out;
 
   // --- element counters, scraped through the agents ------------------------
-  if (!agents_.empty()) {
+  if (!agents_.empty() || !agent_clients_.empty()) {
     out += "# HELP perfsight_element_stat Element attribute scraped via the "
            "owning agent's channel\n";
     out += "# TYPE perfsight_element_stat gauge\n";
@@ -141,6 +141,25 @@ std::string MetricsRegistry::expose(SimTime now) const {
     });
     for (const std::string& blk : blocks) out += blk;
 
+    // Client-wrapped agents scrape through query_batch — over a socket this
+    // is the full wire round trip, so the scrape proves the remote path,
+    // and a transport loss degrades to kMissing records (no attrs, so the
+    // element simply emits no gauges this scrape).
+    for (AgentClient* c : agent_clients_) {
+      const BatchResponse b = c->query_batch(c->element_ids(), now);
+      for (const QueryResponse& resp : b.responses) {
+        const StatsRecord& r = resp.record;
+        for (const Attr& at : r.attrs) {
+          out += "perfsight_element_stat{agent=\"" + prom_escape(c->name()) +
+                 "\",element=\"" + prom_escape(r.element.name) +
+                 "\",attr=\"" + prom_escape(at.name) + "\"} " +
+                 json::number(at.value) + "\n";
+        }
+      }
+    }
+  }
+
+  if (!agents_.empty()) {
     // --- agent self-profiling: channel latency distributions ---------------
     out += "# HELP perfsight_agent_channel_latency_seconds Modelled "
            "agent-to-element fetch latency per channel kind\n";
@@ -226,6 +245,36 @@ std::string MetricsRegistry::expose(SimTime now) const {
   out += "# TYPE perfsight_trace_dropped_events_total counter\n";
   out += "perfsight_trace_dropped_events_total " +
          std::to_string(tr.dropped_events()) + "\n";
+
+  // --- per-ring occupancy ----------------------------------------------------
+  // Emitted only when rings exist, so a binary that never traced keeps the
+  // exact exposition it had before rings were surfaced.
+  const std::vector<TraceRecorder::RingStats> rings = tr.ring_stats();
+  if (!rings.empty()) {
+    out += "# HELP perfsight_trace_ring_events Live events in the element's "
+           "trace ring\n";
+    out += "# TYPE perfsight_trace_ring_events gauge\n";
+    for (const TraceRecorder::RingStats& r : rings) {
+      out += "perfsight_trace_ring_events{element=\"" +
+             prom_escape(r.element) + "\"} " + std::to_string(r.size) + "\n";
+    }
+    out += "# HELP perfsight_trace_ring_capacity Ring capacity for the "
+           "element\n";
+    out += "# TYPE perfsight_trace_ring_capacity gauge\n";
+    for (const TraceRecorder::RingStats& r : rings) {
+      out += "perfsight_trace_ring_capacity{element=\"" +
+             prom_escape(r.element) + "\"} " + std::to_string(r.capacity) +
+             "\n";
+    }
+    out += "# HELP perfsight_trace_ring_dropped_events_total Events the "
+           "ring overwrote before they were exported\n";
+    out += "# TYPE perfsight_trace_ring_dropped_events_total counter\n";
+    for (const TraceRecorder::RingStats& r : rings) {
+      out += "perfsight_trace_ring_dropped_events_total{element=\"" +
+             prom_escape(r.element) + "\"} " +
+             std::to_string(r.dropped_events) + "\n";
+    }
+  }
   return out;
 }
 

@@ -27,6 +27,7 @@
 namespace perfsight {
 
 class Agent;
+class AgentClient;
 class ThreadPool;
 
 // Histogram of latencies in seconds over fixed exponential buckets
@@ -96,16 +97,28 @@ class MetricsRegistry {
   void add_agent(Agent* agent) { agents_.push_back(agent); }
   size_t num_agents() const { return agents_.size(); }
 
+  // Socket-backed (or otherwise adapter-wrapped) agents, scraped through
+  // AgentClient::query_batch — the exact path the controller uses, so a
+  // remote agent's element gauges match its in-process twin's attribute for
+  // attribute.  Scraped after the in-process agents, in registration order.
+  void add_agent_client(AgentClient* client) {
+    agent_clients_.push_back(client);
+  }
+  size_t num_agent_clients() const { return agent_clients_.size(); }
+
   // Collection pool used by expose() to scrape agents concurrently (one
   // task per agent; each agent's RNG is its own, so output is byte-identical
   // to the sequential scrape).  Null, the default, scrapes sequentially.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
-  // Renders the full exposition: every element attribute of every agent as
-  // perfsight_element_stat gauges (the scrape itself travels the modelled
-  // channels, feeding the agents' latency histograms), each agent's
-  // per-channel latency histograms, the registered instruments, and the
-  // global flight-recorder health counters.
+  // Renders the full exposition: every element attribute of every agent
+  // (in-process and client-wrapped) as perfsight_element_stat gauges (the
+  // scrape itself travels the modelled channels, feeding the agents'
+  // latency histograms), each agent's per-channel latency histograms, the
+  // registered instruments, and the global flight-recorder health counters
+  // — including, when any trace rings exist, per-ring occupancy/capacity/
+  // overwrite gauges so a ring quietly discarding events shows up on a
+  // dashboard instead of only in a shorter trace.
   std::string expose(SimTime now) const;
 
  private:
@@ -122,6 +135,7 @@ class MetricsRegistry {
                  const std::string& help, const std::string& labels);
 
   std::vector<Agent*> agents_;
+  std::vector<AgentClient*> agent_clients_;
   ThreadPool* pool_ = nullptr;
   std::vector<Family<Gauge>> gauges_;
   std::vector<Family<CounterMetric>> counters_;

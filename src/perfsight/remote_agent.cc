@@ -63,10 +63,24 @@ void RemoteAgentServer::inject_drop_next_reply() {
   drop_next_ = true;
 }
 
+int64_t RemoteAgentServer::clock_ns() const {
+  return transport::span_clock_ns() +
+         clock_skew_ns_.load(std::memory_order_relaxed);
+}
+
+std::string RemoteAgentServer::trace_data_bytes() {
+  wire::TraceDataMsg td;
+  td.process = agent_->name();
+  td.events = trace_recorder_.drain();
+  return wire::encode_message(wire::MessageKind::kTraceData,
+                              wire::encode_trace_data(td));
+}
+
 std::string RemoteAgentServer::hello_bytes() const {
   wire::HelloMsg hello;
   hello.agent_name = agent_->name();
   hello.elements = agent_->element_ids();  // already ascending
+  hello.clock_ns = clock_ns();
   return wire::encode_message(wire::MessageKind::kHello,
                               wire::encode_hello(hello));
 }
@@ -96,8 +110,26 @@ void RemoteAgentServer::handle_connection(transport::Socket conn) {
         Result<wire::BatchRequestMsg> req =
             wire::decode_batch_request(msg.value().body);
         if (!req.ok()) return;
-        BatchResponse b =
-            agent_->query_batch(req.value().ids, req.value().now);
+        // A traced request (trace_id != 0) gets a serve span — span-clock
+        // timestamps, parented to the span id off the wire — and installs
+        // that span as the context the agent's own spans hang from.
+        const uint64_t trace_id = req.value().trace_id;
+        const int64_t serve_t0 = clock_ns();
+        const uint64_t serve_span =
+            trace_id != 0 ? next_span_id(span_domain_for(agent_->name())) : 0;
+        BatchResponse b;
+        {
+          ScopedTraceContext span_ctx(TraceContext{trace_id, serve_span});
+          b = agent_->query_batch(req.value().ids, req.value().now);
+        }
+        if (trace_id != 0) {
+          trace_recorder_.record_span(
+              ElementId{agent_->name() + "/serve"}, SimTime::nanos(serve_t0),
+              TraceEventKind::kSpanServerBatch,
+              Duration::nanos(clock_ns() - serve_t0), serve_span,
+              req.value().parent_span,
+              static_cast<double>(req.value().ids.size()), "batch");
+        }
         Result<std::string> bytes = wire::encode_batch(b);
         // The agent produced this response; if it cannot travel, that is a
         // programming error (oversize names never enter via add_element).
@@ -129,14 +161,33 @@ void RemoteAgentServer::handle_connection(transport::Socket conn) {
           return;  // kill the connection mid-frame: a torn stream
         }
         if (!conn.send_all(payload).is_ok()) return;
+        // Piggyback fast path: a traced request earns the drained rings
+        // right behind the batch.  Untraced requests get not one extra
+        // byte — the disabled-mode reply stays byte-identical.
+        if (trace_id != 0) {
+          if (!conn.send_all(trace_data_bytes()).is_ok()) return;
+        }
         break;
       }
       case wire::MessageKind::kSingleRequest: {
         Result<wire::SingleRequestMsg> req =
             wire::decode_single_request(msg.value().body);
         if (!req.ok()) return;
+        const uint64_t trace_id = req.value().trace_id;
+        const int64_t serve_t0 = clock_ns();
+        const uint64_t serve_span =
+            trace_id != 0 ? next_span_id(span_domain_for(agent_->name())) : 0;
         Result<QueryResponse> r = agent_->query_attrs(
             req.value().id, req.value().attrs, req.value().now);
+        if (trace_id != 0) {
+          // Recorded but not piggybacked: the single-response path stays
+          // lean, and the next harvest (or traced batch) ships it.
+          trace_recorder_.record_span(
+              ElementId{agent_->name() + "/serve"}, SimTime::nanos(serve_t0),
+              TraceEventKind::kSpanServerSingle,
+              Duration::nanos(clock_ns() - serve_t0), serve_span,
+              req.value().parent_span, 1.0, req.value().id.name);
+        }
         std::string reply;
         if (r.ok()) {
           Result<std::string> frame = wire::encode_frame(r.value());
@@ -156,6 +207,10 @@ void RemoteAgentServer::handle_connection(transport::Socket conn) {
       }
       case wire::MessageKind::kListElements: {
         if (!conn.send_all(hello_bytes()).is_ok()) return;
+        break;
+      }
+      case wire::MessageKind::kTraceHarvest: {
+        if (!conn.send_all(trace_data_bytes()).is_ok()) return;
         break;
       }
       default:
@@ -230,6 +285,49 @@ Status RemoteAgent::connect() {
   return connect_locked(SimTime());
 }
 
+int64_t RemoteAgent::clock_offset_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_offset_ns_;
+}
+
+Status RemoteAgent::read_trace_data_locked() {
+  Result<std::string> raw = transport::read_message_bytes(sock_, deadline_);
+  if (!raw.ok()) {
+    drop_connection_locked();
+    return raw.status();
+  }
+  Result<wire::Message> msg = wire::decode_message(raw.value());
+  if (!msg.ok() || msg.value().kind != wire::MessageKind::kTraceData) {
+    drop_connection_locked();  // stream framing is no longer trustworthy
+    return Status::unavailable("transport: expected trace data from " +
+                               ep_.to_string());
+  }
+  Result<wire::TraceDataMsg> td = wire::decode_trace_data(msg.value().body);
+  if (!td.ok()) {
+    drop_connection_locked();
+    return td.status();
+  }
+  TraceRecorder& g = TraceRecorder::global();
+  if (g.enabled() && !td.value().events.empty()) {
+    g.add_remote_lane(td.value().process, clock_offset_ns_,
+                      std::move(td.value().events));
+  }
+  return Status::ok();
+}
+
+Status RemoteAgent::harvest_trace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status st = ensure_connected_locked(SimTime());
+  if (!st.is_ok()) return st;
+  Status sent = sock_.send_all(
+      wire::encode_message(wire::MessageKind::kTraceHarvest, ""));
+  if (!sent.is_ok()) {
+    drop_connection_locked();
+    return sent;
+  }
+  return read_trace_data_locked();
+}
+
 void RemoteAgent::drop_connection_locked() { sock_.close(); }
 
 void RemoteAgent::note_connect_failure_locked() {
@@ -242,6 +340,11 @@ void RemoteAgent::note_connect_failure_locked() {
 }
 
 Status RemoteAgent::connect_locked(SimTime now) {
+  // Bracket the dial + hello with local span-clock samples: the server's
+  // clock_ns rode in the hello, so `remote - midpoint(c0, c1)` estimates
+  // the remote-minus-local clock offset (NTP's classic symmetric-delay
+  // assumption), good to about half the handshake round trip.
+  const int64_t c0 = transport::span_clock_ns();
   Result<transport::Socket> s = transport::connect(ep_, deadline_);
   if (!s.ok()) return s.status();
   transport::Socket sock = std::move(s).take();
@@ -259,6 +362,9 @@ Status RemoteAgent::connect_locked(SimTime now) {
         "transport: endpoint " + ep_.to_string() + " now serves agent '" +
         hello.value().agent_name + "', expected '" + name_ + "'");
   }
+
+  const int64_t c1 = transport::span_clock_ns();
+  clock_offset_ns_ = hello.value().clock_ns - (c0 + (c1 - c0) / 2);
 
   const bool first = name_.empty();
   name_ = hello.value().agent_name;
@@ -345,9 +451,14 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
   Status st = ensure_connected_locked(now);
   if (!st.is_ok()) return total_loss_locked(known, unknown);
 
+  // The caller's trace context rides the envelope; {0, 0} (untraced) keeps
+  // the request — and the server's reply — byte-identical to a build
+  // without tracing.
+  const TraceContext ctx = current_trace_context();
   const std::string request = wire::encode_message(
       wire::MessageKind::kBatchRequest,
-      wire::encode_batch_request({now, sorted}));
+      wire::encode_batch_request({now, sorted, ctx.trace_id, ctx.span_id}));
+  const int64_t trip_t0 = transport::span_clock_ns();
 
   // Queries are idempotent reads, so a connection that died *before any
   // reply byte arrived* earns exactly one reconnect + resend.  Once reply
@@ -383,6 +494,16 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
     // The common path: the batch crossed byte-identical; hand it through
     // untouched (responses, channel time, unknown count, degraded tally all
     // came off the wire).
+    if (ctx.active()) {
+      trace_span(transport_trace_id(), now, TraceEventKind::kSpanTransportTrip,
+                 Duration::nanos(transport::span_clock_ns() - trip_t0),
+                 next_span_id(), ctx.span_id,
+                 static_cast<double>(sorted.size()), name_);
+      // A traced request always has trace data piggybacked right behind the
+      // batch; pull it off the stream so the connection stays framed.  A
+      // loss here costs the lane (recoverable by harvest), not the batch.
+      read_trace_data_locked();
+    }
     return std::move(decoded).take();
   }
 
@@ -419,9 +540,11 @@ Result<QueryResponse> RemoteAgent::query_attrs(
     return query_failure_status(name_, id, 1, StatusCode::kUnavailable);
   }
 
+  const TraceContext ctx = current_trace_context();
   const std::string request = wire::encode_message(
       wire::MessageKind::kSingleRequest,
-      wire::encode_single_request({now, id, attrs}));
+      wire::encode_single_request(
+          {now, id, attrs, ctx.trace_id, ctx.span_id}));
 
   Result<std::string> raw = Status::unavailable("unsent");
   for (int attempt = 0;; ++attempt) {

@@ -33,6 +33,19 @@
 // the breaker opens — queries fast-fail to all-kMissing without paying a
 // dial timeout until `cooldown` (wall clock) expires and a half-open probe
 // reconnects.
+//
+// Tracing across the socket (trace.h): when the calling thread carries an
+// active TraceContext, the adapter stamps its trace id + parent span onto
+// the request envelope, records a client-side kSpanTransportTrip span, and
+// reads the server's piggybacked trace data after a clean batch reply.  The
+// server records a kSpanServerBatch/kSpanServerSingle span (span-clock
+// timestamps) into its own TraceRecorder for every traced request, parented
+// to the span id off the wire.  With no active context the request carries
+// trace_id 0 and the server's reply bytes are identical to an untraced
+// build — tracing never perturbs the differential contract.  The hello
+// handshake carries the server's span clock; the adapter brackets the
+// handshake with its own clock samples and keeps the midpoint offset
+// estimate that to_chrome_trace() uses to align harvested lanes.
 #pragma once
 
 #include <atomic>
@@ -48,6 +61,7 @@
 #include "common/status.h"
 #include "perfsight/agent.h"
 #include "perfsight/metrics.h"
+#include "perfsight/trace.h"
 #include "perfsight/transport.h"
 
 namespace perfsight {
@@ -58,7 +72,9 @@ class RemoteAgentServer {
  public:
   // Serves `agent` (not owned; must outlive the server) on `ep`.
   RemoteAgentServer(Agent* agent, transport::Endpoint ep)
-      : agent_(agent), ep_(std::move(ep)) {}
+      : agent_(agent), ep_(std::move(ep)) {
+    trace_recorder_.set_enabled(true);
+  }
   ~RemoteAgentServer() { stop(); }
   RemoteAgentServer(const RemoteAgentServer&) = delete;
   RemoteAgentServer& operator=(const RemoteAgentServer&) = delete;
@@ -75,6 +91,17 @@ class RemoteAgentServer {
     return batches_served_.load(std::memory_order_relaxed);
   }
 
+  // The server-side flight recorder: serve spans for traced requests land
+  // here and leave via harvest / piggyback.  Always enabled; it only fills
+  // when clients send traced requests.
+  TraceRecorder& trace_recorder() { return trace_recorder_; }
+
+  // Shifts this server's view of the span clock (tests: prove the client's
+  // hello-derived offset estimate really corrects skewed remote lanes).
+  void set_clock_skew_ns(int64_t skew_ns) {
+    clock_skew_ns_.store(skew_ns, std::memory_order_relaxed);
+  }
+
   // --- damage injection (tests) --------------------------------------------
   // Each arms the *next* batch reply, once.  Truncate sends only the first
   // `bytes` of the encoded batch and then kills the connection (a torn
@@ -89,6 +116,10 @@ class RemoteAgentServer {
   // Handles one connection until EOF, stop, or injected kill.
   void handle_connection(transport::Socket conn);
   std::string hello_bytes() const;
+  // This server's span clock: transport::span_clock_ns() plus the test skew.
+  int64_t clock_ns() const;
+  // PSM1 kTraceData message draining trace_recorder_.
+  std::string trace_data_bytes();
 
   Agent* agent_;
   transport::Endpoint ep_;
@@ -97,6 +128,8 @@ class RemoteAgentServer {
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> batches_served_{0};
+  TraceRecorder trace_recorder_;
+  std::atomic<int64_t> clock_skew_ns_{0};
 
   std::mutex inject_mu_;
   std::optional<size_t> truncate_next_;
@@ -139,6 +172,15 @@ class RemoteAgent : public AgentClient {
   // Creates the perfsight_transport_* counters (labeled by agent) in `m`.
   void set_metrics(MetricsRegistry* m);
 
+  // Pulls the server's drained trace rings into the *global* TraceRecorder
+  // as a remote lane (clock-offset attached).  The piggyback fast path makes
+  // this unnecessary after clean traced batches; harvest catches spans from
+  // single requests and from sweeps whose piggyback was lost.
+  Status harvest_trace();
+
+  // Remote span clock minus local, estimated at the last hello handshake.
+  int64_t clock_offset_ns() const;
+
   BreakerState breaker_state() const;
 
   struct TransportStats {
@@ -163,11 +205,16 @@ class RemoteAgent : public AgentClient {
   BatchResponse total_loss_locked(const std::vector<ElementId>& sorted_known,
                                   size_t unknown) const;
 
+  // Reads a piggybacked/harvested kTraceData message off the live socket
+  // and merges it into the global recorder as a remote lane.
+  Status read_trace_data_locked();
+
   transport::Endpoint ep_;
   transport::WallDuration deadline_{2000};
 
   mutable std::mutex mu_;
   transport::Socket sock_;
+  int64_t clock_offset_ns_ = 0;  // remote span clock minus local, per hello
   std::string name_;
   std::vector<ElementId> elements_;          // ascending, from the hello
   std::unordered_set<ElementId> element_set_;

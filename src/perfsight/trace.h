@@ -38,8 +38,20 @@
 // Export: to_chrome_trace() renders the merged, time-ordered event stream
 // as Chrome-trace/Perfetto JSON, so any scenario run can be opened in a
 // trace viewer (chrome://tracing, ui.perfetto.dev).
+//
+// Cross-process spans: on top of the point events, the collection path
+// records *span* events (span_id != 0, a duration, and a parent link):
+// a controller scatter span, one agent-batch span per fanned-out agent,
+// one channel-trip span per channel kind inside the batch, and — for
+// socket-backed agents — a transport round-trip span client-side plus a
+// serve span recorded in the remote process.  The trace context (trace id +
+// parent span id) crosses threads via ScopedTraceContext and crosses
+// processes on the PSM1 request envelope (wire.h); harvested remote rings
+// come back as RemoteLanes, exported as separate Perfetto processes with a
+// clock-offset correction negotiated in the hello handshake.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -86,6 +98,15 @@ enum class TraceEventKind {
   kTransportConnect,    // RemoteAgent dialed + completed the hello handshake
   kTransportReconnect,  // a dead connection was re-dialed (value = attempt#)
   kTransportDamaged,    // a batch arrived torn/short (value = frames lost)
+  // Cross-process span events (span_id != 0, dur set): the scatter →
+  // agent-batch → channel-trip hierarchy, plus the transport/server pair a
+  // socket boundary adds.  Rendered as "X" (complete) Chrome-trace events.
+  kSpanScatter,        // controller fan-out (value = elements requested)
+  kSpanAgentBatch,     // one agent's batch (value = elements in the batch)
+  kSpanChannelTrip,    // one channel kind's shared round trip
+  kSpanTransportTrip,  // client-side socket round trip (dur = wall time)
+  kSpanServerBatch,    // server-side batch serve (span-clock timestamps)
+  kSpanServerSingle,   // server-side single-attr serve
 };
 
 const char* to_string(TraceEventKind k);
@@ -96,16 +117,70 @@ struct TraceEvent {
   double value = 0;     // kind-specific magnitude (pkts, fraction, us, ...)
   std::string element;  // owning element name
   std::string detail;   // short human-readable annotation
+  // Span extension (zero for point events): a span covers [t, t + dur] and
+  // links to the span that caused it.  Parent links resolve across process
+  // boundaries — a harvested server span's parent is the controller scatter
+  // span whose id travelled on the request envelope.
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  Duration dur;
+
+  bool is_span() const { return span_id != 0; }
 };
+
+// --- trace context ----------------------------------------------------------
+// The causal context a span-recording site inherits: which trace it belongs
+// to and which span caused it.  Propagated across pool threads with
+// ScopedTraceContext (thread-local, so each fan-out worker carries its own)
+// and across processes on the PSM1 request envelope.
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no active trace: record no spans
+  uint64_t span_id = 0;   // the parent for spans recorded under this context
+  bool active() const { return trace_id != 0; }
+};
+
+// The calling thread's current context ({0, 0} when none is installed).
+TraceContext current_trace_context();
+
+// RAII install of a context on the current thread; restores the previous
+// one on destruction.  Set inside pool-worker lambdas: thread-locals do not
+// cross the fan-out boundary by themselves.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext();
+
+ private:
+  TraceContext prev_;
+};
+
+// Allocates a process-unique span id: (domain << 48) | counter.  The domain
+// disambiguates ids minted by different processes (a remote agent server
+// derives its domain from its agent name) so harvested spans never collide
+// with controller-side ones.
+uint64_t next_span_id(uint16_t domain = 0);
+// Domain for an agent process, derived from its name (never 0 — domain 0 is
+// the controller's).
+uint16_t span_domain_for(std::string_view process_name);
 
 // Fixed-capacity event ring for one element.  Overwrites the oldest event
 // when full; `dropped_events` counts the overwritten ones.
+//
+// push() is single-writer: callers that cache the ring pointer (the hotpath
+// bench) must push from one thread at a time; concurrent recording goes
+// through TraceRecorder::record(), which serializes under the recorder
+// lock.  Debug builds enforce the contract with an entry guard that aborts
+// on a concurrent push instead of silently tearing a slot.
 class TraceRing {
  public:
   TraceRing(std::string element, size_t capacity);
 
   void push(SimTime t, TraceEventKind kind, double value,
-            std::string_view detail);
+            std::string_view detail, uint64_t span_id = 0,
+            uint64_t parent_span = 0, Duration dur = Duration());
 
   size_t size() const { return count_; }
   size_t capacity() const { return buf_.size(); }
@@ -122,6 +197,11 @@ class TraceRing {
   size_t next_ = 0;   // slot the next push writes
   size_t count_ = 0;  // live events (<= capacity)
   uint64_t total_ = 0;
+#ifndef NDEBUG
+  // Debug-only single-writer guard: slots hold std::strings, so a lock-free
+  // concurrent push cannot be made safe — catch the misuse instead.
+  std::atomic<bool> in_push_{false};
+#endif
 };
 
 class TraceRecorder {
@@ -149,6 +229,11 @@ class TraceRecorder {
   void record(const ElementId& id, SimTime t, TraceEventKind kind,
               double value = 0, std::string_view detail = {});
 
+  // Records one span event covering [t, t + dur] (no-op while disabled).
+  void record_span(const ElementId& id, SimTime t, TraceEventKind kind,
+                   Duration dur, uint64_t span_id, uint64_t parent_span,
+                   double value = 0, std::string_view detail = {});
+
   size_t ring_capacity() const { return ring_capacity_; }
   size_t num_rings() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -158,11 +243,45 @@ class TraceRecorder {
   uint64_t dropped_events() const;
   uint64_t total_events() const;
 
+  // Per-ring health, sorted by element name (the metrics exposition renders
+  // these so ring overwrites stop being silent).
+  struct RingStats {
+    std::string element;
+    size_t size = 0;
+    size_t capacity = 0;
+    uint64_t total_events = 0;
+    uint64_t dropped_events = 0;
+  };
+  std::vector<RingStats> ring_stats() const;
+
   // Merged event stream, ordered by timestamp (ties broken by element).
   std::vector<TraceEvent> events() const;
   std::vector<TraceEvent> events_for(const ElementId& id) const;
 
+  // Merged event stream, then clears the rings: what a trace harvest ships.
+  // Each event leaves the recorder exactly once, so repeated harvests (or
+  // the piggyback-on-reply fast path) never duplicate remote spans.
+  std::vector<TraceEvent> drain();
+
   void clear();
+
+  // --- harvested remote rings ----------------------------------------------
+  // Events shipped back from another process's recorder.  They keep that
+  // process's span clock; `clock_offset_ns` (remote minus local, estimated
+  // from the hello handshake) is subtracted at export so all lanes share
+  // the local clock.  Lanes merge by process name across repeated harvests.
+  struct RemoteLane {
+    std::string process;
+    int64_t clock_offset_ns = 0;
+    std::vector<TraceEvent> events;
+  };
+  void add_remote_lane(const std::string& process, int64_t clock_offset_ns,
+                       std::vector<TraceEvent> events);
+  std::vector<RemoteLane> remote_lanes() const;
+  size_t num_remote_lanes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return remote_lanes_.size();
+  }
 
   // The process-wide recorder the instrumentation hooks talk to.  Disabled
   // by default; install() swaps in a caller-owned recorder (tests, tools)
@@ -181,6 +300,7 @@ class TraceRecorder {
   // the same lock, so snapshots are consistent.
   mutable std::mutex mu_;
   std::unordered_map<ElementId, std::unique_ptr<TraceRing>> rings_;
+  std::vector<RemoteLane> remote_lanes_;
 };
 
 // RAII install+enable of a recorder (tests and tools).
@@ -224,6 +344,15 @@ inline void trace_event_now(const ElementId& id, TraceEventKind kind,
   g.record(id, g.now(), kind, value, detail);
 }
 
+// Records a span event covering [t, t + dur].
+inline void trace_span(const ElementId& id, SimTime t, TraceEventKind kind,
+                       Duration dur, uint64_t span_id, uint64_t parent_span,
+                       double value = 0, std::string_view detail = {}) {
+  TraceRecorder& g = TraceRecorder::global();
+  if (!g.enabled()) return;
+  g.record_span(id, t, kind, dur, span_id, parent_span, value, detail);
+}
+
 // Drop with the rule book's cause taxonomy attached: the detail names the
 // candidate resources whose shortage manifests at this element kind
 // (Table 1), so the flight recorder explains drops, not just counts them.
@@ -234,6 +363,13 @@ void trace_drop(const ElementId& id, ElementKind kind, uint64_t pkts);
 // Chrome-trace / Perfetto JSON ("object format"): instant events with
 // microsecond timestamps, one virtual thread per element, thread_name
 // metadata so viewers show element names.  Timestamps are sorted.
+//
+// Span events render as complete ("X") events with their duration and carry
+// span_id / parent_span in args, so a viewer (or the fleet-tracing tests)
+// can resolve the scatter → batch → serve causality chain.  Harvested
+// remote lanes render as additional Perfetto processes (pid 2, 3, ... in
+// process-name order, with process_name metadata), timestamps corrected by
+// each lane's clock offset and sorted within the lane.
 std::string to_chrome_trace(const TraceRecorder& recorder);
 
 }  // namespace perfsight

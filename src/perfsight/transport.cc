@@ -19,6 +19,12 @@
 
 namespace perfsight::transport {
 
+int64_t span_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 namespace {
 
 // Remaining milliseconds until `until`, clamped to >= 0 for poll().

@@ -36,6 +36,13 @@ namespace perfsight::transport {
 using Clock = std::chrono::steady_clock;
 using WallDuration = std::chrono::milliseconds;
 
+// The span clock: monotonic wall nanoseconds since an arbitrary per-process
+// epoch.  Server-side trace spans are stamped with it, the hello handshake
+// samples it, and the client-side offset estimate maps one process's span
+// clock onto another's at trace export.  (Tests skew a *server's* view of
+// it via RemoteAgentServer::set_clock_skew_ns to prove the correction.)
+int64_t span_clock_ns();
+
 // Where a remote agent listens.  Spec strings:
 //   "tcp:<host>:<port>"   e.g. "tcp:127.0.0.1:7070"  (port 0 = ephemeral)
 //   "unix:<path>"         e.g. "unix:/tmp/perfsight-agent.sock"

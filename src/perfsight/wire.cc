@@ -326,6 +326,10 @@ const char* to_string(MessageKind k) {
       return "single_response";
     case MessageKind::kError:
       return "error";
+    case MessageKind::kTraceHarvest:
+      return "trace_harvest";
+    case MessageKind::kTraceData:
+      return "trace_data";
   }
   return "?";
 }
@@ -356,7 +360,7 @@ Result<Message> decode_message(std::string_view bytes, size_t* consumed) {
     return Status::invalid_argument("wire message bad magic");
   }
   if (kind < static_cast<uint8_t>(MessageKind::kHello) ||
-      kind > static_cast<uint8_t>(MessageKind::kError)) {
+      kind > static_cast<uint8_t>(MessageKind::kTraceData)) {
     return Status::invalid_argument("wire message unknown kind");
   }
   if (len > kMaxPayload || bytes.size() - at < len) {
@@ -377,6 +381,7 @@ std::string encode_hello(const HelloMsg& h) {
   std::string body;
   put_string(body, h.agent_name);
   put_id_list(body, h.elements);
+  put<int64_t>(body, h.clock_ns);
   return body;
 }
 
@@ -384,7 +389,8 @@ Result<HelloMsg> decode_hello(std::string_view body) {
   HelloMsg h;
   size_t at = 0;
   if (!get_string(body, at, &h.agent_name) ||
-      !decode_id_list(body, at, &h.elements) || at != body.size()) {
+      !decode_id_list(body, at, &h.elements) ||
+      !get(body, at, &h.clock_ns) || at != body.size()) {
     return Status::invalid_argument("wire hello structurally damaged");
   }
   return h;
@@ -394,6 +400,8 @@ std::string encode_batch_request(const BatchRequestMsg& r) {
   std::string body;
   put<int64_t>(body, r.now.ns());
   put_id_list(body, r.ids);
+  put<uint64_t>(body, r.trace_id);
+  put<uint64_t>(body, r.parent_span);
   return body;
 }
 
@@ -402,6 +410,7 @@ Result<BatchRequestMsg> decode_batch_request(std::string_view body) {
   size_t at = 0;
   int64_t now_ns = 0;
   if (!get(body, at, &now_ns) || !decode_id_list(body, at, &r.ids) ||
+      !get(body, at, &r.trace_id) || !get(body, at, &r.parent_span) ||
       at != body.size()) {
     return Status::invalid_argument("wire batch request structurally damaged");
   }
@@ -415,6 +424,8 @@ std::string encode_single_request(const SingleRequestMsg& r) {
   put_string(body, r.id.name);
   put<uint32_t>(body, static_cast<uint32_t>(r.attrs.size()));
   for (const std::string& a : r.attrs) put_string(body, a);
+  put<uint64_t>(body, r.trace_id);
+  put<uint64_t>(body, r.parent_span);
   return body;
 }
 
@@ -442,10 +453,78 @@ Result<SingleRequestMsg> decode_single_request(std::string_view body) {
     }
     r.attrs.push_back(std::move(a));
   }
-  if (at != body.size()) {
+  if (!get(body, at, &r.trace_id) || !get(body, at, &r.parent_span) ||
+      at != body.size()) {
     return Status::invalid_argument("wire single request structurally damaged");
   }
   return r;
+}
+
+// --- trace data --------------------------------------------------------------
+// event := i64 t_ns | u8 kind | u64 value_bits | u64 span_id |
+//          u64 parent_span | i64 dur_ns | u16-str element | u16-str detail
+
+namespace {
+// Fixed-width portion of an encoded event: its two strings may be empty but
+// each still costs a 2-byte length prefix.  Caps what a corrupted count can
+// make the decoder reserve.
+constexpr size_t kMinEventSize = 8 + 1 + 8 + 8 + 8 + 8 + 2 + 2;
+}  // namespace
+
+std::string encode_trace_data(const TraceDataMsg& t) {
+  std::string body;
+  put_string(body, t.process);
+  put<uint32_t>(body, static_cast<uint32_t>(t.events.size()));
+  for (const TraceEvent& e : t.events) {
+    put<int64_t>(body, e.t.ns());
+    put<uint8_t>(body, static_cast<uint8_t>(e.kind));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(e.value));
+    std::memcpy(&bits, &e.value, sizeof(bits));
+    put(body, bits);
+    put<uint64_t>(body, e.span_id);
+    put<uint64_t>(body, e.parent_span);
+    put<int64_t>(body, e.dur.ns());
+    put_string(body, e.element);
+    put_string(body, e.detail);
+  }
+  return body;
+}
+
+Result<TraceDataMsg> decode_trace_data(std::string_view body) {
+  TraceDataMsg t;
+  size_t at = 0;
+  uint32_t count = 0;
+  if (!get_string(body, at, &t.process) || !get(body, at, &count)) {
+    return Status::invalid_argument("wire trace data structurally damaged");
+  }
+  if (count > (body.size() - at) / kMinEventSize + 1) {
+    return Status::invalid_argument("wire trace data structurally damaged");
+  }
+  t.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TraceEvent e;
+    int64_t t_ns = 0, dur_ns = 0;
+    uint8_t kind = 0;
+    uint64_t bits = 0;
+    if (!get(body, at, &t_ns) || !get(body, at, &kind) ||
+        !get(body, at, &bits) || !get(body, at, &e.span_id) ||
+        !get(body, at, &e.parent_span) || !get(body, at, &dur_ns) ||
+        !get_string(body, at, &e.element) ||
+        !get_string(body, at, &e.detail) ||
+        kind > static_cast<uint8_t>(TraceEventKind::kSpanServerSingle)) {
+      return Status::invalid_argument("wire trace data structurally damaged");
+    }
+    e.t = SimTime::nanos(t_ns);
+    e.kind = static_cast<TraceEventKind>(kind);
+    std::memcpy(&e.value, &bits, sizeof(bits));
+    e.dur = Duration::nanos(dur_ns);
+    t.events.push_back(std::move(e));
+  }
+  if (at != body.size()) {
+    return Status::invalid_argument("wire trace data structurally damaged");
+  }
+  return t;
 }
 
 std::string encode_error(const ErrorMsg& e) {

@@ -46,6 +46,7 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "perfsight/agent.h"
+#include "perfsight/trace.h"
 
 namespace perfsight::wire {
 
@@ -127,6 +128,9 @@ enum class MessageKind : uint8_t {
   kListElements = 4,    // client → server: re-fetch the hello element set
   kSingleResponse = 5,  // server → client: one PSB1 frame (success)
   kError = 6,           // server → client: Status code + message
+  kTraceHarvest = 7,    // client → server: drain your trace rings to me
+  kTraceData = 8,       // server → client: drained spans (also piggybacked
+                        // after a batch reply when the request was traced)
 };
 
 const char* to_string(MessageKind k);
@@ -144,32 +148,55 @@ std::string encode_message(MessageKind kind, std::string_view body);
 Result<Message> decode_message(std::string_view bytes,
                                size_t* consumed = nullptr);
 
-// Connect-time handshake: which agent is on the far end and what it serves.
+// Connect-time handshake: which agent is on the far end and what it serves,
+// plus a sample of the server's span clock (monotonic wall nanoseconds) —
+// the client samples its own clock around the handshake and derives the
+// clock-offset estimate that aligns harvested trace timestamps.
 struct HelloMsg {
   std::string agent_name;
   std::vector<ElementId> elements;  // ascending element-id order
+  int64_t clock_ns = 0;             // server span clock at hello encode time
 };
 std::string encode_hello(const HelloMsg& h);
 Result<HelloMsg> decode_hello(std::string_view body);
 
 // query_batch over the wire: the requested ids plus the (simulated) query
 // timestamp, so the remote agent samples the same instant the controller
-// asked for.
+// asked for.  The trace context rides along: with trace_id != 0 the server
+// records a serve span whose parent is `parent_span` (the controller
+// scatter span) and piggybacks its drained rings after the batch reply;
+// with trace_id == 0 the reply is byte-identical to an untraced run.
 struct BatchRequestMsg {
   SimTime now;
   std::vector<ElementId> ids;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 std::string encode_batch_request(const BatchRequestMsg& r);
 Result<BatchRequestMsg> decode_batch_request(std::string_view body);
 
-// query_attrs over the wire (the single-element GetAttr path).
+// query_attrs over the wire (the single-element GetAttr path).  Carries the
+// same trace context as batch requests; the server records the serve span
+// (harvested later) but never piggybacks on the single-response path.
 struct SingleRequestMsg {
   SimTime now;
   ElementId id;
   std::vector<std::string> attrs;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 std::string encode_single_request(const SingleRequestMsg& r);
 Result<SingleRequestMsg> decode_single_request(std::string_view body);
+
+// Drained trace rings crossing the wire (kTraceData): the producing
+// process's name plus its events, timestamps still on that process's span
+// clock (the receiver applies its hello-derived clock offset at export).
+struct TraceDataMsg {
+  std::string process;
+  std::vector<TraceEvent> events;
+};
+std::string encode_trace_data(const TraceDataMsg& t);
+Result<TraceDataMsg> decode_trace_data(std::string_view body);
 
 // A Status carried verbatim, so remote failures reproduce the exact message
 // text the in-process path would have produced.

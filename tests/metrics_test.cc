@@ -59,6 +59,42 @@ TEST(MetricsRegistryTest, InstrumentsAreStableAndRendered) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, ExposesPerRingOccupancyWhenRingsExist) {
+  // No rings: the per-ring families stay out of the exposition entirely
+  // (keeps the no-trace scrape shape stable).
+  {
+    MetricsRegistry reg;
+    std::string text = reg.expose(SimTime::millis(0));
+    EXPECT_EQ(text.find("perfsight_trace_ring_events"), std::string::npos);
+  }
+
+  ScopedTraceRecorder tracing(/*ring_capacity=*/4);
+  for (int i = 0; i < 6; ++i) {  // 2 overwrites on "hot", none on "cold"
+    TraceRecorder::global().record(ElementId{"hot"}, SimTime::millis(i),
+                                   TraceEventKind::kDrop, i);
+  }
+  TraceRecorder::global().record(ElementId{"cold"}, SimTime::millis(0),
+                                 TraceEventKind::kDrop, 0);
+
+  MetricsRegistry reg;
+  std::string text = reg.expose(SimTime::millis(10));
+  EXPECT_NE(text.find("perfsight_trace_ring_events{element=\"hot\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("perfsight_trace_ring_capacity{element=\"hot\"} 4"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("perfsight_trace_ring_dropped_events_total{element=\"hot\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("perfsight_trace_ring_dropped_events_total{element=\"cold\"} 0"),
+      std::string::npos);
+  // The aggregate counters agree with the per-ring breakdown.
+  EXPECT_NE(text.find("perfsight_trace_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("perfsight_trace_dropped_events_total 2"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ScrapesAgentsAndChannelHistograms) {
   Agent agent("agent-m0");
   ElementStats stats;

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +23,7 @@
 
 #include "cluster/deployment.h"
 #include "common/threadpool.h"
+#include "perfsight/json_export.h"
 #include "perfsight/agent.h"
 #include "perfsight/alert.h"
 #include "perfsight/contention.h"
@@ -677,6 +681,177 @@ TEST(DeploymentRemoteTest, AddRemoteAgentWiresIntoTheControlPlane) {
   ASSERT_TRUE(got.ok()) << got.status().message();
   ASSERT_EQ(got.value().record.attrs.size(), 1u);
   EXPECT_EQ(got.value().record.attrs[0].value, 1234.0);
+}
+
+// Remote agents must feed the same element-stat exposition as in-process
+// ones: add_agent_client() scrapes over the socket, and the stat lines the
+// registry renders must be the ones an in-process registration would have
+// produced for the identical machine.
+TEST(TransportObservabilityTest, RemoteAgentMetricsMatchInProcessExposition) {
+  TransportRig local(1, 2, TransportRig::Mode::kInProcess);
+  TransportRig remote(1, 2, TransportRig::Mode::kTcp);
+
+  MetricsRegistry lreg, rreg;
+  lreg.add_agent(local.agent(0));
+  rreg.add_agent_client(remote.remote(0));
+  ASSERT_EQ(rreg.num_agent_clients(), 1u);
+
+  auto stat_lines = [](const std::string& exposed) {
+    std::vector<std::string> lines;
+    size_t at = 0;
+    while ((at = exposed.find("perfsight_element_stat{", at)) !=
+           std::string::npos) {
+      size_t end = exposed.find('\n', at);
+      lines.push_back(exposed.substr(at, end - at));
+      at = end;
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  const std::vector<std::string> want = stat_lines(lreg.expose(local.now_));
+  const std::vector<std::string> got = stat_lines(rreg.expose(remote.now_));
+  ASSERT_FALSE(want.empty());
+  EXPECT_EQ(got, want);
+}
+
+// --- fleet tracing -----------------------------------------------------------
+
+// The tentpole end-to-end: a traced scatter over two socket-backed agents
+// whose span clocks are skewed by seconds in opposite directions.  Every
+// harvested serve span must (a) parent to the controller's scatter span id
+// that travelled on the request envelope, and (b) come back to the local
+// clock once the hello-estimated offset is subtracted.
+TEST(FleetTracingTest, RemoteSpansResolveToScatterAcrossSkewedClocks) {
+  Agent agent_a("agent-a", 1);
+  Agent agent_b("agent-b", 2);
+  ScriptedSource a0("a/el0", ChannelKind::kProcFs);
+  ScriptedSource a1("a/el1", ChannelKind::kOvsChannel);
+  ScriptedSource b0("b/el0", ChannelKind::kMbSocket);
+  for (ScriptedSource* s : {&a0, &a1, &b0}) {
+    s->set_attrs({{attr::kRxPkts, 42.0}});
+  }
+  ASSERT_TRUE(agent_a.add_element(&a0).is_ok());
+  ASSERT_TRUE(agent_a.add_element(&a1).is_ok());
+  ASSERT_TRUE(agent_b.add_element(&b0).is_ok());
+
+  RemoteAgentServer sa(&agent_a, transport::Endpoint::tcp("127.0.0.1", 0));
+  RemoteAgentServer sb(&agent_b, transport::Endpoint::tcp("127.0.0.1", 0));
+  sa.set_clock_skew_ns(2'000'000'000);   // this machine runs 2 s ahead
+  sb.set_clock_skew_ns(-3'000'000'000);  // this one 3 s behind
+  ASSERT_TRUE(sa.start().is_ok());
+  ASSERT_TRUE(sb.start().is_ok());
+
+  ScopedTraceRecorder scoped;  // fleet tracing on for the whole test
+
+  RemoteAgent ra(sa.endpoint());
+  RemoteAgent rb(sb.endpoint());
+  const int64_t wall0 = transport::span_clock_ns();
+  ASSERT_TRUE(ra.connect().is_ok());
+  ASSERT_TRUE(rb.connect().is_ok());
+  // The hello handshake must have absorbed (nearly all of) the skew.
+  EXPECT_NEAR(static_cast<double>(ra.clock_offset_ns()), 2e9, 2e8);
+  EXPECT_NEAR(static_cast<double>(rb.clock_offset_ns()), -3e9, 2e8);
+
+  SimTime now;
+  Controller controller(
+      [&now](Duration d) {
+        now = now + d;
+        return now;
+      },
+      [&now] { return now; });
+  controller.set_batching(true);
+  controller.set_wire_loopback(false);
+  ThreadPool pool(2);
+  controller.set_pool(&pool);
+  const TenantId tenant{1};
+  controller.register_agent(&ra);
+  controller.register_agent(&rb);
+  ASSERT_TRUE(controller.register_element(tenant, a0.id(), &ra).is_ok());
+  ASSERT_TRUE(controller.register_element(tenant, a1.id(), &ra).is_ok());
+  ASSERT_TRUE(controller.register_element(tenant, b0.id(), &rb).is_ok());
+
+  auto got = controller.get_attr_many(tenant, {a0.id(), a1.id(), b0.id()},
+                                      {attr::kRxPkts});
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) ASSERT_TRUE(r.ok()) << r.status().message();
+
+  // The reply piggyback already shipped the serve spans; an explicit harvest
+  // must find the rings drained (exactly-once) or pick up any leftovers.
+  ASSERT_TRUE(ra.harvest_trace().is_ok());
+  ASSERT_TRUE(rb.harvest_trace().is_ok());
+  const int64_t wall1 = transport::span_clock_ns();
+
+  TraceRecorder& rec = scoped.recorder();
+  uint64_t scatter = 0;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind == TraceEventKind::kSpanScatter) scatter = e.span_id;
+  }
+  ASSERT_NE(scatter, 0u);
+
+  const std::vector<TraceRecorder::RemoteLane> lanes = rec.remote_lanes();
+  ASSERT_EQ(lanes.size(), 2u);
+  size_t serve_spans = 0;
+  for (const TraceRecorder::RemoteLane& lane : lanes) {
+    for (size_t i = 0; i < lane.events.size(); ++i) {
+      const TraceEvent& e = lane.events[i];
+      if (i > 0) {
+        EXPECT_GE(e.t.ns(), lane.events[i - 1].t.ns());  // monotone per lane
+      }
+      if (e.kind != TraceEventKind::kSpanServerBatch) continue;
+      ++serve_spans;
+      EXPECT_EQ(e.parent_span, scatter)
+          << lane.process << " serve span lost its scatter parent";
+      // Offset-corrected, the serve span lands inside this test's wall-clock
+      // window — seconds off if the skew were not being corrected.
+      const int64_t corrected = e.t.ns() - lane.clock_offset_ns;
+      EXPECT_GE(corrected, wall0 - 300'000'000);
+      EXPECT_LE(corrected, wall1 + 300'000'000);
+    }
+  }
+  EXPECT_EQ(serve_spans, 2u);  // one per agent batch
+
+  const std::string json = to_chrome_trace(rec);
+  ASSERT_TRUE(json::lint(json).is_ok()) << json::lint(json).message();
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("agent-a"), std::string::npos);
+  EXPECT_NE(json.find("agent-b"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span\":\"" + std::to_string(scatter) + "\""),
+            std::string::npos);
+
+  // CI artifact hook: when PERFSIGHT_TRACE_EXPORT names a path, leave the
+  // merged multi-process trace there for upload.
+  if (const char* path = std::getenv("PERFSIGHT_TRACE_EXPORT")) {
+    std::ofstream f(path);
+    f << json;
+    ASSERT_TRUE(f.good()) << "failed to write " << path;
+  }
+}
+
+// With no recorder installed, tracing must add zero bytes to the wire
+// conversation: trace_id 0 travels on the envelope and the server answers
+// with the payload alone.  The differential suite pins byte-identical
+// replies; here we pin that no piggyback message follows them.
+TEST(FleetTracingTest, DisabledTracingShipsNoTraceBytes) {
+  Agent agent("agent-q", 3);
+  ScriptedSource s0("q/el0", ChannelKind::kProcFs);
+  s0.set_attrs({{attr::kRxPkts, 7.0}});
+  ASSERT_TRUE(agent.add_element(&s0).is_ok());
+  RemoteAgentServer server(&agent, transport::Endpoint::tcp("127.0.0.1", 0));
+  ASSERT_TRUE(server.start().is_ok());
+
+  RemoteAgent remote(server.endpoint());
+  ASSERT_TRUE(remote.connect().is_ok());
+  BatchResponse b = remote.query_batch({s0.id()}, SimTime::millis(1));
+  ASSERT_EQ(b.responses.size(), 1u);
+  EXPECT_EQ(b.responses[0].quality, DataQuality::kFresh);
+
+  // The server recorded nothing traceable and shipped nothing: a harvest
+  // finds empty rings, and the global recorder gained no lanes.
+  ASSERT_TRUE(remote.harvest_trace().is_ok());
+  EXPECT_EQ(TraceRecorder::global().num_remote_lanes(), 0u);
+  RemoteAgent::TransportStats stats = remote.transport_stats();
+  EXPECT_EQ(stats.damaged, 0u);  // no stray bytes misparsed as payload
 }
 
 // --- TSan churn --------------------------------------------------------------

@@ -365,7 +365,8 @@ TEST(WireCodecTest, PrimitiveReadsGuardOffsetPastEnd) {
 // The PSM1 control-message envelope: round trip + damage refusal for every
 // message the transport speaks.
 TEST(WireMessageTest, ControlMessagesRoundTrip) {
-  wire::HelloMsg hello{"agent-7", {ElementId{"a"}, ElementId{"b/c"}}};
+  wire::HelloMsg hello{"agent-7", {ElementId{"a"}, ElementId{"b/c"}},
+                       987654321};
   std::string m = wire::encode_message(wire::MessageKind::kHello,
                                        wire::encode_hello(hello));
   size_t consumed = 0;
@@ -378,22 +379,30 @@ TEST(WireMessageTest, ControlMessagesRoundTrip) {
   EXPECT_EQ(h.value().agent_name, "agent-7");
   ASSERT_EQ(h.value().elements.size(), 2u);
   EXPECT_EQ(h.value().elements[1].name, "b/c");
+  EXPECT_EQ(h.value().clock_ns, 987654321);
 
   wire::BatchRequestMsg req{SimTime::millis(12),
-                            {ElementId{"x"}, ElementId{"y"}}};
+                            {ElementId{"x"}, ElementId{"y"}},
+                            /*trace_id=*/0xdeadbeefcafef00dULL,
+                            /*parent_span=*/42};
   Result<wire::BatchRequestMsg> r = wire::decode_batch_request(
       wire::encode_batch_request(req));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().now.ns(), SimTime::millis(12).ns());
   ASSERT_EQ(r.value().ids.size(), 2u);
+  EXPECT_EQ(r.value().trace_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.value().parent_span, 42u);
 
   wire::SingleRequestMsg sr{SimTime::micros(3), ElementId{"z"},
-                            {"rxPkts", "txPkts"}};
+                            {"rxPkts", "txPkts"},
+                            /*trace_id=*/7, /*parent_span=*/8};
   Result<wire::SingleRequestMsg> sd = wire::decode_single_request(
       wire::encode_single_request(sr));
   ASSERT_TRUE(sd.ok());
   EXPECT_EQ(sd.value().id.name, "z");
   ASSERT_EQ(sd.value().attrs.size(), 2u);
+  EXPECT_EQ(sd.value().trace_id, 7u);
+  EXPECT_EQ(sd.value().parent_span, 8u);
 
   wire::ErrorMsg err{StatusCode::kNotFound, "agent a: no element z"};
   Result<wire::ErrorMsg> ed = wire::decode_error(wire::encode_error(err));
@@ -409,6 +418,83 @@ TEST(WireMessageTest, ControlMessagesRoundTrip) {
   std::string flipped = m;
   flipped.back() = static_cast<char>(flipped.back() ^ 1);
   EXPECT_FALSE(wire::decode_message(flipped).ok());
+}
+
+// Harvested trace rings cross the wire losslessly — span links, durations,
+// value bits and both strings — and the decoder refuses structural damage.
+TEST(WireMessageTest, TraceDataRoundTripsAndRefusesDamage) {
+  wire::TraceDataMsg td;
+  td.process = "agent-7";
+  TraceEvent point;
+  point.t = SimTime::micros(5);
+  point.kind = TraceEventKind::kDrop;
+  point.value = 3.5;
+  point.element = "mbox0";
+  point.detail = "tail drop";
+  td.events.push_back(point);
+  TraceEvent span;
+  span.t = SimTime::micros(9);
+  span.kind = TraceEventKind::kSpanServerBatch;
+  span.value = 64;
+  span.element = "agent-7/serve";
+  span.detail = "batch";
+  span.span_id = (uint64_t(0x00a7) << 48) | 17;
+  span.parent_span = 3;
+  span.dur = Duration::micros(250);
+  td.events.push_back(span);
+
+  const std::string body = wire::encode_trace_data(td);
+  Result<wire::TraceDataMsg> got = wire::decode_trace_data(body);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().process, "agent-7");
+  ASSERT_EQ(got.value().events.size(), 2u);
+  const TraceEvent& p = got.value().events[0];
+  EXPECT_EQ(p.t.ns(), SimTime::micros(5).ns());
+  EXPECT_EQ(p.kind, TraceEventKind::kDrop);
+  EXPECT_EQ(p.value, 3.5);
+  EXPECT_EQ(p.element, "mbox0");
+  EXPECT_EQ(p.detail, "tail drop");
+  EXPECT_FALSE(p.is_span());
+  const TraceEvent& s = got.value().events[1];
+  EXPECT_EQ(s.span_id, span.span_id);
+  EXPECT_EQ(s.parent_span, 3u);
+  EXPECT_EQ(s.dur.ns(), Duration::micros(250).ns());
+  EXPECT_TRUE(s.is_span());
+
+  // An empty harvest is legal (nothing recorded since the last drain).
+  wire::TraceDataMsg empty;
+  empty.process = "agent-7";
+  Result<wire::TraceDataMsg> e =
+      wire::decode_trace_data(wire::encode_trace_data(empty));
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().events.empty());
+
+  // Damage: every strict prefix is refused, trailing bytes are refused, an
+  // out-of-range event kind is refused, and a corrupted event count cannot
+  // force a huge reserve.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(
+        wire::decode_trace_data(std::string_view(body.data(), cut)).ok());
+  }
+  EXPECT_FALSE(wire::decode_trace_data(body + "x").ok());
+  std::string bad_kind = body;
+  // kind byte of event 0 sits after process string + u32 count + i64 t.
+  const size_t kind_at = 2 + td.process.size() + 4 + 8;
+  bad_kind[kind_at] = static_cast<char>(0xee);
+  EXPECT_FALSE(wire::decode_trace_data(bad_kind).ok());
+  std::string bad_count = body;
+  const uint32_t huge = 0xfffffff0u;
+  std::memcpy(bad_count.data() + 2 + td.process.size(), &huge, sizeof(huge));
+  EXPECT_FALSE(wire::decode_trace_data(bad_count).ok());
+
+  // And the envelope accepts the two new kinds.
+  for (wire::MessageKind k : {wire::MessageKind::kTraceHarvest,
+                              wire::MessageKind::kTraceData}) {
+    Result<wire::Message> menv =
+        wire::decode_message(wire::encode_message(k, body));
+    ASSERT_TRUE(menv.ok());
+    EXPECT_EQ(menv.value().kind, k);
+  }
 }
 
 TEST(WireCodecTest, ChecksumIsFnv1a64) {

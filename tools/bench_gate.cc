@@ -1,0 +1,139 @@
+// The perf-trajectory regression gate (ROADMAP: "BENCH_*.json emission ...
+// so the performance trajectory finally exists as data").
+//
+// Usage:  bench_gate <baseline.json> <BENCH_a.json> [<BENCH_b.json> ...]
+//
+// Each BENCH_<name>.json (written by bench::Reporter) carries a `gate`
+// section of deterministic metrics.  The baseline holds one object per
+// bench with the expected values.  A metric fails when it deviates from
+// its baseline by more than ±10% (exact-zero baselines require exact
+// zero).  Metrics present in a report but absent from the baseline are
+// reported as NEW and do not fail the gate — the baseline is updated by
+// pasting the printed values; metrics in the baseline but missing from
+// every report DO fail, so a silently-vanished bench cannot pass.
+//
+// Exit code: 0 all gates pass, 1 any regression / missing metric, 2 usage
+// or unreadable input.  No JSON library: the reports are our own flat
+// format, scanned with the same json::find_numbers the tests use.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perfsight/json_export.h"
+
+namespace {
+
+constexpr double kTolerance = 0.10;  // ±10%
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Extracts "key": <number> pairs from the `section` object of a flat
+// Reporter/baseline JSON document.
+std::map<std::string, double> section_metrics(const std::string& text,
+                                              const std::string& section) {
+  std::map<std::string, double> out;
+  size_t at = text.find("\"" + section + "\"");
+  if (at == std::string::npos) return out;
+  at = text.find('{', at);
+  if (at == std::string::npos) return out;
+  const size_t end = text.find('}', at);
+  if (end == std::string::npos) return out;
+  std::string body = text.substr(at, end - at + 1);
+  // Keys are bare metric names; walk "name": value pairs.
+  size_t p = 0;
+  while ((p = body.find('"', p)) != std::string::npos) {
+    const size_t q = body.find('"', p + 1);
+    if (q == std::string::npos) break;
+    const std::string key = body.substr(p + 1, q - p - 1);
+    p = q + 1;
+    const std::vector<double> v = perfsight::json::find_numbers(body, key);
+    if (!v.empty()) out[key] = v.front();
+  }
+  return out;
+}
+
+std::string bench_name(const std::string& text) {
+  const std::string needle = "\"bench\":\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return {};
+  const size_t end = text.find('"', at + needle.size());
+  if (end == std::string::npos) return {};
+  return text.substr(at + needle.size(), end - at - needle.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: bench_gate <baseline.json> <BENCH_*.json>...\n");
+    return 2;
+  }
+  const std::string baseline_text = read_file(argv[1]);
+  if (baseline_text.empty()) {
+    std::fprintf(stderr, "bench_gate: cannot read baseline %s\n", argv[1]);
+    return 2;
+  }
+
+  bool fail = false;
+  std::map<std::string, bool> benches_seen;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string text = read_file(argv[i]);
+    if (text.empty()) {
+      std::fprintf(stderr, "bench_gate: cannot read report %s\n", argv[i]);
+      return 2;
+    }
+    const std::string name = bench_name(text);
+    if (name.empty()) {
+      std::fprintf(stderr, "bench_gate: %s has no \"bench\" field\n",
+                   argv[i]);
+      return 2;
+    }
+    benches_seen[name] = true;
+
+    // The baseline nests per-bench objects: {"<name>": {"metric": v, ...}}.
+    const std::map<std::string, double> expected =
+        section_metrics(baseline_text, name);
+    const std::map<std::string, double> got = section_metrics(text, "gate");
+
+    for (const auto& [metric, value] : got) {
+      auto it = expected.find(metric);
+      if (it == expected.end()) {
+        std::printf("GATE NEW   %s/%s = %.6g (not in baseline)\n",
+                    name.c_str(), metric.c_str(), value);
+        continue;
+      }
+      const double base = it->second;
+      const bool ok = base == 0.0
+                          ? value == 0.0
+                          : std::abs(value - base) <= kTolerance *
+                                std::abs(base);
+      std::printf("GATE %s %s/%s = %.6g (baseline %.6g, %+.2f%%)\n",
+                  ok ? "PASS " : "FAIL ", name.c_str(), metric.c_str(),
+                  value, base,
+                  base != 0.0 ? (value - base) / base * 100.0 : 0.0);
+      if (!ok) fail = true;
+    }
+    for (const auto& [metric, base] : expected) {
+      if (got.count(metric) == 0) {
+        std::printf("GATE FAIL  %s/%s missing from report (baseline %.6g)\n",
+                    name.c_str(), metric.c_str(), base);
+        fail = true;
+      }
+    }
+  }
+
+  return fail ? 1 : 0;
+}
