@@ -1,16 +1,19 @@
-// Remote agent over a real socket: the controller side of PerfSight talking
-// to a per-server agent stub through the PSB1/PSM1 wire protocol.
+// Remote agents over a real socket: the controller side of PerfSight talking
+// to a per-server fleet stub through the PSB1/PSM1 wire protocol.
 //
-// One process plays both roles for the demo: an Agent with a few elements is
-// served by a RemoteAgentServer on a unix-domain socket, and the Deployment
-// dials it with add_remote_agent() — after which the controller cannot tell
-// it apart from an in-process agent.  The second half tears a batch mid-frame
-// to show the degradation contract: lost frames come back as kMissing blind
-// spots ("unavailable after 1 attempt(s)"), never as silent absence.  The
-// finale turns on fleet tracing: a traced query scatters with a trace context
-// on the envelope, the server's serve spans come back on the reply, and the
-// merged Chrome trace (controller + agent process lanes) lands in a file you
-// can open at ui.perfetto.dev.
+// One process plays both roles for the demo: two Agents — the machine's edge
+// dataplane and its middlebox chain — share a single RemoteAgentServer on a
+// unix-domain socket.  The server is one poll() event loop, so both agents
+// (and any number of controllers) multiplex through one serve thread; the
+// hello handshake advertises the roster, and Deployment::add_remote_agents
+// dials once and binds one adapter per fleet member.  After that the
+// controller cannot tell either apart from an in-process agent.  The second
+// half tears a batch mid-frame to show the degradation contract: lost frames
+// come back as kMissing blind spots ("unavailable after 1 attempt(s)"),
+// never as silent absence.  The finale turns on fleet tracing: a traced
+// query scatters with a trace context on the envelope, each agent's serve
+// spans come back on its replies under its own process lane, and the merged
+// Chrome trace lands in a file you can open at ui.perfetto.dev.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -57,40 +60,59 @@ class ConstSource : public StatsSource {
 }  // namespace
 
 int main() {
-  // --- the agent's machine: elements + serve loop --------------------------
-  Agent agent("edge-0", /*seed=*/1);
+  // --- the agents' machine: two agents, one serve loop ---------------------
+  Agent edge("edge-0", /*seed=*/1);
   ConstSource tun{ElementId{"edge-0/vm0/tun"}, 125000, 40};
   ConstSource vnic{ElementId{"edge-0/vm0/vnic"}, 124960, 0};
   ConstSource pnic{ElementId{"edge-0/pnic"}, 250000, 2};
   for (ConstSource* s : {&tun, &vnic, &pnic}) {
-    PS_CHECK(agent.add_element(s).is_ok());
+    PS_CHECK(edge.add_element(s).is_ok());
+  }
+
+  Agent chain("chain-0", /*seed=*/2);
+  ConstSource lb{ElementId{"chain-0/lb"}, 80000, 0};
+  ConstSource nfs{ElementId{"chain-0/nfs"}, 79800, 120};
+  for (ConstSource* s : {&lb, &nfs}) {
+    PS_CHECK(chain.add_element(s).is_ok());
   }
 
   const std::string sock_path =
       "/tmp/perfsight-remote-agent-" + std::to_string(::getpid()) + ".sock";
-  RemoteAgentServer server(&agent,
+  RemoteAgentServer server({&edge, &chain},
                            transport::Endpoint::unix_path(sock_path));
   PS_CHECK(server.start().is_ok());
-  std::printf("agent 'edge-0' serving %zu elements on %s\n",
-              agent.element_ids().size(),
+  std::printf("fleet of 2 agents (%zu + %zu elements) serving on %s\n",
+              edge.element_ids().size(), chain.element_ids().size(),
               server.endpoint().to_string().c_str());
 
-  // --- the operator's controller: dial and query ---------------------------
+  // --- the operator's controller: one dial binds the whole roster ----------
   sim::Simulator sim(Duration::millis(1));
   cluster::Deployment dep(&sim);
-  Result<RemoteAgent*> remote =
-      dep.add_remote_agent(server.endpoint().to_string());
-  PS_CHECK(remote.ok());
+  Result<std::vector<RemoteAgent*>> fleet =
+      dep.add_remote_agents(server.endpoint().to_string());
+  PS_CHECK(fleet.ok());
+  RemoteAgent* redge = fleet.value()[0];   // roster order = server order
+  RemoteAgent* rchain = fleet.value()[1];
+  std::printf("roster bound: '%s' and '%s'\n", redge->name().c_str(),
+              rchain->name().c_str());
+
   const TenantId tenant{1};
-  std::vector<ElementId> ids;
+  std::vector<ElementId> edge_ids, all_ids;
   for (ConstSource* s : {&tun, &vnic, &pnic}) {
-    PS_CHECK(dep.assign_remote(tenant, s->id(), remote.value()).is_ok());
-    ids.push_back(s->id());
+    PS_CHECK(dep.assign_remote(tenant, s->id(), redge).is_ok());
+    edge_ids.push_back(s->id());
+    all_ids.push_back(s->id());
+  }
+  for (ConstSource* s : {&lb, &nfs}) {
+    PS_CHECK(dep.assign_remote(tenant, s->id(), rchain).is_ok());
+    all_ids.push_back(s->id());
   }
 
-  std::printf("\nGetAttr fan-in over the socket:\n");
+  // One scatter fans over both agents; both batches multiplex through the
+  // same socket endpoint and the same serve thread.
+  std::printf("\nGetAttr fan-in across the fleet:\n");
   for (const auto& r : dep.controller()->get_attr_many(
-           tenant, ids, {attr::kRxPkts, attr::kDropPkts})) {
+           tenant, all_ids, {attr::kRxPkts, attr::kDropPkts})) {
     if (r.ok()) {
       std::printf("  %s\n", to_wire(r.value().record).c_str());
     } else {
@@ -100,7 +122,7 @@ int main() {
 
   // --- a torn stream: lost frames become blind spots -----------------------
   // Keep the header and the first frame; kill the connection mid-batch.
-  BatchResponse probe = remote.value()->query_batch(ids, sim.now());
+  BatchResponse probe = redge->query_batch(edge_ids, sim.now());
   Result<std::string> f0 = wire::encode_frame(probe.responses[0]);
   PS_CHECK(f0.ok());
   server.inject_truncate_next_batch(wire::kBatchHeaderSize +
@@ -108,7 +130,7 @@ int main() {
 
   std::printf("\nsame query over a torn connection:\n");
   for (const auto& r : dep.controller()->get_attr_many(
-           tenant, ids, {attr::kRxPkts, attr::kDropPkts})) {
+           tenant, all_ids, {attr::kRxPkts, attr::kDropPkts})) {
     if (r.ok()) {
       std::printf("  %s\n", to_wire(r.value().record).c_str());
     } else {
@@ -116,10 +138,10 @@ int main() {
     }
   }
 
-  RemoteAgent::TransportStats stats = remote.value()->transport_stats();
+  RemoteAgent::TransportStats stats = redge->transport_stats();
   std::printf(
-      "\ntransport: %llu connects, %llu reconnects, %llu batches, "
-      "%llu damaged\n",
+      "\ntransport (edge-0 adapter): %llu connects, %llu reconnects, "
+      "%llu batches, %llu damaged\n",
       static_cast<unsigned long long>(stats.connects),
       static_cast<unsigned long long>(stats.reconnects),
       static_cast<unsigned long long>(stats.batches),
@@ -127,15 +149,16 @@ int main() {
 
   // --- fleet tracing: one traced scatter, merged across processes ----------
   // Installing a recorder flips tracing on; the next query carries a trace
-  // context over the wire, the server spans piggyback on the reply, and an
-  // explicit harvest drains whatever is left in the agent's rings.
+  // context over the wire, each agent's serve spans piggyback on its own
+  // replies (lanes keyed by agent name), and an explicit harvest drains
+  // whatever is left in the server's rings.
   {
     ScopedTraceRecorder scoped;
     for (const auto& r : dep.controller()->get_attr_many(
-             tenant, ids, {attr::kRxPkts, attr::kDropPkts})) {
+             tenant, all_ids, {attr::kRxPkts, attr::kDropPkts})) {
       PS_CHECK(r.ok());
     }
-    PS_CHECK(remote.value()->harvest_trace().is_ok());
+    PS_CHECK(redge->harvest_trace().is_ok());
 
     TraceRecorder& rec = scoped.recorder();
     size_t serve_spans = 0;
@@ -148,7 +171,7 @@ int main() {
         "\nfleet tracing: %zu local events, %zu remote lane(s), "
         "%zu remote span(s), clock offset %+lld ns\n",
         rec.events().size(), rec.num_remote_lanes(), serve_spans,
-        static_cast<long long>(remote.value()->clock_offset_ns()));
+        static_cast<long long>(redge->clock_offset_ns()));
 
     const std::string path = "/tmp/perfsight-fleet-trace-" +
                              std::to_string(::getpid()) + ".json";

@@ -78,10 +78,15 @@ class Deployment {
   // controller.  The scatter-gather path then treats it exactly like an
   // in-process agent; transport loss degrades to kMissing blind spots.
   // The deployment-wide retry/breaker config drives its reconnect policy.
-  Result<RemoteAgent*> add_remote_agent(const std::string& endpoint_spec) {
+  // `agent_name` binds the adapter to that entry of a fleet server's
+  // roster; empty binds the primary (the only agent of a single-agent
+  // server) over the pre-roster protocol.
+  Result<RemoteAgent*> add_remote_agent(const std::string& endpoint_spec,
+                                        const std::string& agent_name = {}) {
     Result<transport::Endpoint> ep = transport::Endpoint::parse(endpoint_spec);
     if (!ep.ok()) return ep.status();
-    auto remote = std::make_unique<RemoteAgent>(std::move(ep).take());
+    auto remote =
+        std::make_unique<RemoteAgent>(std::move(ep).take(), agent_name);
     if (retry_set_) remote->set_retry_policy(retry_);
     if (breaker_set_) remote->set_breaker_config(breaker_);
     Status st = remote->connect();
@@ -91,6 +96,47 @@ class Deployment {
     remote_agents_.push_back(std::move(remote));
     controller_.register_agent(r);
     return r;
+  }
+
+  // Fleet form: dials `endpoint_spec` once unbound to learn the server's
+  // roster, then binds one adapter per hosted agent (each with its own
+  // connection into the server's event loop) and registers them all.
+  // Returned pointers follow roster order (primary first).  Fails without
+  // registering anything if any dial fails.
+  Result<std::vector<RemoteAgent*>> add_remote_agents(
+      const std::string& endpoint_spec) {
+    Result<transport::Endpoint> ep = transport::Endpoint::parse(endpoint_spec);
+    if (!ep.ok()) return ep.status();
+    // A scout connection reads the roster off the hello; it binds the
+    // primary, so it is kept as the primary's adapter rather than redialed.
+    auto scout = std::make_unique<RemoteAgent>(ep.value());
+    if (retry_set_) scout->set_retry_policy(retry_);
+    if (breaker_set_) scout->set_breaker_config(breaker_);
+    Status st = scout->connect();
+    if (!st.is_ok()) return st;
+    const std::vector<std::string> roster = scout->roster_names();
+
+    std::vector<std::unique_ptr<RemoteAgent>> pending;
+    pending.push_back(std::move(scout));
+    for (size_t i = 1; i < roster.size(); ++i) {
+      auto remote = std::make_unique<RemoteAgent>(ep.value(), roster[i]);
+      if (retry_set_) remote->set_retry_policy(retry_);
+      if (breaker_set_) remote->set_breaker_config(breaker_);
+      Status dial = remote->connect();
+      if (!dial.is_ok()) return dial;  // nothing registered yet: clean fail
+      pending.push_back(std::move(remote));
+    }
+
+    std::vector<RemoteAgent*> out;
+    out.reserve(pending.size());
+    for (auto& remote : pending) {
+      remote->set_metrics(&metrics_);
+      RemoteAgent* r = remote.get();
+      remote_agents_.push_back(std::move(remote));
+      controller_.register_agent(r);
+      out.push_back(r);
+    }
+    return out;
   }
 
   // Maps a tenant's element to a socket-backed agent (the remote mirror of

@@ -1,7 +1,11 @@
 #include "perfsight/remote_agent.h"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "perfsight/trace.h"
@@ -18,8 +22,19 @@ const ElementId& transport_trace_id() {
   return kId;
 }
 
-// The serve loop wakes this often to notice stop().
-constexpr transport::WallDuration kServePoll{200};
+// The event loop's poll() timeout: how promptly stop(), accept backoff
+// expiry and per-connection I/O deadlines are noticed.
+constexpr int kServePollMs = 200;
+
+// Accept-error backoff bounds: a persistent accept failure (EMFILE, ...)
+// must not hot-spin the serve thread, but recovery after the condition
+// clears should be prompt.
+constexpr int kAcceptBackoffMinMs = 10;
+constexpr int kAcceptBackoffMaxMs = 1000;
+
+// Compact a partially-drained write queue once the sent prefix crosses
+// this, so a long-lived pipelining connection cannot grow it unboundedly.
+constexpr size_t kWriteCompactBytes = 64 * 1024;
 
 std::chrono::nanoseconds to_wall(Duration d) {
   return std::chrono::nanoseconds(d.ns());
@@ -28,6 +43,27 @@ std::chrono::nanoseconds to_wall(Duration d) {
 }  // namespace
 
 // --- RemoteAgentServer -------------------------------------------------------
+
+RemoteAgentServer::RemoteAgentServer(std::vector<Agent*> agents,
+                                     transport::Endpoint ep)
+    : agents_(std::move(agents)), ep_(std::move(ep)) {
+  PS_CHECK(!agents_.empty());
+  for (Agent* a : agents_) PS_CHECK(a != nullptr);
+  trace_recorder_.set_enabled(true);
+}
+
+void RemoteAgentServer::set_metrics(MetricsRegistry* m) {
+  PS_CHECK(!running_);  // the serve thread reads the pointer unlocked
+  if (m == nullptr) {
+    m_accept_errors_ = nullptr;
+    return;
+  }
+  m_accept_errors_ = &m->counter(
+      "perfsight_transport_accept_errors_total",
+      "Listener accept failures that were real errors (EMFILE, ...), each "
+      "backing the accept path off instead of hot-spinning",
+      "endpoint=\"" + prom_escape(ep_.to_string()) + "\"");
+}
 
 Status RemoteAgentServer::start() {
   PS_CHECK(!thread_.joinable());
@@ -68,9 +104,9 @@ int64_t RemoteAgentServer::clock_ns() const {
          clock_skew_ns_.load(std::memory_order_relaxed);
 }
 
-std::string RemoteAgentServer::trace_data_bytes() {
+std::string RemoteAgentServer::trace_data_bytes(const std::string& process) {
   wire::TraceDataMsg td;
-  td.process = agent_->name();
+  td.process = process;
   td.events = trace_recorder_.drain();
   return wire::encode_message(wire::MessageKind::kTraceData,
                               wire::encode_trace_data(td));
@@ -78,145 +114,319 @@ std::string RemoteAgentServer::trace_data_bytes() {
 
 std::string RemoteAgentServer::hello_bytes() const {
   wire::HelloMsg hello;
-  hello.agent_name = agent_->name();
-  hello.elements = agent_->element_ids();  // already ascending
+  hello.agent_name = agents_.front()->name();
+  hello.elements = agents_.front()->element_ids();  // already ascending
   hello.clock_ns = clock_ns();
+  if (agents_.size() > 1) {
+    hello.roster.reserve(agents_.size());
+    for (Agent* a : agents_) {
+      hello.roster.push_back({a->name(), a->element_ids()});
+    }
+  }
   return wire::encode_message(wire::MessageKind::kHello,
                               wire::encode_hello(hello));
 }
 
+Agent* RemoteAgentServer::route(const std::string& agent) {
+  if (agent.empty()) return agents_.front();  // old request format: primary
+  for (Agent* a : agents_) {
+    if (a->name() == agent) return a;
+  }
+  return nullptr;
+}
+
+// One pollfd set over listener + every live connection; everything below
+// runs on the single serve thread, so connection state needs no locks.
 void RemoteAgentServer::serve() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  // Accept-error backoff: while a real accept failure is fresh, the
+  // listener fd sits out of the poll set until `accept_resume`.
+  transport::Clock::time_point accept_resume{};
+  int accept_backoff_ms = 0;
+
+  std::vector<struct pollfd> fds;
   while (!stop_) {
-    Result<transport::Socket> conn = listener_.accept(kServePoll);
-    if (!conn.ok()) continue;  // deadline tick or transient accept error
-    handle_connection(std::move(conn).take());
+    const bool accepting = transport::Clock::now() >= accept_resume;
+    fds.clear();
+    // fd -1 is legal and ignored by poll(): keeps index i+1 <-> conns[i].
+    fds.push_back({accepting ? listener_.fd() : -1, POLLIN, 0});
+    for (const auto& c : conns) {
+      short events = POLLIN;
+      if (c->woff < c->wbuf.size()) events |= POLLOUT;
+      fds.push_back({c->sock.fd(), events, 0});
+    }
+    ::poll(fds.data(), fds.size(), kServePollMs);
+    if (stop_) break;
+
+    // Service the existing connections first (indices still line up with
+    // the pollfd set built above), then reap, then accept.
+    const size_t served = conns.size();
+    const auto now = transport::Clock::now();
+    for (size_t i = 0; i < served; ++i) {
+      Conn& c = *conns[i];
+      const short re = fds[i + 1].revents;
+      if (re & POLLNVAL) {
+        c.dead = true;
+        continue;
+      }
+      // POLLHUP/POLLERR still go through the read path first: a half-closed
+      // peer may have final requests buffered; a vanished peer just gets
+      // reaped when the read reports EOF.
+      if (!c.dead && (re & (POLLIN | POLLHUP | POLLERR))) {
+        for (;;) {
+          Result<size_t> got = c.sock.read_some(&c.rbuf);
+          if (!got.ok()) {
+            c.dead = true;  // peer closed or hard socket error
+            break;
+          }
+          if (got.value() == 0) break;  // drained to EAGAIN
+        }
+        if (!c.dead && !drain_messages(c)) c.dead = true;
+        // Anchor the partial-read deadline at the first buffered byte: a
+        // peer trickling a message one byte per poll tick cannot hold the
+        // buffer open forever.
+        if (c.rbuf.empty()) {
+          c.read_since = transport::Clock::time_point{};
+        } else if (c.read_since == transport::Clock::time_point{}) {
+          c.read_since = now;
+        }
+      }
+      if (!c.dead && c.woff < c.wbuf.size() && !flush_writes(c)) c.dead = true;
+      if (!c.dead && c.close_after_flush && c.woff >= c.wbuf.size()) {
+        c.dead = true;  // injected torn stream fully flushed: cut it
+      }
+      if (!c.dead) {
+        // Per-connection I/O deadline: a stalled partial read or a write
+        // queue making no progress costs the connection, not the loop.
+        const auto zero = transport::Clock::time_point{};
+        if ((c.read_since != zero && now - c.read_since > io_deadline_) ||
+            (c.write_since != zero && now - c.write_since > io_deadline_)) {
+          c.dead = true;
+        }
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const std::unique_ptr<Conn>& c) {
+                                 return c->dead;
+                               }),
+                conns.end());
+
+    if (accepting && (fds[0].revents & POLLIN)) {
+      // Drain every pending connection; a zero deadline makes accept()
+      // report "nothing pending" as kDeadlineExceeded.
+      for (;;) {
+        Result<transport::Socket> a =
+            listener_.accept(transport::WallDuration(0));
+        if (!a.ok()) {
+          if (a.status().code() == StatusCode::kDeadlineExceeded) break;
+          // A real accept error (EMFILE, ...): count it and take the
+          // listener out of the poll set for a bounded backoff so the loop
+          // keeps serving live connections instead of hot-spinning.
+          accept_errors_.fetch_add(1, std::memory_order_relaxed);
+          if (m_accept_errors_ != nullptr) m_accept_errors_->increment();
+          accept_backoff_ms =
+              accept_backoff_ms == 0
+                  ? kAcceptBackoffMinMs
+                  : std::min(accept_backoff_ms * 2, kAcceptBackoffMaxMs);
+          accept_resume = transport::Clock::now() +
+                          std::chrono::milliseconds(accept_backoff_ms);
+          break;
+        }
+        accept_backoff_ms = 0;
+        auto c = std::make_unique<Conn>();
+        c->sock = std::move(a).take();
+        c->sock.set_nonblocking(true);
+        c->wbuf = hello_bytes();
+        if (flush_writes(*c)) conns.push_back(std::move(c));
+      }
+    }
+    live_connections_.store(conns.size(), std::memory_order_relaxed);
+  }
+  conns.clear();  // closes every socket
+  live_connections_.store(0, std::memory_order_relaxed);
+}
+
+// Parses and dispatches every complete PSM1 message buffered in c.rbuf,
+// leaving any trailing partial message in place for the next read.
+// Returns false when the connection must close (framing damage, protocol
+// confusion, or an injected fault).
+bool RemoteAgentServer::drain_messages(Conn& c) {
+  while (c.rbuf.size() >= wire::kMessagePrefixSize) {
+    // Validate the prefix before waiting on the body: bad magic or an
+    // oversize length means the stream is not (or no longer) PSM1, and
+    // waiting for more bytes could never repair it.
+    size_t at = 0;
+    uint32_t magic = 0;
+    uint8_t kind = 0;
+    uint32_t body_len = 0;
+    if (!wire::get_u32(c.rbuf, at, &magic) || magic != wire::kMessageMagic ||
+        !wire::get_u8(c.rbuf, at, &kind) ||
+        !wire::get_u32(c.rbuf, at, &body_len) ||
+        body_len > wire::kMaxPayload) {
+      return false;
+    }
+    const size_t total = wire::kMessagePrefixSize + body_len;
+    if (c.rbuf.size() < total) break;  // partial: wait for more bytes
+    Result<wire::Message> msg =
+        wire::decode_message(std::string_view(c.rbuf).substr(0, total));
+    if (!msg.ok()) return false;  // checksum failure: framing untrustworthy
+    const bool keep = handle_message(c, msg.value());
+    c.rbuf.erase(0, total);
+    if (!keep) return false;
+  }
+  return true;
+}
+
+// Dispatches one decoded control message, queueing any reply on c.wbuf.
+// Returns false to close the connection.  Dispatch is synchronous on the
+// serve thread — agent queries are in-memory reads, so one slow peer's
+// *socket* can stall nobody (writes queue), and query cost itself is the
+// same for every transport.
+bool RemoteAgentServer::handle_message(Conn& c, const wire::Message& msg) {
+  switch (msg.kind) {
+    case wire::MessageKind::kBatchRequest: {
+      Result<wire::BatchRequestMsg> req = wire::decode_batch_request(msg.body);
+      if (!req.ok()) return false;
+      // Fleet routing: an explicitly named agent must exist; the empty
+      // (pre-roster) form routes to the primary.  An unknown name closes
+      // the connection — bindings are validated at connect time, so this
+      // only happens when the server's agent set changed under the client,
+      // and a reconnect re-runs that validation.
+      Agent* agent = route(req.value().agent);
+      if (agent == nullptr) return false;
+      // A traced request (trace_id != 0) gets a serve span — span-clock
+      // timestamps, parented to the span id off the wire — and installs
+      // that span as the context the agent's own spans hang from.
+      const uint64_t trace_id = req.value().trace_id;
+      const int64_t serve_t0 = clock_ns();
+      const uint64_t serve_span =
+          trace_id != 0 ? next_span_id(span_domain_for(agent->name())) : 0;
+      BatchResponse b;
+      {
+        ScopedTraceContext span_ctx(TraceContext{trace_id, serve_span});
+        b = agent->query_batch(req.value().ids, req.value().now);
+      }
+      if (trace_id != 0) {
+        trace_recorder_.record_span(
+            ElementId{agent->name() + "/serve"}, SimTime::nanos(serve_t0),
+            TraceEventKind::kSpanServerBatch,
+            Duration::nanos(clock_ns() - serve_t0), serve_span,
+            req.value().parent_span,
+            static_cast<double>(req.value().ids.size()), "batch");
+      }
+      Result<std::string> bytes = wire::encode_batch(b);
+      // The agent produced this response; if it cannot travel, that is a
+      // programming error (oversize names never enter via add_element).
+      PS_CHECK(bytes.ok());
+      std::string payload = std::move(bytes).take();
+
+      // Consume any armed damage.
+      std::optional<size_t> truncate;
+      std::optional<size_t> corrupt;
+      bool drop = false;
+      {
+        std::lock_guard<std::mutex> lock(inject_mu_);
+        truncate = truncate_next_;
+        corrupt = corrupt_next_;
+        drop = drop_next_;
+        truncate_next_.reset();
+        corrupt_next_.reset();
+        drop_next_ = false;
+      }
+      batches_served_.fetch_add(1, std::memory_order_relaxed);
+      if (drop) return false;  // close without a reply
+      if (corrupt && !payload.empty()) {
+        payload[*corrupt % payload.size()] ^= 0x20;
+      }
+      if (truncate) {
+        // Queue the torn prefix, then cut the connection once it flushes:
+        // the peer observes a stream that dies mid-frame.
+        c.wbuf.append(payload, 0, std::min(*truncate, payload.size()));
+        c.close_after_flush = true;
+        return true;
+      }
+      c.wbuf += payload;
+      // Piggyback fast path: a traced request earns the drained rings
+      // right behind the batch.  Untraced requests get not one extra
+      // byte — the disabled-mode reply stays byte-identical.
+      if (trace_id != 0) c.wbuf += trace_data_bytes(agent->name());
+      return true;
+    }
+    case wire::MessageKind::kSingleRequest: {
+      Result<wire::SingleRequestMsg> req =
+          wire::decode_single_request(msg.body);
+      if (!req.ok()) return false;
+      Agent* agent = route(req.value().agent);
+      if (agent == nullptr) return false;
+      const uint64_t trace_id = req.value().trace_id;
+      const int64_t serve_t0 = clock_ns();
+      const uint64_t serve_span =
+          trace_id != 0 ? next_span_id(span_domain_for(agent->name())) : 0;
+      Result<QueryResponse> r = agent->query_attrs(
+          req.value().id, req.value().attrs, req.value().now);
+      if (trace_id != 0) {
+        // Recorded but not piggybacked: the single-response path stays
+        // lean, and the next harvest (or traced batch) ships it.
+        trace_recorder_.record_span(
+            ElementId{agent->name() + "/serve"}, SimTime::nanos(serve_t0),
+            TraceEventKind::kSpanServerSingle,
+            Duration::nanos(clock_ns() - serve_t0), serve_span,
+            req.value().parent_span, 1.0, req.value().id.name);
+      }
+      if (r.ok()) {
+        Result<std::string> frame = wire::encode_frame(r.value());
+        PS_CHECK(frame.ok());
+        c.wbuf += wire::encode_message(wire::MessageKind::kSingleResponse,
+                                       frame.value());
+      } else {
+        // The Status travels verbatim: the adapter re-raises the exact
+        // text the in-process path produced.
+        c.wbuf += wire::encode_message(
+            wire::MessageKind::kError,
+            wire::encode_error({r.status().code(), r.status().message()}));
+      }
+      return true;
+    }
+    case wire::MessageKind::kListElements:
+      c.wbuf += hello_bytes();
+      return true;
+    case wire::MessageKind::kTraceHarvest:
+      c.wbuf += trace_data_bytes(agents_.front()->name());
+      return true;
+    default:
+      return false;  // a client speaking server->client kinds is confused
   }
 }
 
-void RemoteAgentServer::handle_connection(transport::Socket conn) {
-  if (!conn.send_all(hello_bytes()).is_ok()) return;
-
-  while (!stop_) {
-    // Idle on readability first: a short-deadline read could consume and
-    // discard half a message prefix; this never touches the stream.
-    if (!transport::wait_readable(conn, kServePoll)) continue;
-    Result<std::string> raw = transport::read_message_bytes(conn, kServePoll);
-    if (!raw.ok()) return;  // peer closed, or the stream is not PSM1
-    Result<wire::Message> msg = wire::decode_message(raw.value());
-    if (!msg.ok()) return;  // checksum failure: framing is untrustworthy
-
-    switch (msg.value().kind) {
-      case wire::MessageKind::kBatchRequest: {
-        Result<wire::BatchRequestMsg> req =
-            wire::decode_batch_request(msg.value().body);
-        if (!req.ok()) return;
-        // A traced request (trace_id != 0) gets a serve span — span-clock
-        // timestamps, parented to the span id off the wire — and installs
-        // that span as the context the agent's own spans hang from.
-        const uint64_t trace_id = req.value().trace_id;
-        const int64_t serve_t0 = clock_ns();
-        const uint64_t serve_span =
-            trace_id != 0 ? next_span_id(span_domain_for(agent_->name())) : 0;
-        BatchResponse b;
-        {
-          ScopedTraceContext span_ctx(TraceContext{trace_id, serve_span});
-          b = agent_->query_batch(req.value().ids, req.value().now);
-        }
-        if (trace_id != 0) {
-          trace_recorder_.record_span(
-              ElementId{agent_->name() + "/serve"}, SimTime::nanos(serve_t0),
-              TraceEventKind::kSpanServerBatch,
-              Duration::nanos(clock_ns() - serve_t0), serve_span,
-              req.value().parent_span,
-              static_cast<double>(req.value().ids.size()), "batch");
-        }
-        Result<std::string> bytes = wire::encode_batch(b);
-        // The agent produced this response; if it cannot travel, that is a
-        // programming error (oversize names never enter via add_element).
-        PS_CHECK(bytes.ok());
-        std::string payload = std::move(bytes).take();
-
-        // Consume any armed damage.
-        std::optional<size_t> truncate;
-        std::optional<size_t> corrupt;
-        bool drop = false;
-        {
-          std::lock_guard<std::mutex> lock(inject_mu_);
-          truncate = truncate_next_;
-          corrupt = corrupt_next_;
-          drop = drop_next_;
-          truncate_next_.reset();
-          corrupt_next_.reset();
-          drop_next_ = false;
-        }
-        batches_served_.fetch_add(1, std::memory_order_relaxed);
-        if (drop) return;  // close without a reply
-        if (corrupt && !payload.empty()) {
-          payload[*corrupt % payload.size()] ^= 0x20;
-        }
-        if (truncate) {
-          conn.send_all(
-              std::string_view(payload).substr(0, std::min(*truncate,
-                                                           payload.size())));
-          return;  // kill the connection mid-frame: a torn stream
-        }
-        if (!conn.send_all(payload).is_ok()) return;
-        // Piggyback fast path: a traced request earns the drained rings
-        // right behind the batch.  Untraced requests get not one extra
-        // byte — the disabled-mode reply stays byte-identical.
-        if (trace_id != 0) {
-          if (!conn.send_all(trace_data_bytes()).is_ok()) return;
-        }
-        break;
-      }
-      case wire::MessageKind::kSingleRequest: {
-        Result<wire::SingleRequestMsg> req =
-            wire::decode_single_request(msg.value().body);
-        if (!req.ok()) return;
-        const uint64_t trace_id = req.value().trace_id;
-        const int64_t serve_t0 = clock_ns();
-        const uint64_t serve_span =
-            trace_id != 0 ? next_span_id(span_domain_for(agent_->name())) : 0;
-        Result<QueryResponse> r = agent_->query_attrs(
-            req.value().id, req.value().attrs, req.value().now);
-        if (trace_id != 0) {
-          // Recorded but not piggybacked: the single-response path stays
-          // lean, and the next harvest (or traced batch) ships it.
-          trace_recorder_.record_span(
-              ElementId{agent_->name() + "/serve"}, SimTime::nanos(serve_t0),
-              TraceEventKind::kSpanServerSingle,
-              Duration::nanos(clock_ns() - serve_t0), serve_span,
-              req.value().parent_span, 1.0, req.value().id.name);
-        }
-        std::string reply;
-        if (r.ok()) {
-          Result<std::string> frame = wire::encode_frame(r.value());
-          PS_CHECK(frame.ok());
-          reply = wire::encode_message(wire::MessageKind::kSingleResponse,
-                                       frame.value());
-        } else {
-          // The Status travels verbatim: the adapter re-raises the exact
-          // text the in-process path produced.
-          reply = wire::encode_message(
-              wire::MessageKind::kError,
-              wire::encode_error(
-                  {r.status().code(), r.status().message()}));
-        }
-        if (!conn.send_all(reply).is_ok()) return;
-        break;
-      }
-      case wire::MessageKind::kListElements: {
-        if (!conn.send_all(hello_bytes()).is_ok()) return;
-        break;
-      }
-      case wire::MessageKind::kTraceHarvest: {
-        if (!conn.send_all(trace_data_bytes()).is_ok()) return;
-        break;
-      }
-      default:
-        return;  // a client speaking server->client kinds is confused
+// Pushes queued bytes with nonblocking writes.  Returns false on a hard
+// socket error; EAGAIN leaves the remainder queued (poll will report
+// POLLOUT) and starts the write-stall clock.
+bool RemoteAgentServer::flush_writes(Conn& c) {
+  const size_t before = c.woff;
+  while (c.woff < c.wbuf.size()) {
+    Result<size_t> n =
+        c.sock.write_some(std::string_view(c.wbuf).substr(c.woff));
+    if (!n.ok()) return false;
+    if (n.value() == 0) break;  // socket buffer full
+    c.woff += n.value();
+  }
+  if (c.woff >= c.wbuf.size()) {
+    c.wbuf.clear();
+    c.woff = 0;
+    c.write_since = transport::Clock::time_point{};
+  } else {
+    // Still queued: the stall clock measures time since the last forward
+    // progress, so it re-arms on progress and on first arming — never on a
+    // tick that moved nothing (that would defeat the deadline).
+    if (c.woff != before || c.write_since == transport::Clock::time_point{}) {
+      c.write_since = transport::Clock::now();
+    }
+    if (c.woff >= kWriteCompactBytes) {
+      c.wbuf.erase(0, c.woff);
+      c.woff = 0;
     }
   }
+  return true;
 }
 
 // --- RemoteAgent -------------------------------------------------------------
@@ -235,6 +445,11 @@ bool RemoteAgent::has_element(const ElementId& id) const {
 std::vector<ElementId> RemoteAgent::element_ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   return elements_;
+}
+
+std::vector<std::string> RemoteAgent::roster_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roster_names_;
 }
 
 void RemoteAgent::set_retry_policy(RetryPolicy p) {
@@ -320,7 +535,7 @@ Status RemoteAgent::harvest_trace() {
   Status st = ensure_connected_locked(SimTime());
   if (!st.is_ok()) return st;
   Status sent = sock_.send_all(
-      wire::encode_message(wire::MessageKind::kTraceHarvest, ""));
+      wire::encode_message(wire::MessageKind::kTraceHarvest, ""), deadline_);
   if (!sent.is_ok()) {
     drop_connection_locked();
     return sent;
@@ -357,18 +572,57 @@ Status RemoteAgent::connect_locked(SimTime now) {
   }
   Result<wire::HelloMsg> hello = wire::decode_hello(msg.value().body);
   if (!hello.ok()) return hello.status();
-  if (!name_.empty() && hello.value().agent_name != name_) {
+  wire::HelloMsg h = std::move(hello).take();
+
+  // Resolve which roster entry this adapter is bound to.  Unbound (empty
+  // bind_) means the primary — the hello's base fields, exactly what a
+  // pre-roster client reads.  A named binding must exist on the far end;
+  // a miss is a config error, not a transient, so no retry is owed.
+  std::string selected_name = h.agent_name;
+  std::vector<ElementId> selected_elements = std::move(h.elements);
+  std::vector<std::string> roster;
+  if (h.roster.empty()) {
+    roster.push_back(h.agent_name);
+  } else {
+    roster.reserve(h.roster.size());
+    for (const wire::HelloMsg::AgentInfo& a : h.roster) {
+      roster.push_back(a.name);
+    }
+  }
+  if (!bind_.empty() && bind_ != selected_name) {
+    bool found = false;
+    for (wire::HelloMsg::AgentInfo& a : h.roster) {
+      if (a.name == bind_) {
+        selected_name = a.name;
+        selected_elements = std::move(a.elements);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string names;
+      for (const std::string& n : roster) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      return Status::failed_precondition(
+          "transport: endpoint " + ep_.to_string() + " does not host agent '" +
+          bind_ + "' (roster: " + names + ")");
+    }
+  }
+  if (!name_.empty() && selected_name != name_) {
     return Status::failed_precondition(
         "transport: endpoint " + ep_.to_string() + " now serves agent '" +
-        hello.value().agent_name + "', expected '" + name_ + "'");
+        selected_name + "', expected '" + name_ + "'");
   }
 
   const int64_t c1 = transport::span_clock_ns();
-  clock_offset_ns_ = hello.value().clock_ns - (c0 + (c1 - c0) / 2);
+  clock_offset_ns_ = h.clock_ns - (c0 + (c1 - c0) / 2);
 
   const bool first = name_.empty();
-  name_ = hello.value().agent_name;
-  elements_ = std::move(hello.value().elements);
+  name_ = selected_name;
+  roster_names_ = std::move(roster);
+  elements_ = std::move(selected_elements);
   element_set_.clear();
   element_set_.insert(elements_.begin(), elements_.end());
   sock_ = std::move(sock);
@@ -457,7 +711,8 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
   const TraceContext ctx = current_trace_context();
   const std::string request = wire::encode_message(
       wire::MessageKind::kBatchRequest,
-      wire::encode_batch_request({now, sorted, ctx.trace_id, ctx.span_id}));
+      wire::encode_batch_request(
+          {now, sorted, ctx.trace_id, ctx.span_id, bind_}));
   const int64_t trip_t0 = transport::span_clock_ns();
 
   // Queries are idempotent reads, so a connection that died *before any
@@ -466,7 +721,7 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
   // (resending could double modelled channel time and tear determinism).
   transport::BatchReadResult read;
   for (int attempt = 0;; ++attempt) {
-    Status sent = sock_.send_all(request);
+    Status sent = sock_.send_all(request, deadline_);
     if (sent.is_ok()) {
       read = transport::read_batch(sock_, deadline_);
       if (read.clean()) break;
@@ -544,11 +799,11 @@ Result<QueryResponse> RemoteAgent::query_attrs(
   const std::string request = wire::encode_message(
       wire::MessageKind::kSingleRequest,
       wire::encode_single_request(
-          {now, id, attrs, ctx.trace_id, ctx.span_id}));
+          {now, id, attrs, ctx.trace_id, ctx.span_id, bind_}));
 
   Result<std::string> raw = Status::unavailable("unsent");
   for (int attempt = 0;; ++attempt) {
-    Status sent = sock_.send_all(request);
+    Status sent = sock_.send_all(request, deadline_);
     if (sent.is_ok()) {
       raw = transport::read_message_bytes(sock_, deadline_);
       if (raw.ok()) break;

@@ -4,16 +4,24 @@
 //
 // Two halves:
 //
-//   RemoteAgentServer — the stub that runs next to an Agent on the agent's
-//   machine.  It listens on a transport::Endpoint, greets each connection
-//   with a hello (agent name + element ids), then answers PSM1-framed
-//   requests: a batch request becomes Agent::query_batch and streams back as
-//   raw PSB1 frames; a single request becomes Agent::query_attrs and comes
-//   back as one frame or a verbatim Status.
+//   RemoteAgentServer — the fleet server that runs on the agents' machine.
+//   One poll()-driven event-loop thread owns the listener plus every live
+//   connection, so many controllers can dial one host concurrently — no
+//   connection ever waits in the backlog behind another being served.  Each
+//   connection is a small state machine: hello queued on accept, request
+//   bytes accumulated nonblocking into a partial-read buffer until a whole
+//   PSM1 message lands, dispatch, replies drained through a per-connection
+//   write queue with deadline-bounded backpressure.  The server hosts MANY
+//   served agents: the hello advertises the roster, batch/single requests
+//   route by the agent name on their envelope, and requests without one
+//   (old clients) fall back to the primary (first-registered) agent.
 //
 //   RemoteAgent — the controller-side adapter.  It implements AgentClient
 //   over one connection to a server, so the controller's scatter-gather path
 //   (controller.cc) treats socket-backed and in-process agents identically.
+//   Constructed with an agent name it binds to that roster entry and stamps
+//   the name on every request; constructed bare it speaks the old
+//   single-agent protocol and gets the primary.
 //
 // The contract the differential suite (transport_test) holds this pair to:
 // on a clean stream, every byte of a BatchResponse — records, qualities,
@@ -66,15 +74,23 @@
 
 namespace perfsight {
 
+namespace wire {
+struct Message;  // wire.h; only referenced, never stored, in this header
+}
+
 // --- server stub -------------------------------------------------------------
 
 class RemoteAgentServer {
  public:
   // Serves `agent` (not owned; must outlive the server) on `ep`.
   RemoteAgentServer(Agent* agent, transport::Endpoint ep)
-      : agent_(agent), ep_(std::move(ep)) {
-    trace_recorder_.set_enabled(true);
-  }
+      : RemoteAgentServer(std::vector<Agent*>{agent}, std::move(ep)) {}
+
+  // Fleet form: one event-loop thread serves every agent in `agents`
+  // (none owned; all must outlive the server; at least one required).
+  // agents[0] is the primary — the one old-format requests route to and
+  // the one the hello's base fields describe.
+  RemoteAgentServer(std::vector<Agent*> agents, transport::Endpoint ep);
   ~RemoteAgentServer() { stop(); }
   RemoteAgentServer(const RemoteAgentServer&) = delete;
   RemoteAgentServer& operator=(const RemoteAgentServer&) = delete;
@@ -82,7 +98,8 @@ class RemoteAgentServer {
   // Binds + starts the serve thread.  After success, endpoint() carries the
   // resolved address (ephemeral tcp ports are filled in).
   Status start();
-  // Stops the serve thread and closes the listener.  Idempotent.
+  // Stops the serve thread, closes every live connection and the listener.
+  // Idempotent.
   void stop();
   bool running() const { return running_; }
   const transport::Endpoint& endpoint() const { return ep_; }
@@ -90,6 +107,25 @@ class RemoteAgentServer {
   uint64_t batches_served() const {
     return batches_served_.load(std::memory_order_relaxed);
   }
+  // Accept failures that were real errors (EMFILE, ENFILE, ...), not idle
+  // timeouts.  Each one also backs the accept path off exponentially so a
+  // persistent error cannot hot-spin the serve thread at 100% CPU.
+  uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+  // Live multiplexed connections (tests; racy by nature).
+  size_t live_connections() const {
+    return live_connections_.load(std::memory_order_relaxed);
+  }
+
+  // Per-connection I/O budget: a connection holding a partial request for
+  // longer than this, or failing to drain its reply queue for longer than
+  // this (backpressure), is closed.  Call before start().
+  void set_io_deadline(transport::WallDuration d) { io_deadline_ = d; }
+
+  // Creates perfsight_transport_accept_errors_total (labeled by endpoint)
+  // in `m`.  Call before start(); the serve thread reads the pointer.
+  void set_metrics(MetricsRegistry* m);
 
   // The server-side flight recorder: serve spans for traced requests land
   // here and leave via harvest / piggyback.  Always enabled; it only fills
@@ -112,22 +148,50 @@ class RemoteAgentServer {
   void inject_drop_next_reply();
 
  private:
+  // One multiplexed connection's state machine.  Owned exclusively by the
+  // serve thread; no locks.
+  struct Conn {
+    transport::Socket sock;
+    std::string rbuf;        // partial-read buffer: bytes toward a message
+    std::string wbuf;        // reply bytes awaiting the socket buffer
+    size_t woff = 0;         // bytes of wbuf already sent
+    bool close_after_flush = false;  // injected truncate: torn stream
+    bool dead = false;               // marked for reaping this tick
+    // Deadline anchors: when the current partial read / undrained write
+    // started.  time_point{} (epoch) = nothing pending.
+    transport::Clock::time_point read_since{};
+    transport::Clock::time_point write_since{};
+  };
+
   void serve();
-  // Handles one connection until EOF, stop, or injected kill.
-  void handle_connection(transport::Socket conn);
+  // Parses + dispatches every complete message in c.rbuf.  False when the
+  // connection must close (protocol damage, injected drop, dead peer).
+  bool drain_messages(Conn& c);
+  // Dispatches one decoded message; replies append to c.wbuf.  False = close.
+  bool handle_message(Conn& c, const wire::Message& msg);
+  // Flushes c.wbuf as far as the socket buffer allows.  False = dead peer
+  // or write deadline exceeded (backpressure bound).
+  bool flush_writes(Conn& c);
+  // Roster lookup: "" = primary, unknown name = nullptr.
+  Agent* route(const std::string& agent_name);
   std::string hello_bytes() const;
   // This server's span clock: transport::span_clock_ns() plus the test skew.
   int64_t clock_ns() const;
-  // PSM1 kTraceData message draining trace_recorder_.
-  std::string trace_data_bytes();
+  // PSM1 kTraceData message draining trace_recorder_, attributed to
+  // `process` (the routed agent's name).
+  std::string trace_data_bytes(const std::string& process);
 
-  Agent* agent_;
+  std::vector<Agent*> agents_;  // agents_[0] is the primary
   transport::Endpoint ep_;
   transport::Listener listener_;
+  transport::WallDuration io_deadline_{5000};
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> batches_served_{0};
+  std::atomic<uint64_t> accept_errors_{0};
+  std::atomic<size_t> live_connections_{0};
+  MetricsRegistry::CounterMetric* m_accept_errors_ = nullptr;
   TraceRecorder trace_recorder_;
   std::atomic<int64_t> clock_skew_ns_{0};
 
@@ -141,13 +205,24 @@ class RemoteAgentServer {
 
 class RemoteAgent : public AgentClient {
  public:
-  explicit RemoteAgent(transport::Endpoint ep) : ep_(std::move(ep)) {}
+  // Bare: binds to whatever single agent (or fleet primary) the endpoint's
+  // hello advertises — the pre-roster protocol, byte-identical on the wire.
+  // With `agent`: binds to that roster entry of a fleet server and stamps
+  // the name on every request so the event loop routes it.
+  explicit RemoteAgent(transport::Endpoint ep, std::string agent = {})
+      : ep_(std::move(ep)), bind_(std::move(agent)) {}
 
-  // Dials the server and completes the hello handshake, caching the remote
+  // Dials the server and completes the hello handshake, caching the bound
   // agent's name and element set.  Must succeed before the adapter is
   // registered with a controller (name()/has_element() answer from the
-  // cache).  Reconnects after that are automatic.
+  // cache).  Reconnects after that are automatic.  Fails with
+  // kFailedPrecondition when a bound name is missing from the roster.
   Status connect();
+
+  // Every agent the last hello advertised (primary first).  Lets a caller
+  // discover a fleet server's roster through one dialed adapter and bind
+  // further adapters by name (Deployment::add_remote_agents).
+  std::vector<std::string> roster_names() const;
 
   const std::string& name() const override;
   bool has_element(const ElementId& id) const override;
@@ -210,12 +285,14 @@ class RemoteAgent : public AgentClient {
   Status read_trace_data_locked();
 
   transport::Endpoint ep_;
+  std::string bind_;  // roster name to bind; empty = primary/single agent
   transport::WallDuration deadline_{2000};
 
   mutable std::mutex mu_;
   transport::Socket sock_;
   int64_t clock_offset_ns_ = 0;  // remote span clock minus local, per hello
   std::string name_;
+  std::vector<std::string> roster_names_;    // from the last hello
   std::vector<ElementId> elements_;          // ascending, from the hello
   std::unordered_set<ElementId> element_set_;
   RetryPolicy retry_;

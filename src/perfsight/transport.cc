@@ -28,7 +28,10 @@ int64_t span_clock_ns() {
 namespace {
 
 // Remaining milliseconds until `until`, clamped to >= 0 for poll().
+// time_point::max() is the "no deadline" sentinel (the subtraction would
+// overflow); it polls in hour-long slices.
 int remaining_ms(Clock::time_point until) {
+  if (until == Clock::time_point::max()) return 1000 * 60 * 60;
   auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
       until - Clock::now());
   if (left.count() <= 0) return 0;
@@ -49,7 +52,7 @@ bool poll_until(int fd, short events, Clock::time_point until) {
   }
 }
 
-void set_nonblocking(int fd, bool on) {
+void set_fd_nonblocking(int fd, bool on) {
   int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return;
   if (on) {
@@ -180,21 +183,42 @@ void Socket::close() {
   }
 }
 
+void Socket::set_nonblocking(bool on) {
+  if (fd_ >= 0) set_fd_nonblocking(fd_, on);
+}
+
 Status Socket::send_all(std::string_view bytes) {
+  return send_all_until(bytes, Clock::time_point::max());
+}
+
+Status Socket::send_all(std::string_view bytes, WallDuration deadline) {
+  return send_all_until(bytes, Clock::now() + deadline);
+}
+
+Status Socket::send_all_until(std::string_view bytes,
+                              Clock::time_point until) {
   if (fd_ < 0) return Status::unavailable("transport: send on closed socket");
   size_t off = 0;
   while (off < bytes.size()) {
+    // MSG_DONTWAIT: a blocking socket must not park us in the kernel past
+    // the deadline; EAGAIN routes through the deadline-aware poll below.
     ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
-                       MSG_NOSIGNAL);
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Blocking sockets rarely hit this; wait briefly for buffer space.
-      pollfd p{fd_, POLLOUT, 0};
-      ::poll(&p, 1, 100);
+      // The peer's receive window (or our send buffer) is full.  Wait for
+      // space, but only until the deadline: a peer that never drains must
+      // cost a bounded wait, not a wedged thread.
+      if (!poll_until(fd_, POLLOUT, until)) {
+        return Status::deadline_exceeded("transport: send deadline after " +
+                                         std::to_string(off) + "/" +
+                                         std::to_string(bytes.size()) +
+                                         " bytes");
+      }
       continue;
     }
     return errno_status("transport: send");
@@ -203,8 +227,12 @@ Status Socket::send_all(std::string_view bytes) {
 }
 
 Status Socket::recv_exact(size_t n, std::string* out, WallDuration deadline) {
+  return recv_exact_until(n, out, Clock::now() + deadline);
+}
+
+Status Socket::recv_exact_until(size_t n, std::string* out,
+                                Clock::time_point until) {
   if (fd_ < 0) return Status::unavailable("transport: recv on closed socket");
-  const Clock::time_point until = Clock::now() + deadline;
   size_t got = 0;
   char buf[4096];
   while (got < n) {
@@ -229,6 +257,34 @@ Status Socket::recv_exact(size_t n, std::string* out, WallDuration deadline) {
     return errno_status("transport: recv");
   }
   return Status::ok();
+}
+
+Result<size_t> Socket::read_some(std::string* out) {
+  if (fd_ < 0) return Status::unavailable("transport: recv on closed socket");
+  char buf[65536];
+  for (;;) {
+    ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      out->append(buf, static_cast<size_t>(r));
+      return static_cast<size_t>(r);
+    }
+    if (r == 0) return Status::unavailable("transport: peer closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return errno_status("transport: recv");
+  }
+}
+
+Result<size_t> Socket::write_some(std::string_view bytes) {
+  if (fd_ < 0) return Status::unavailable("transport: send on closed socket");
+  for (;;) {
+    ssize_t n = ::send(fd_, bytes.data(), bytes.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return errno_status("transport: send");
+  }
 }
 
 // --- Listener ----------------------------------------------------------------
@@ -327,7 +383,7 @@ Result<Socket> connect(const Endpoint& ep, WallDuration deadline) {
 
   // Non-blocking connect: a black-holed SYN must respect the deadline, not
   // the kernel's multi-minute default.
-  set_nonblocking(fd, true);
+  set_fd_nonblocking(fd, true);
   int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa.value().storage),
                      sa.value().len);
   if (rc < 0 && errno != EINPROGRESS) {
@@ -349,7 +405,7 @@ Result<Socket> connect(const Endpoint& ep, WallDuration deadline) {
                                  ": " + std::strerror(err != 0 ? err : errno));
     }
   }
-  set_nonblocking(fd, false);
+  set_fd_nonblocking(fd, false);
   tune_stream(fd, ep);
   return Socket(fd);
 }
@@ -358,9 +414,14 @@ Result<Socket> connect(const Endpoint& ep, WallDuration deadline) {
 
 BatchReadResult read_batch(Socket& s, WallDuration deadline) {
   BatchReadResult out;
+  // ONE absolute deadline for the whole length-chain walk.  Passing the
+  // relative `deadline` to every recv would restart the budget per step — a
+  // peer trickling a frame at a time could then hold the reader for
+  // frames × deadline instead of one.
+  const Clock::time_point until = Clock::now() + deadline;
 
   // Header first: it carries the frame count the length chain hangs off.
-  Status st = s.recv_exact(wire::kBatchHeaderSize, &out.bytes, deadline);
+  Status st = s.recv_exact_until(wire::kBatchHeaderSize, &out.bytes, until);
   if (!st.is_ok()) {
     out.status = st;
     return out;
@@ -376,7 +437,7 @@ BatchReadResult read_batch(Socket& s, WallDuration deadline) {
   for (uint32_t i = 0; i < count; ++i) {
     // Frame prefix: payload_len + checksum.
     size_t frame_start = out.bytes.size();
-    st = s.recv_exact(wire::kFramePrefixSize, &out.bytes, deadline);
+    st = s.recv_exact_until(wire::kFramePrefixSize, &out.bytes, until);
     if (!st.is_ok()) {
       out.status = st;
       return out;
@@ -392,7 +453,7 @@ BatchReadResult read_batch(Socket& s, WallDuration deadline) {
           " exceeds cap; stream corrupt");
       return out;
     }
-    st = s.recv_exact(payload_len, &out.bytes, deadline);
+    st = s.recv_exact_until(payload_len, &out.bytes, until);
     if (!st.is_ok()) {
       out.status = st;
       return out;
@@ -408,7 +469,10 @@ bool wait_readable(const Socket& s, WallDuration deadline) {
 
 Result<std::string> read_message_bytes(Socket& s, WallDuration deadline) {
   std::string bytes;
-  Status st = s.recv_exact(wire::kMessagePrefixSize, &bytes, deadline);
+  // Prefix and body share one absolute budget (same rationale as
+  // read_batch: the deadline bounds the message, not each step).
+  const Clock::time_point until = Clock::now() + deadline;
+  Status st = s.recv_exact_until(wire::kMessagePrefixSize, &bytes, until);
   if (!st.is_ok()) return st;
   size_t at = 0;
   uint32_t magic = 0, len = 0;
@@ -418,7 +482,7 @@ Result<std::string> read_message_bytes(Socket& s, WallDuration deadline) {
       len > wire::kMaxPayload) {
     return Status::invalid_argument("transport: stream is not a PSM1 message");
   }
-  st = s.recv_exact(len, &bytes, deadline);
+  st = s.recv_exact_until(len, &bytes, until);
   if (!st.is_ok()) return st;
   return bytes;
 }

@@ -9,8 +9,11 @@
 // Design constraints, in order:
 //   - Deadlines on every blocking call.  The collection runtime owns its
 //     sweep budget; a wedged peer must cost a bounded wall-clock wait, not a
-//     hung controller.  recv/accept/connect all poll() with a deadline and
-//     report kDeadlineExceeded on expiry.
+//     hung controller.  recv/send/accept/connect all poll() with a deadline
+//     and report kDeadlineExceeded on expiry.  Multi-step reads (the PSB1
+//     length-chain walk) thread ONE absolute deadline through every step, so
+//     a trickling peer costs at most one configured deadline of wall clock —
+//     never frames × deadline.
 //   - Partial data survives.  recv_exact returns whatever arrived before the
 //     stream died, so the batch reader can hand a damaged prefix to
 //     wire::decode_batch + wire::reconcile instead of discarding a
@@ -74,16 +77,39 @@ class Socket {
   int fd() const { return fd_; }
   void close();
 
-  // Writes all of `bytes` (MSG_NOSIGNAL; a dead peer is a Status, not a
-  // SIGPIPE).  kUnavailable on any send error.
-  Status send_all(std::string_view bytes);
+  // Flips O_NONBLOCK (event-loop servers run every accepted connection
+  // nonblocking and multiplex with poll()).
+  void set_nonblocking(bool on);
 
-  // Reads exactly `n` bytes into `*out` (appended), polling with `deadline`
-  // per wait.  On failure `*out` still holds every byte that arrived —
+  // Writes all of `bytes` (MSG_NOSIGNAL; a dead peer is a Status, not a
+  // SIGPIPE).  kUnavailable on any send error.  Without a deadline the call
+  // waits indefinitely for buffer space; with one, a peer that never drains
+  // its receive buffer costs kDeadlineExceeded after `deadline` instead of
+  // wedging the sending thread forever.
+  Status send_all(std::string_view bytes);
+  Status send_all(std::string_view bytes, WallDuration deadline);
+  Status send_all_until(std::string_view bytes, Clock::time_point until);
+
+  // Reads exactly `n` bytes into `*out` (appended), polling until the
+  // deadline.  On failure `*out` still holds every byte that arrived —
   // partial data is the caller's to reconcile:
   //   kDeadlineExceeded — the deadline expired mid-read
   //   kUnavailable      — peer closed (EOF) or socket error
+  // The _until form takes an absolute deadline, so a multi-step read can
+  // thread one total budget through every step.
   Status recv_exact(size_t n, std::string* out, WallDuration deadline);
+  Status recv_exact_until(size_t n, std::string* out, Clock::time_point until);
+
+  // Nonblocking single read: appends whatever is available (at most one
+  // 64 KiB chunk) to `*out` and returns the byte count — 0 with ok() means
+  // nothing is pending (EAGAIN).  kUnavailable on EOF or socket error.
+  // Event-loop reads only; the socket must be nonblocking.
+  Result<size_t> read_some(std::string* out);
+
+  // Nonblocking single write: sends what fits in the socket buffer and
+  // returns the byte count — 0 with ok() means the buffer is full (EAGAIN).
+  // kUnavailable on a dead peer.  Event-loop writes only.
+  Result<size_t> write_some(std::string_view bytes);
 
  private:
   int fd_ = -1;
@@ -109,6 +135,7 @@ class Listener {
 
   const Endpoint& bound_endpoint() const { return ep_; }
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }  // for event loops polling the listener
   void close();
 
  private:
@@ -132,15 +159,19 @@ struct BatchReadResult {
 
 // Reads one PSB1 batch off the stream by walking its length chain: the
 // 20-byte header yields the frame count; each frame's 12-byte prefix yields
-// its payload length.  `deadline` applies per read step, so total wait is
-// bounded by (2 × frames + 1) × deadline in the worst trickle case.  A
-// length prefix exceeding wire::kMaxPayload stops the read (corrupt stream);
-// the bytes so far are returned for reconciliation.
+// its payload length.  `deadline` is the budget for the WHOLE batch — one
+// absolute deadline threads through every header/prefix/payload step, so a
+// peer trickling one frame at a time costs at most one deadline of wall
+// clock, never frames × deadline.  A length prefix exceeding
+// wire::kMaxPayload stops the read (corrupt stream); the bytes so far are
+// returned for reconciliation.
 BatchReadResult read_batch(Socket& s, WallDuration deadline);
 
 // Reads one PSM1 control message (17-byte prefix, then body), returning its
-// raw bytes for wire::decode_message.  kDeadlineExceeded / kUnavailable on
-// transport failure, kInvalidArgument on a malformed envelope.
+// raw bytes for wire::decode_message.  `deadline` covers prefix + body
+// together (one absolute budget, like read_batch).  kDeadlineExceeded /
+// kUnavailable on transport failure, kInvalidArgument on a malformed
+// envelope.
 Result<std::string> read_message_bytes(Socket& s, WallDuration deadline);
 
 // True when at least one byte (or EOF) is readable within `deadline`.  Serve

@@ -382,6 +382,16 @@ std::string encode_hello(const HelloMsg& h) {
   put_string(body, h.agent_name);
   put_id_list(body, h.elements);
   put<int64_t>(body, h.clock_ns);
+  // The roster section only exists when there is genuinely a fleet behind
+  // the endpoint: single-agent hellos stay byte-identical to the pre-roster
+  // encoding, so a roster-unaware peer decodes them unchanged.
+  if (h.roster.size() > 1) {
+    put<uint32_t>(body, static_cast<uint32_t>(h.roster.size()));
+    for (const HelloMsg::AgentInfo& a : h.roster) {
+      put_string(body, a.name);
+      put_id_list(body, a.elements);
+    }
+  }
   return body;
 }
 
@@ -390,7 +400,29 @@ Result<HelloMsg> decode_hello(std::string_view body) {
   size_t at = 0;
   if (!get_string(body, at, &h.agent_name) ||
       !decode_id_list(body, at, &h.elements) ||
-      !get(body, at, &h.clock_ns) || at != body.size()) {
+      !get(body, at, &h.clock_ns)) {
+    return Status::invalid_argument("wire hello structurally damaged");
+  }
+  if (at == body.size()) return h;  // single-agent hello: no roster section
+  uint32_t count = 0;
+  if (!get(body, at, &count)) {
+    return Status::invalid_argument("wire hello structurally damaged");
+  }
+  // A roster entry costs at least its name length prefix (2) plus an id
+  // count (4): cap what a corrupted count can make us reserve.
+  if (count > (body.size() - at) / 6 + 1) {
+    return Status::invalid_argument("wire hello structurally damaged");
+  }
+  h.roster.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HelloMsg::AgentInfo a;
+    if (!get_string(body, at, &a.name) ||
+        !decode_id_list(body, at, &a.elements)) {
+      return Status::invalid_argument("wire hello structurally damaged");
+    }
+    h.roster.push_back(std::move(a));
+  }
+  if (at != body.size()) {
     return Status::invalid_argument("wire hello structurally damaged");
   }
   return h;
@@ -402,6 +434,10 @@ std::string encode_batch_request(const BatchRequestMsg& r) {
   put_id_list(body, r.ids);
   put<uint64_t>(body, r.trace_id);
   put<uint64_t>(body, r.parent_span);
+  // Routing name only when bound to a named agent: unbound requests stay
+  // byte-identical to the pre-fleet format, which is also what routes them
+  // to the primary agent on the far end.
+  if (!r.agent.empty()) put_string(body, r.agent);
   return body;
 }
 
@@ -410,8 +446,11 @@ Result<BatchRequestMsg> decode_batch_request(std::string_view body) {
   size_t at = 0;
   int64_t now_ns = 0;
   if (!get(body, at, &now_ns) || !decode_id_list(body, at, &r.ids) ||
-      !get(body, at, &r.trace_id) || !get(body, at, &r.parent_span) ||
-      at != body.size()) {
+      !get(body, at, &r.trace_id) || !get(body, at, &r.parent_span)) {
+    return Status::invalid_argument("wire batch request structurally damaged");
+  }
+  if (at != body.size() &&
+      (!get_string(body, at, &r.agent) || at != body.size())) {
     return Status::invalid_argument("wire batch request structurally damaged");
   }
   r.now = SimTime::nanos(now_ns);
@@ -426,6 +465,7 @@ std::string encode_single_request(const SingleRequestMsg& r) {
   for (const std::string& a : r.attrs) put_string(body, a);
   put<uint64_t>(body, r.trace_id);
   put<uint64_t>(body, r.parent_span);
+  if (!r.agent.empty()) put_string(body, r.agent);  // as in batch requests
   return body;
 }
 
@@ -453,8 +493,11 @@ Result<SingleRequestMsg> decode_single_request(std::string_view body) {
     }
     r.attrs.push_back(std::move(a));
   }
-  if (!get(body, at, &r.trace_id) || !get(body, at, &r.parent_span) ||
-      at != body.size()) {
+  if (!get(body, at, &r.trace_id) || !get(body, at, &r.parent_span)) {
+    return Status::invalid_argument("wire single request structurally damaged");
+  }
+  if (at != body.size() &&
+      (!get_string(body, at, &r.agent) || at != body.size())) {
     return Status::invalid_argument("wire single request structurally damaged");
   }
   return r;

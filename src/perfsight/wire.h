@@ -152,10 +152,27 @@ Result<Message> decode_message(std::string_view bytes,
 // plus a sample of the server's span clock (monotonic wall nanoseconds) —
 // the client samples its own clock around the handshake and derives the
 // clock-offset estimate that aligns harvested trace timestamps.
+//
+// A fleet server (one event loop hosting many agents) appends its roster
+// after the base fields.  The base fields always describe the PRIMARY agent
+// (the first registered), so a client that predates rosters keeps working:
+// it reads the primary and ignores nothing (single-agent hellos carry no
+// roster section and are byte-identical to the pre-roster encoding).  A
+// roster-aware client binds to any named entry and routes its requests by
+// stamping that name on the request envelope.
 struct HelloMsg {
-  std::string agent_name;
-  std::vector<ElementId> elements;  // ascending element-id order
+  std::string agent_name;           // primary agent (single-agent fallback)
+  std::vector<ElementId> elements;  // primary's ids, ascending
   int64_t clock_ns = 0;             // server span clock at hello encode time
+
+  struct AgentInfo {
+    std::string name;
+    std::vector<ElementId> elements;  // ascending element-id order
+  };
+  // Every hosted agent, registration order (roster[0] == the primary).
+  // Empty on a single-agent hello; encode emits the roster section only
+  // when it names more than one agent.
+  std::vector<AgentInfo> roster;
 };
 std::string encode_hello(const HelloMsg& h);
 Result<HelloMsg> decode_hello(std::string_view body);
@@ -171,6 +188,10 @@ struct BatchRequestMsg {
   std::vector<ElementId> ids;
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
+  // Fleet routing: which hosted agent this batch is for.  Empty — the old
+  // single-agent request format, not one extra wire byte — routes to the
+  // server's primary agent.
+  std::string agent;
 };
 std::string encode_batch_request(const BatchRequestMsg& r);
 Result<BatchRequestMsg> decode_batch_request(std::string_view body);
@@ -184,6 +205,8 @@ struct SingleRequestMsg {
   std::vector<std::string> attrs;
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
+  // Fleet routing, as on BatchRequestMsg: empty = primary agent, old format.
+  std::string agent;
 };
 std::string encode_single_request(const SingleRequestMsg& r);
 Result<SingleRequestMsg> decode_single_request(std::string_view body);

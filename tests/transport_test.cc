@@ -7,7 +7,9 @@
 // produces, while ids no agent serves keep their not_found text.
 #include "perfsight/transport.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -852,6 +854,220 @@ TEST(FleetTracingTest, DisabledTracingShipsNoTraceBytes) {
   EXPECT_EQ(TraceRecorder::global().num_remote_lanes(), 0u);
   RemoteAgent::TransportStats stats = remote.transport_stats();
   EXPECT_EQ(stats.damaged, 0u);  // no stray bytes misparsed as payload
+}
+
+// --- end-to-end I/O deadlines ------------------------------------------------
+
+namespace {
+
+void append_u32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+void append_u64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// A structurally valid PSB1 batch of `frames` frames, `payload` bytes each.
+// read_batch only walks the length chain, so checksums need not verify.
+std::string synthetic_batch(uint32_t frames, uint32_t payload) {
+  std::string b;
+  append_u32(&b, wire::kMagic);
+  append_u32(&b, frames);
+  append_u64(&b, 0);  // channel_time_ns
+  append_u32(&b, 0);  // unknown_ids
+  for (uint32_t f = 0; f < frames; ++f) {
+    append_u32(&b, payload);
+    append_u64(&b, 0);  // checksum (not read_batch's concern)
+    b.append(payload, 'x');
+  }
+  return b;
+}
+
+// A connected loopback socket pair for peer-misbehaviour tests.
+struct SocketPair {
+  transport::Socket client;
+  transport::Socket server;
+  static SocketPair make() {
+    Result<transport::Listener> l = transport::Listener::listen(
+        transport::Endpoint::unix_path(unique_unix_path()));
+    EXPECT_TRUE(l.ok());
+    transport::Listener listener = std::move(l).take();
+    Result<transport::Socket> c =
+        transport::connect(listener.bound_endpoint(), WallDuration(1000));
+    EXPECT_TRUE(c.ok());
+    Result<transport::Socket> a = listener.accept(WallDuration(1000));
+    EXPECT_TRUE(a.ok());
+    return {std::move(c).take(), std::move(a).take()};
+  }
+};
+
+}  // namespace
+
+// The regression the length-chain reader is held to: a peer that trickles a
+// batch frame-by-frame, each gap shorter than the deadline, must cost the
+// reader ONE deadline total — not frames × deadline.  (The old code handed
+// every recv_exact a fresh relative budget, so a 16-frame batch dribbled at
+// 50ms could hold a 300ms reader for ~1.5s.)
+TEST(TransportDeadlineTest, TrickledBatchCostsOneDeadlineNotOnePerFrame) {
+  SocketPair pair = SocketPair::make();
+  const std::string batch = synthetic_batch(16, 64);
+
+  std::atomic<bool> stop{false};
+  std::thread dribbler([&] {
+    // ~40-byte chunks every 50ms: every individual recv makes progress well
+    // inside a 300ms window, but the whole batch takes ~1.5s.
+    for (size_t at = 0; at < batch.size() && !stop; at += 40) {
+      if (!pair.server.send_all(std::string_view(batch).substr(
+              at, std::min<size_t>(40, batch.size() - at))).is_ok()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  const auto t0 = transport::Clock::now();
+  transport::BatchReadResult read =
+      transport::read_batch(pair.client, WallDuration(300));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      transport::Clock::now() - t0);
+  stop = true;
+  dribbler.join();
+
+  EXPECT_FALSE(read.clean());
+  EXPECT_EQ(read.status.code(), StatusCode::kDeadlineExceeded);
+  // One budget, promptly enforced: far under the ~1.5s the dribble runs
+  // (slack above 300ms only for scheduler noise, not per-frame restarts).
+  EXPECT_LT(elapsed.count(), 900);
+  // The bytes that made it are the caller's to reconcile.
+  EXPECT_FALSE(read.bytes.empty());
+}
+
+// The complement: a slow-but-inside-budget peer is NOT penalized — the
+// whole-batch budget only caps total time, it never fails a stream that
+// finishes within it.
+TEST(TransportDeadlineTest, SlowPeerInsideTheBudgetStillCompletes) {
+  SocketPair pair = SocketPair::make();
+  const std::string batch = synthetic_batch(8, 32);
+
+  std::thread dribbler([&] {
+    for (size_t at = 0; at < batch.size(); at += 64) {
+      ASSERT_TRUE(pair.server.send_all(std::string_view(batch).substr(
+          at, std::min<size_t>(64, batch.size() - at))).is_ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  transport::BatchReadResult read =
+      transport::read_batch(pair.client, WallDuration(5000));
+  dribbler.join();
+  EXPECT_TRUE(read.clean());
+  EXPECT_EQ(read.bytes, batch);
+}
+
+// Sends must be as deadline-correct as reads: a peer that never drains its
+// receive buffer stalls send() at EAGAIN, and the old unbounded send_all
+// would poll forever.  The deadline form returns kDeadlineExceeded with the
+// partial-progress offset in the message.
+TEST(TransportDeadlineTest, SendAllHonorsDeadlineAgainstAStalledPeer) {
+  SocketPair pair = SocketPair::make();
+  // Unix-socket buffers are a few hundred KB: 8MB cannot fit, and the peer
+  // never reads, so the send MUST stall.
+  const std::string payload(8 * 1024 * 1024, 'p');
+
+  const auto t0 = transport::Clock::now();
+  Status st = pair.client.send_all(payload, WallDuration(250));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      transport::Clock::now() - t0);
+
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("send deadline"), std::string::npos) << st.message();
+  EXPECT_LT(elapsed.count(), 1500);
+}
+
+// --- accept-error backoff ----------------------------------------------------
+
+namespace {
+
+// Highest open fd number (so RLIMIT_NOFILE can be clamped to allow exactly
+// one more).
+int max_open_fd() {
+  int top = 2;
+  for (int fd = 0; fd < 4096; ++fd) {
+    if (::fcntl(fd, F_GETFD) != -1) top = fd;
+  }
+  return top;
+}
+
+struct FdLimitGuard {
+  rlimit saved{};
+  FdLimitGuard() { getrlimit(RLIMIT_NOFILE, &saved); }
+  ~FdLimitGuard() { setrlimit(RLIMIT_NOFILE, &saved); }
+};
+
+}  // namespace
+
+// A real accept error (EMFILE from fd exhaustion) must not hot-spin the
+// serve thread: it counts on the accept_errors counter/metric, backs the
+// listener off, and keeps serving live connections throughout.  When the
+// famine lifts, the queued connection completes.
+TEST(TransportAcceptBackoffTest, AcceptErrorCountsBacksOffAndRecovers) {
+  Agent agent("solo", 1);
+  ScriptedSource s0("solo/el0", ChannelKind::kProcFs);
+  s0.set_attrs({{attr::kRxPkts, 5.0}});
+  ASSERT_TRUE(agent.add_element(&s0).is_ok());
+
+  RemoteAgentServer server(&agent, transport::Endpoint::tcp("127.0.0.1", 0));
+  MetricsRegistry metrics;
+  server.set_metrics(&metrics);
+  ASSERT_TRUE(server.start().is_ok());
+
+  RemoteAgent first(server.endpoint());
+  ASSERT_TRUE(first.connect().is_ok());
+  EXPECT_EQ(server.accept_errors(), 0u);  // normal operation: clean counter
+
+  Status starved_status = Status::unavailable("never dialed");
+  {
+    FdLimitGuard guard;
+    // Leave room for exactly ONE more fd: the dialer's client socket takes
+    // it, so the server-side accept of that connection fails with EMFILE.
+    rlimit tight = guard.saved;
+    tight.rlim_cur = static_cast<rlim_t>(max_open_fd() + 2);
+    ASSERT_EQ(0, setrlimit(RLIMIT_NOFILE, &tight));
+
+    RemoteAgent starved(server.endpoint());
+    starved.set_deadline(WallDuration(8000));  // outlives max backoff easily
+    std::thread dialer([&] { starved_status = starved.connect(); });
+
+    // The kernel completes the TCP handshake into the backlog regardless,
+    // so the listener polls readable and the serve loop hits EMFILE.
+    const auto wait_until =
+        transport::Clock::now() + std::chrono::seconds(5);
+    while (server.accept_errors() == 0 &&
+           transport::Clock::now() < wait_until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(server.accept_errors(), 1u);
+
+    // Backed off, not wedged: the established connection still gets served
+    // while the listener sits out.
+    BatchResponse b = first.query_batch({s0.id()}, SimTime::millis(1));
+    ASSERT_EQ(b.responses.size(), 1u);
+    EXPECT_EQ(b.responses[0].quality, DataQuality::kFresh);
+
+    // Famine lifts (guard restores the limit); the queued connection must
+    // now complete its handshake within the bounded backoff.
+    ASSERT_EQ(0, setrlimit(RLIMIT_NOFILE, &guard.saved));
+    dialer.join();
+    EXPECT_TRUE(starved_status.is_ok()) << starved_status.message();
+  }
+
+  const uint64_t errors = server.accept_errors();
+  EXPECT_GE(errors, 1u);
+  const std::string text = metrics.expose(SimTime());
+  EXPECT_NE(text.find("perfsight_transport_accept_errors_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE perfsight_transport_accept_errors_total counter"),
+            std::string::npos);
 }
 
 // --- TSan churn --------------------------------------------------------------

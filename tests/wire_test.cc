@@ -420,6 +420,88 @@ TEST(WireMessageTest, ControlMessagesRoundTrip) {
   EXPECT_FALSE(wire::decode_message(flipped).ok());
 }
 
+// Fleet extensions ride BEHIND the original fields, and only when present:
+// a single-agent hello and an unrouted request encode byte-identical to the
+// pre-fleet protocol, so old and new peers interoperate in both directions.
+TEST(WireMessageTest, FleetRosterAndRoutingRoundTripBackCompatible) {
+  // Multi-agent hello: the roster round-trips, names and element sets.
+  wire::HelloMsg fleet;
+  fleet.agent_name = "primary";
+  fleet.elements = {ElementId{"p/0"}, ElementId{"p/1"}};
+  fleet.clock_ns = 1234;
+  fleet.roster.push_back({"primary", fleet.elements});
+  fleet.roster.push_back({"second", {ElementId{"s/0"}}});
+  fleet.roster.push_back({"third", {}});
+  Result<wire::HelloMsg> fd = wire::decode_hello(wire::encode_hello(fleet));
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd.value().agent_name, "primary");
+  ASSERT_EQ(fd.value().roster.size(), 3u);
+  EXPECT_EQ(fd.value().roster[1].name, "second");
+  ASSERT_EQ(fd.value().roster[1].elements.size(), 1u);
+  EXPECT_EQ(fd.value().roster[1].elements[0].name, "s/0");
+  EXPECT_TRUE(fd.value().roster[2].elements.empty());
+
+  // Single-agent hello: the roster section is NOT emitted — the bytes are
+  // exactly the pre-roster encoding, and decode yields an empty roster.
+  wire::HelloMsg solo;
+  solo.agent_name = "primary";
+  solo.elements = fleet.elements;
+  solo.clock_ns = 1234;
+  wire::HelloMsg solo_with_self = solo;
+  solo_with_self.roster.push_back({"primary", solo.elements});
+  EXPECT_EQ(wire::encode_hello(solo_with_self), wire::encode_hello(solo));
+  Result<wire::HelloMsg> sd = wire::decode_hello(wire::encode_hello(solo));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_TRUE(sd.value().roster.empty());
+
+  // A torn roster section is damage, not an empty roster.
+  std::string torn = wire::encode_hello(fleet);
+  torn.resize(torn.size() - 3);
+  EXPECT_FALSE(wire::decode_hello(torn).ok());
+
+  // Routed batch request: the agent name rides behind the trace context.
+  wire::BatchRequestMsg routed{SimTime::millis(5),
+                               {ElementId{"x"}},
+                               /*trace_id=*/1,
+                               /*parent_span=*/2,
+                               /*agent=*/"second"};
+  Result<wire::BatchRequestMsg> rd =
+      wire::decode_batch_request(wire::encode_batch_request(routed));
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd.value().agent, "second");
+
+  // Unrouted: not one extra byte versus the old format, and the old decoder
+  // semantics (empty agent = primary) fall out of decode.
+  wire::BatchRequestMsg unrouted = routed;
+  unrouted.agent.clear();
+  const std::string old_format = wire::encode_batch_request(unrouted);
+  EXPECT_LT(old_format.size(), wire::encode_batch_request(routed).size());
+  Result<wire::BatchRequestMsg> od = wire::decode_batch_request(old_format);
+  ASSERT_TRUE(od.ok());
+  EXPECT_TRUE(od.value().agent.empty());
+  // Trailing garbage after the agent field is damage, not ignored.
+  EXPECT_FALSE(
+      wire::decode_batch_request(wire::encode_batch_request(routed) + "!")
+          .ok());
+
+  // Same contract on the single-request envelope.
+  wire::SingleRequestMsg srouted{SimTime::micros(3), ElementId{"z"},
+                                 {"rxPkts"},
+                                 /*trace_id=*/7,
+                                 /*parent_span=*/8,
+                                 /*agent=*/"third"};
+  Result<wire::SingleRequestMsg> srd =
+      wire::decode_single_request(wire::encode_single_request(srouted));
+  ASSERT_TRUE(srd.ok());
+  EXPECT_EQ(srd.value().agent, "third");
+  wire::SingleRequestMsg sunrouted = srouted;
+  sunrouted.agent.clear();
+  Result<wire::SingleRequestMsg> sod =
+      wire::decode_single_request(wire::encode_single_request(sunrouted));
+  ASSERT_TRUE(sod.ok());
+  EXPECT_TRUE(sod.value().agent.empty());
+}
+
 // Harvested trace rings cross the wire losslessly — span links, durations,
 // value bits and both strings — and the decoder refuses structural damage.
 TEST(WireMessageTest, TraceDataRoundTripsAndRefusesDamage) {
