@@ -15,6 +15,10 @@
 //      budget, no element's retry chain may run past the budget — the
 //      sweep's modelled completion time stays bounded no matter how hostile
 //      the plan is (timeout spikes far above the budget included).
+//   4. Inert-campaign overhead: a plan carrying scheduled outage windows
+//      that never intersect the swept times (the always-installed chaos
+//      campaign, between windows) costs < 5% and stays byte-identical too —
+//      the window check is a per-query schedule lookup, not an RNG draw.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -139,6 +143,7 @@ int main() {
           "robust collection for PerfSight (IMC'15) Sec. 4.2 channels");
   note("%zu agents x %zu elements, %d sweeps per trial, best of %d trials",
        kAgents, kElementsPerAgent, kSweepsPerTrial, kTrials);
+  Reporter report("fault_overhead");
 
   // --- 1+2: disabled-path overhead and byte identity -----------------------
   FaultPlan inert(7);  // installed, zero probabilities: plan checks run,
@@ -148,15 +153,37 @@ int main() {
   double inert_s = best_sweep_seconds(true, &inert, &wire_inert);
   double slowdown_pct = (inert_s / base_s - 1.0) * 100.0;
 
+  // --- 4: inert campaign (windows never intersecting the sweeps) -----------
+  FaultPlan campaign(7);
+  for (size_t a = 0; a < kAgents; ++a) {
+    // The sweeps run at t < 4 s; these windows sit an hour out — the
+    // schedule is installed and consulted but never fires.
+    campaign.schedule_outage("host" + std::to_string(a),
+                             SimTime::seconds(3600), SimTime::seconds(7200));
+  }
+  std::string wire_campaign;
+  double campaign_s = best_sweep_seconds(true, &campaign, &wire_campaign);
+  double campaign_pct = (campaign_s / base_s - 1.0) * 100.0;
+
   row({"config", "sweep(us)", "overhead"});
   row({"no plan", fmt("%.1f", base_s * 1e6 / kSweepsPerTrial), "-"});
   row({"inert plan", fmt("%.1f", inert_s * 1e6 / kSweepsPerTrial),
        fmt("%+.2f%%", slowdown_pct)});
+  row({"inert campaign", fmt("%.1f", campaign_s * 1e6 / kSweepsPerTrial),
+       fmt("%+.2f%%", campaign_pct)});
 
   shape_check(slowdown_pct < 5.0,
               "installed-but-inert fault plan slows sweeps by < 5%");
   shape_check(!wire_none.empty() && wire_none == wire_inert,
               "inert-plan sweep output byte-identical to no-plan agent");
+  shape_check(campaign_pct < 5.0,
+              "installed campaign between windows slows sweeps by < 5%");
+  shape_check(wire_none == wire_campaign,
+              "between-windows campaign sweep output byte-identical");
+  report.info("base_sweep_us", base_s * 1e6 / kSweepsPerTrial);
+  report.info("inert_overhead_pct", slowdown_pct);
+  report.info("campaign_overhead_pct", campaign_pct);
+  report.gate("oracle_wire_bytes", static_cast<double>(wire_none.size()));
 
   // --- 3: budget bound under a hostile plan ---------------------------------
   FaultPlan hostile(11);
@@ -210,5 +237,12 @@ int main() {
   shape_check(fs.faults_injected > 0, "hostile plan actually injected faults");
   shape_check(worst <= policy.element_budget,
               "no element retry chain ran past its deadline budget");
+  // Seeded-RNG modelled quantities: bit-stable across machines, so they can
+  // gate the ±10% perf-trajectory diff.
+  report.gate("hostile_faults_injected",
+              static_cast<double>(fs.faults_injected));
+  report.gate("hostile_missing", static_cast<double>(missing));
+  report.gate("hostile_worst_response_us",
+              static_cast<double>(worst.ns()) / 1e3);
   return 0;
 }

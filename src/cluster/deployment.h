@@ -69,6 +69,7 @@ class Deployment {
     if (fault_plan_ != nullptr) a->set_fault_plan(fault_plan_);
     if (retry_set_) a->set_retry_policy(retry_);
     if (breaker_set_) a->set_breaker_config(breaker_);
+    if (adaptive_set_) a->set_adaptive_budget(adaptive_);
     return a;
   }
 
@@ -145,6 +146,36 @@ class Deployment {
     return controller_.register_element(tenant, id, r);
   }
 
+  // Declares `agent` a read replica for a tenant's element (quorum reads):
+  // when the primary fails, get_attr_many and get_attr_q fall back to the
+  // replica before declaring a blind spot, annotating the answer
+  // DataQuality::kReplica.  Works for in-process and remote agents alike.
+  Status mirror_element(TenantId tenant, const ElementId& id,
+                        AgentClient* agent) {
+    return controller_.register_mirror(tenant, id, agent);
+  }
+
+  // One reconnect's element-set delta on one socket-backed agent, as
+  // surfaced by its hello diff (see RemoteAgent::RosterDiff).
+  struct RemoteRosterDelta {
+    RemoteAgent* agent = nullptr;
+    RemoteAgent::RosterDiff diff;
+  };
+  // Drains the roster diffs every remote adapter observed at reconnects,
+  // oldest first per agent.  Removed elements are already answered as
+  // "departed at reconnect" blind spots by the adapter; added elements are
+  // already servable (the reconnect hello registered them — no redial).
+  // This view lets scenarios log or re-plan around fleet churn.
+  std::vector<RemoteRosterDelta> drain_remote_roster_diffs() {
+    std::vector<RemoteRosterDelta> out;
+    for (auto& r : remote_agents_) {
+      for (RemoteAgent::RosterDiff& d : r->drain_roster_diffs()) {
+        out.push_back(RemoteRosterDelta{r.get(), std::move(d)});
+      }
+    }
+    return out;
+  }
+
   // --- fault tolerance (deployment-wide) ------------------------------------
   // Installs a fault plan / retry policy / breaker config on every agent,
   // current and future.  The plan is not owned unless it came from
@@ -152,6 +183,9 @@ class Deployment {
   void set_fault_plan(const FaultPlan* plan) {
     fault_plan_ = plan;
     for (auto& a : agents_) a->set_fault_plan(plan);
+    // The exposition reports campaign state (perfsight_fault_campaign_active)
+    // and per-agent breaker gauges while a plan is armed.
+    metrics_.set_fault_plan(plan);
   }
   void set_retry_policy(RetryPolicy p) {
     retry_ = p;
@@ -162,6 +196,14 @@ class Deployment {
     breaker_ = c;
     breaker_set_ = true;
     for (auto& a : agents_) a->set_breaker_config(c);
+  }
+  // Adaptive retry budgets (observed per-kind p99 × max attempts) on every
+  // in-process agent, current and future.  Off by default; the fixed-budget
+  // path is byte-identical when disabled.
+  void set_adaptive_budget(bool on) {
+    adaptive_ = on;
+    adaptive_set_ = true;
+    for (auto& a : agents_) a->set_adaptive_budget(on);
   }
   // Adopts PERFSIGHT_FAULTS from the environment (CI fault matrix; scenario
   // binaries call this so operators can rerun any scenario under faults).
@@ -179,10 +221,11 @@ class Deployment {
   // are self-describing).
   struct SweepQuality {
     size_t fresh = 0;
+    size_t replica = 0;  // served by a quorum read replica, not the primary
     size_t stale = 0;
     size_t torn = 0;
     size_t missing = 0;
-    size_t total() const { return fresh + stale + torn + missing; }
+    size_t total() const { return fresh + replica + stale + torn + missing; }
   };
   static SweepQuality summarize(
       const std::vector<std::vector<QueryResponse>>& sweep) {
@@ -192,6 +235,9 @@ class Deployment {
         switch (r.quality) {
           case DataQuality::kFresh:
             ++q.fresh;
+            break;
+          case DataQuality::kReplica:
+            ++q.replica;
             break;
           case DataQuality::kStale:
             ++q.stale;
@@ -266,6 +312,8 @@ class Deployment {
   CircuitBreakerConfig breaker_;
   bool retry_set_ = false;
   bool breaker_set_ = false;
+  bool adaptive_ = false;
+  bool adaptive_set_ = false;
 };
 
 }  // namespace perfsight::cluster

@@ -47,13 +47,21 @@ ChannelLatencyModel default_latency(ChannelKind kind) {
 
 Status query_failure_status(const std::string& agent_name, const ElementId& id,
                             uint32_t attempts, StatusCode code) {
-  std::string m = "agent " + agent_name + ": element " + id.name +
-                  (attempts == 0 ? " skipped: circuit open"
-                   : code == StatusCode::kDeadlineExceeded
-                       ? " deadline exceeded after " +
-                             std::to_string(attempts) + " attempt(s)"
-                       : " unavailable after " + std::to_string(attempts) +
-                             " attempt(s)");
+  std::string m = "agent " + agent_name + ": element " + id.name;
+  if (code == StatusCode::kFailedPrecondition) {
+    // The element vanished from the agent's advertised set between
+    // connections (reconnect-aware hello diff); no attempts were spent on a
+    // channel, the roster itself is the authority.
+    m += " departed at reconnect";
+    return Status::failed_precondition(std::move(m));
+  }
+  if (attempts == 0) {
+    m += " skipped: circuit open";
+  } else if (code == StatusCode::kDeadlineExceeded) {
+    m += " deadline exceeded after " + std::to_string(attempts) + " attempt(s)";
+  } else {
+    m += " unavailable after " + std::to_string(attempts) + " attempt(s)";
+  }
   return code == StatusCode::kDeadlineExceeded
              ? Status::deadline_exceeded(std::move(m))
              : Status::unavailable(std::move(m));
@@ -149,6 +157,7 @@ void Agent::absorb_crashes_locked(SimTime now,
 
 void Agent::plan_outcome_locked(PlannedQuery& q, SimTime now,
                                 bool shared_first, Duration shared_delay,
+                                bool agent_down,
                                 std::vector<PendingTrace>* traces) {
   const size_t ki = static_cast<size_t>(q.kind);
   Breaker& br = breakers_[ki];
@@ -177,8 +186,20 @@ void Agent::plan_outcome_locked(PlannedQuery& q, SimTime now,
   }
 
   Duration elapsed;
-  const Duration budget = retry_.element_budget;
   const uint32_t max_attempts = std::max<uint32_t>(1, retry_.max_attempts);
+  Duration budget = retry_.element_budget;
+  if (adaptive_budget_) {
+    // Budget derived from this kind's observed latency distribution: p99 of
+    // the modelled channel delays paid so far × the attempt cap, never
+    // looser than the configured budget (the sweep deadline) when one is
+    // set.  No observations yet → the configured budget stands.
+    const double p99 = channel_hist_[ki].approx_quantile(0.99);
+    if (p99 > 0) {
+      Duration derived =
+          Duration::seconds(p99) * static_cast<double>(max_attempts);
+      if (budget.ns() == 0 || derived < budget) budget = derived;
+    }
+  }
   // Hoisted once per element: when the effective spec cannot fire, the
   // per-attempt decision hash is skipped entirely (decide() would return
   // kNone anyway), keeping an installed-but-inert plan near-free.
@@ -191,11 +212,16 @@ void Agent::plan_outcome_locked(PlannedQuery& q, SimTime now,
   for (;; ++attempt) {
     Duration d = (attempt == 1 && shared_first) ? shared_delay
                                                 : channel_delay_locked(q.kind);
+    // A scheduled outage window makes every attempt fail like a transient
+    // error — the schedule is the authority, no Bernoulli draw consulted,
+    // so the same plan at the same simulated time fails identically in the
+    // single, batch and poll paths.
     FaultDecision dec;
-    if (may_fault) dec = plan_->decide(q.id, q.kind, now, attempt);
+    if (may_fault && !agent_down) dec = plan_->decide(q.id, q.kind, now, attempt);
     if (dec.kind != FaultKind::kNone) ++fstats_.faults_injected;
-    bool attempt_failed = false;
+    bool attempt_failed = agent_down;
     DataQuality quality = DataQuality::kFresh;
+    if (agent_down) last_code = StatusCode::kUnavailable;
     switch (dec.kind) {
       case FaultKind::kNone:
         break;
@@ -359,7 +385,10 @@ Result<QueryResponse> Agent::query(const ElementId& id, SimTime now) {
       bookkeep = track_last_good || !pending_reset_.empty() ||
                  !reset_offset_.empty();
     }
-    plan_outcome_locked(q, now, /*shared_first=*/false, Duration{}, &pending);
+    const bool down = fault_mode && plan_->has_campaign() &&
+                      plan_->agent_down(name_, now);
+    plan_outcome_locked(q, now, /*shared_first=*/false, Duration{}, down,
+                        &pending);
   }
   emit_pending(pending);
 
@@ -441,6 +470,7 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
   std::array<bool, kNumChannelKinds> kind_used = {};
   std::array<Duration, kNumChannelKinds> kind_delay = {};
   bool fault_mode = false;
+  bool down = false;
   bool track_last_good = false, bookkeep = false;
   std::vector<PendingTrace> pending;
   {
@@ -451,6 +481,7 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
       track_last_good = plan_->serves_stale();
       bookkeep = track_last_good || !pending_reset_.empty() ||
                  !reset_offset_.empty();
+      down = plan_->has_campaign() && plan_->agent_down(name_, now);
     }
     plan.reserve(ids.size());
     for (const ElementId& id : ids) {
@@ -490,7 +521,7 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
     std::lock_guard<std::mutex> lock(mu_);
     for (PlannedQuery& q : plan) {
       const size_t k = static_cast<size_t>(q.kind);
-      plan_outcome_locked(q, now, kind_used[k], kind_delay[k], &pending);
+      plan_outcome_locked(q, now, kind_used[k], kind_delay[k], down, &pending);
       if (fault_mode && q.delay > kind_delay[k]) {
         batch.channel_time += q.delay - kind_delay[k];
       }
@@ -584,6 +615,7 @@ BatchResponse Agent::query_batch(const std::vector<ElementId>& ids,
 std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
   std::vector<PlannedQuery> plan;
   bool fault_mode = false;
+  bool down = false;
   bool track_last_good = false, bookkeep = false;
   std::vector<PendingTrace> pending;
   {
@@ -594,6 +626,7 @@ std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
       track_last_good = plan_->serves_stale();
       bookkeep = track_last_good || !pending_reset_.empty() ||
                  !reset_offset_.empty();
+      down = plan_->has_campaign() && plan_->agent_down(name_, now);
     }
     plan.reserve(sources_.size());
     for (const auto& [id, src] : sources_) {
@@ -614,7 +647,7 @@ std::vector<QueryResponse> Agent::poll_all(SimTime now, ThreadPool* pool) {
     // the RNG, so any pool size yields identical outcomes.
     std::lock_guard<std::mutex> lock(mu_);
     for (PlannedQuery& q : plan) {
-      plan_outcome_locked(q, now, /*shared_first=*/false, Duration{},
+      plan_outcome_locked(q, now, /*shared_first=*/false, Duration{}, down,
                           &pending);
     }
   }

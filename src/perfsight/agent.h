@@ -257,6 +257,15 @@ class Agent : public AgentClient {
     std::lock_guard<std::mutex> lock(mu_);
     breaker_cfg_ = c;
   }
+  // Adaptive per-element budgets: derive the retry budget from the observed
+  // per-kind channel-latency p99 (× max attempts) instead of the fixed
+  // element_budget constant, clamped to the configured budget (the sweep
+  // deadline) when one is set.  Off by default; the fixed-constant path is
+  // byte-identical when disabled.
+  void set_adaptive_budget(bool on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    adaptive_budget_ = on;
+  }
   BreakerState breaker_state(ChannelKind kind) const {
     std::lock_guard<std::mutex> lock(mu_);
     return breakers_[static_cast<size_t>(kind)].state;
@@ -313,9 +322,12 @@ class Agent : public AgentClient {
   // channel delays, backoff, budget clamp, breaker bookkeeping.  Must run
   // with mu_ held, pre-fan-out, in element-id order.  When `shared_first`
   // is set the first attempt rides a batch's per-kind round trip instead of
-  // drawing its own delay.
+  // drawing its own delay.  When `agent_down` is set (a scheduled campaign
+  // window covers `now`), every attempt fails unavailable without
+  // consulting the Bernoulli draw — delays, backoff and breakers behave as
+  // for real transient failures, so outcomes match in every query path.
   void plan_outcome_locked(PlannedQuery& q, SimTime now, bool shared_first,
-                           Duration shared_delay,
+                           Duration shared_delay, bool agent_down,
                            std::vector<PendingTrace>* traces);
   // Post-collect bookkeeping in fault mode: applies crash counter resets
   // and (when the plan can serve stale reads) refreshes the last-good
@@ -338,6 +350,7 @@ class Agent : public AgentClient {
   // last-good records for stale serving, crash reset bookkeeping, tallies.
   const FaultPlan* plan_ = nullptr;
   RetryPolicy retry_;
+  bool adaptive_budget_ = false;
   CircuitBreakerConfig breaker_cfg_;
   std::array<Breaker, kNumChannelKinds> breakers_ = {};
   std::unordered_map<ElementId, StatsRecord> last_good_;

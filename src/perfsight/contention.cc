@@ -107,12 +107,13 @@ ContentionReport ContentionDetector::diagnose(TenantId tenant, Duration window,
     const ElementId& e = elements[i];
     const Sample& s1 = first[i];
     const Sample& s2 = second[i];
-    // A loss delta is only trustworthy when *both* endpoints were collected
-    // fresh: stale counters produce bogus deltas and torn records may be
-    // missing the very counters the delta needs.  Degraded elements become
-    // blind spots instead of ranked entries.
+    // A loss delta is only trustworthy when *both* endpoints were actually
+    // measured (fresh primary or quorum replica): stale counters produce
+    // bogus deltas and torn records may be missing the very counters the
+    // delta needs.  Degraded elements become blind spots instead of ranked
+    // entries.
     const DataQuality q = worse(s1.quality, s2.quality);
-    if (!s1.valid || !s2.valid || !is_fresh(q)) {
+    if (!s1.valid || !s2.valid || !is_measured(q)) {
       report.blind_spots.push_back(ContentionReport::BlindSpot{e, q});
       continue;
     }

@@ -28,6 +28,24 @@ Status Controller::register_element(TenantId tenant, const ElementId& id,
   return Status::ok();
 }
 
+Status Controller::register_mirror(TenantId tenant, const ElementId& id,
+                                   AgentClient* agent) {
+  PS_CHECK(agent != nullptr);
+  if (!agent->has_element(id)) {
+    return Status::not_found("agent " + agent->name() +
+                             " does not serve element " + id.name);
+  }
+  mirror_[tenant][id] = agent;
+  return Status::ok();
+}
+
+AgentClient* Controller::mirror_of(TenantId tenant, const ElementId& id) const {
+  auto tit = mirror_.find(tenant);
+  if (tit == mirror_.end()) return nullptr;
+  auto eit = tit->second.find(id);
+  return eit == tit->second.end() ? nullptr : eit->second;
+}
+
 const std::vector<ElementId>& Controller::middleboxes(TenantId tenant) const {
   static const std::vector<ElementId> kEmpty;
   auto it = tenant_mbs_.find(tenant);
@@ -132,7 +150,26 @@ Result<Controller::QualifiedRecord> Controller::get_attr_q(
     return Status::not_found("no agent serves element " + id.name);
   }
   Result<QueryResponse> resp = agent->query_attrs(id, attrs, now_());
-  if (!resp.ok()) return resp.status();
+  if (!resp.ok()) {
+    // Quorum fallback: a collection failure (not a config error) on a
+    // mirrored element earns one read from the replica before the blind
+    // spot stands.  The answer is annotated kReplica; a double failure
+    // re-raises the PRIMARY's Status so unmirrored and double-failed runs
+    // are byte-identical.
+    if (resp.status().code() != StatusCode::kNotFound) {
+      AgentClient* mirror = mirror_of(tenant, id);
+      if (mirror != nullptr) {
+        Result<QueryResponse> mr = mirror->query_attrs(id, attrs, now_());
+        if (mr.ok()) {
+          account(1, mr.value().response_time, /*batch=*/false);
+          return QualifiedRecord{
+              mr.value().record,
+              worse(DataQuality::kReplica, mr.value().quality)};
+        }
+      }
+    }
+    return resp.status();
+  }
   account(1, resp.value().response_time, /*batch=*/false);
   return QualifiedRecord{resp.value().record, resp.value().quality};
 }
@@ -292,6 +329,11 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
   uint64_t ok_slots = 0;
   size_t served = 0;
   Duration total_channel;
+  // Quorum second round: kMissing slots whose element has a registered
+  // replica are collected per mirror agent and retried below, before their
+  // blind spots stand.
+  std::vector<Group> mgroups;
+  std::unordered_map<AgentClient*, size_t> mgroup_of;
   for (size_t gi = 0; gi < groups.size(); ++gi) {
     const Group& g = groups[gi];
     const std::vector<QueryResponse>& resp = br[gi].responses;
@@ -310,10 +352,22 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
       ++ri;
       if (r.quality == DataQuality::kMissing) {
         // Retries exhausted / budget hit / breaker open: reconstruct the
-        // Status the single-query path returns for this failure.
+        // Status the single-query path returns for this failure.  It stays
+        // the answer unless a replica can serve the element below.
         Status fail =
             query_failure_status(g.agent->name(), id, r.attempts, r.fail_code);
         for (size_t s : slots) out[s] = fail;
+        if (!mirror_.empty()) {
+          AgentClient* mirror = mirror_of(tenant, id);
+          if (mirror != nullptr) {
+            auto [mit, mfresh] = mgroup_of.try_emplace(mirror, mgroups.size());
+            if (mfresh) {
+              mgroups.emplace_back();
+              mgroups.back().agent = mirror;
+            }
+            for (size_t s : slots) mgroups[mit->second].slots[id].push_back(s);
+          }
+        }
         continue;
       }
       QualifiedRecord q{project(r.record, attrs), r.quality};
@@ -325,10 +379,49 @@ std::vector<Result<Controller::QualifiedRecord>> Controller::scatter_gather(
     }
   }
 
+  // The mirror round mirrors the primary round: one batch per replica
+  // agent, fanned over the pool, merged by ascending element id.  A replica
+  // answer replaces the blind spot annotated kReplica; a replica failure
+  // leaves the primary's Status in place (byte-identical to no mirror).
+  if (!mgroups.empty()) {
+    for (Group& g : mgroups) {
+      g.sorted_ids.reserve(g.slots.size());
+      for (const auto& [id, slots] : g.slots) g.sorted_ids.push_back(id);
+      std::sort(g.sorted_ids.begin(), g.sorted_ids.end());
+    }
+    std::vector<BatchResponse> mbr(mgroups.size());
+    parallel_for_or_inline(pool, mgroups.size(), [&](size_t gi) {
+      ScopedTraceContext span_ctx(scatter_ctx);
+      mbr[gi] = mgroups[gi].agent->query_batch(mgroups[gi].sorted_ids, now);
+    });
+    for (size_t gi = 0; gi < mgroups.size(); ++gi) {
+      const Group& g = mgroups[gi];
+      const std::vector<QueryResponse>& resp = mbr[gi].responses;
+      total_channel = total_channel + mbr[gi].channel_time;
+      size_t ri = 0;
+      for (const ElementId& id : g.sorted_ids) {
+        while (ri < resp.size() && resp[ri].record.element < id) ++ri;
+        if (ri >= resp.size() || !(resp[ri].record.element == id)) continue;
+        const QueryResponse& r = resp[ri];
+        ++ri;
+        if (r.quality == DataQuality::kMissing) continue;
+        QualifiedRecord q{project(r.record, attrs),
+                          worse(DataQuality::kReplica, r.quality)};
+        for (size_t s : g.slots.at(id)) {
+          out[s] = q;
+          ++ok_slots;
+        }
+        ++served;
+      }
+    }
+  }
+
   account(ok_slots, total_channel, /*batch=*/true);
   {
     std::lock_guard<std::mutex> lock(cost_mu_);
-    if (m_scatter_agents_ != nullptr) m_scatter_agents_->add(groups.size());
+    if (m_scatter_agents_ != nullptr) {
+      m_scatter_agents_->add(groups.size() + mgroups.size());
+    }
   }
   trace_event(controller_trace_id(), now, TraceEventKind::kControllerGather,
               static_cast<double>(served), "gather");

@@ -46,6 +46,17 @@ class Controller {
   Status register_element(TenantId tenant, const ElementId& id,
                           AgentClient* agent);
 
+  // Declares `agent` a read replica for a tenant's element (quorum reads):
+  // when the primary fails — retries exhausted, breaker open, transport
+  // lost, element departed — get_attr_q and the scatter-gather merge ask
+  // the replica before declaring a blind spot.  A replica answer is
+  // annotated DataQuality::kReplica so coverage reports distinguish it from
+  // a fresh primary read; a double failure keeps the PRIMARY's failure
+  // Status (byte-identical to the unmirrored run).  The replica must serve
+  // the element.
+  Status register_mirror(TenantId tenant, const ElementId& id,
+                         AgentClient* agent);
+
   // Declares `id` part of the virtualization stack on `agent`'s machine
   // (Algorithm 1 scans these).
   void register_stack_element(AgentClient* agent, const ElementId& id) {
@@ -188,6 +199,8 @@ class Controller {
 
  private:
   AgentClient* locate(TenantId tenant, const ElementId& id) const;
+  // The registered read replica, or null.
+  AgentClient* mirror_of(TenantId tenant, const ElementId& id) const;
   // The scatter-gather core: one Result per id, in input order.
   std::vector<Result<QualifiedRecord>> scatter_gather(
       TenantId tenant, const std::vector<ElementId>& ids,
@@ -218,6 +231,8 @@ class Controller {
   std::vector<AgentClient*> agents_;
   std::unordered_map<TenantId, std::unordered_map<ElementId, AgentClient*>>
       vnet_;
+  std::unordered_map<TenantId, std::unordered_map<ElementId, AgentClient*>>
+      mirror_;
   std::unordered_map<AgentClient*, std::vector<ElementId>> stack_elements_;
   std::unordered_map<TenantId, std::vector<ElementId>> tenant_mbs_;
   std::unordered_map<TenantId, ChainTopology> tenant_chain_;

@@ -36,6 +36,8 @@ const char* to_string(DataQuality q) {
       return "torn";
     case DataQuality::kMissing:
       return "missing";
+    case DataQuality::kReplica:
+      return "replica";
   }
   return "?";
 }
@@ -80,7 +82,58 @@ bool FaultPlan::enabled() const {
   for (const auto& [id, s] : element_) {
     if (s.any()) return true;
   }
-  return !crashes_.empty();
+  return !crashes_.empty() || has_campaign();
+}
+
+const std::string& FaultPlan::host_of(const std::string& agent) const {
+  static const std::string kEmpty;
+  auto it = host_of_.find(agent);
+  return it == host_of_.end() ? kEmpty : it->second;
+}
+
+void FaultPlan::schedule_rolling_upgrade(
+    const std::vector<std::string>& agents, SimTime start, Duration window) {
+  SimTime t = start;
+  for (const std::string& agent : agents) {
+    SimTime end = t + window;
+    schedule_outage(agent, t, end);
+    t = end;
+  }
+}
+
+bool FaultPlan::agent_down(const std::string& agent, SimTime now) const {
+  auto it = outages_.find(agent);
+  if (it != outages_.end()) {
+    for (const OutageWindow& w : it->second) {
+      if (w.contains(now)) return true;
+    }
+  }
+  if (!host_outages_.empty()) {
+    auto host = host_of_.find(agent);
+    if (host != host_of_.end()) {
+      auto hw = host_outages_.find(host->second);
+      if (hw != host_outages_.end()) {
+        for (const OutageWindow& w : hw->second) {
+          if (w.contains(now)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::campaign_active(SimTime now) const {
+  for (const auto& [agent, windows] : outages_) {
+    for (const OutageWindow& w : windows) {
+      if (w.contains(now)) return true;
+    }
+  }
+  for (const auto& [tag, windows] : host_outages_) {
+    for (const OutageWindow& w : windows) {
+      if (w.contains(now)) return true;
+    }
+  }
+  return false;
 }
 
 bool FaultPlan::serves_stale() const {
@@ -143,6 +196,29 @@ double clamp_probability(const std::string& key, double v) {
   return c;
 }
 
+// Strict unsigned parse with the same whole-string discipline as
+// parse_double_strict: "500x" and "" are rejections, not zeros.
+bool parse_u64_strict(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+// Parses "T0-T1" (integer simulated milliseconds) into a half-open window.
+// Requires T0 < T1: an empty or inverted window is an operator typo, not a
+// no-op campaign.
+bool parse_window_ms(const std::string& s, SimTime* start, SimTime* end) {
+  size_t dash = s.find('-');
+  if (dash == std::string::npos) return false;
+  uint64_t t0 = 0, t1 = 0;
+  if (!parse_u64_strict(s.substr(0, dash), &t0)) return false;
+  if (!parse_u64_strict(s.substr(dash + 1), &t1)) return false;
+  if (t0 >= t1) return false;
+  *start = SimTime::millis(static_cast<int64_t>(t0));
+  *end = SimTime::millis(static_cast<int64_t>(t1));
+  return true;
+}
+
 }  // namespace
 
 std::optional<FaultPlan> FaultPlan::from_env() {
@@ -151,6 +227,23 @@ std::optional<FaultPlan> FaultPlan::from_env() {
 
   uint64_t seed = 1;
   ChannelFaultSpec spec;
+  // Campaign items are collected first and applied once the seed is known
+  // (the seed key may appear anywhere in the list).
+  struct PendingOutage {
+    std::string name;  // agent name, or host tag for host_outage items
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<PendingOutage> outages;
+  std::vector<PendingOutage> host_outages;
+  std::vector<std::pair<std::string, std::string>> hosts;  // agent -> tag
+  struct PendingRolling {
+    std::string prefix;
+    uint64_t count;
+    SimTime start;
+    Duration window;
+  };
+  std::vector<PendingRolling> rollings;
   std::string kv(env);
   size_t pos = 0;
   while (pos < kv.size()) {
@@ -179,6 +272,59 @@ std::optional<FaultPlan> FaultPlan::from_env() {
       seed = s;
       continue;
     }
+    if (key == "outage" || key == "host_outage") {
+      // outage=NAME@T0-T1 / host_outage=TAG@T0-T1
+      size_t at = raw.rfind('@');
+      SimTime t0, t1;
+      if (at == std::string::npos || at == 0 ||
+          !parse_window_ms(raw.substr(at + 1), &t0, &t1)) {
+        PS_LOG_WARN(
+            "PERFSIGHT_FAULTS: bad %s '%s' (want NAME@T0-T1, ms, T0<T1); "
+            "rejected",
+            key.c_str(), raw.c_str());
+        continue;
+      }
+      PendingOutage o{raw.substr(0, at), t0, t1};
+      (key == "outage" ? outages : host_outages).push_back(std::move(o));
+      continue;
+    }
+    if (key == "host") {
+      // host=NAME:TAG
+      size_t colon = raw.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == raw.size()) {
+        PS_LOG_WARN("PERFSIGHT_FAULTS: bad host '%s' (want NAME:TAG); rejected",
+                    raw.c_str());
+        continue;
+      }
+      hosts.emplace_back(raw.substr(0, colon), raw.substr(colon + 1));
+      continue;
+    }
+    if (key == "rolling") {
+      // rolling=PREFIX*N@T0+W — agents PREFIX0..PREFIX(N-1), each down W ms
+      // in sequence starting at T0.
+      size_t at = raw.rfind('@');
+      size_t star = raw.rfind('*', at == std::string::npos ? raw.size() : at);
+      size_t plus = at == std::string::npos ? std::string::npos
+                                            : raw.find('+', at + 1);
+      uint64_t n = 0, t0 = 0, w = 0;
+      if (at == std::string::npos || star == std::string::npos || star == 0 ||
+          plus == std::string::npos ||
+          !parse_u64_strict(raw.substr(star + 1, at - star - 1), &n) ||
+          n == 0 ||
+          !parse_u64_strict(raw.substr(at + 1, plus - at - 1), &t0) ||
+          !parse_u64_strict(raw.substr(plus + 1), &w) || w == 0) {
+        PS_LOG_WARN(
+            "PERFSIGHT_FAULTS: bad rolling '%s' (want PREFIX*N@T0+W, ms, "
+            "N>0, W>0); rejected",
+            raw.c_str());
+        continue;
+      }
+      rollings.push_back(PendingRolling{
+          raw.substr(0, star), n, SimTime::millis(static_cast<int64_t>(t0)),
+          Duration::millis(static_cast<int64_t>(w))});
+      continue;
+    }
     double value = 0;
     if (!parse_double_strict(raw, &value)) {
       PS_LOG_WARN("PERFSIGHT_FAULTS: bad value '%s' for key '%s'; rejected",
@@ -203,6 +349,19 @@ std::optional<FaultPlan> FaultPlan::from_env() {
   FaultPlan plan(seed);
   for (size_t k = 0; k < kNumChannelKinds; ++k) {
     plan.set_channel_faults(static_cast<ChannelKind>(k), spec);
+  }
+  for (const auto& o : outages) plan.schedule_outage(o.name, o.start, o.end);
+  for (const auto& o : host_outages) {
+    plan.schedule_host_outage(o.name, o.start, o.end);
+  }
+  for (const auto& [agent, tag] : hosts) plan.set_host(agent, tag);
+  for (const auto& r : rollings) {
+    std::vector<std::string> agents;
+    agents.reserve(r.count);
+    for (uint64_t i = 0; i < r.count; ++i) {
+      agents.push_back(r.prefix + std::to_string(i));
+    }
+    plan.schedule_rolling_upgrade(agents, r.start, r.window);
   }
   return plan;
 }

@@ -54,19 +54,46 @@ const char* to_string(FaultKind k);
 
 // Trustworthiness of one returned record, reported per element by the
 // collection layer and propagated through every diagnosis verdict.
-// Severity-ordered: worse() below takes the max.
+// Enumerator values are pinned on the wire (PSB1 response quality byte), so
+// kReplica is appended after kMissing even though it is *less* severe;
+// worse() ranks by severity, not enumerator value.
 enum class DataQuality {
-  kFresh = 0,  // collected this query, complete
-  kStale,      // served from an earlier collection; timestamp is honest
-  kTorn,       // collected this query but attrs are missing
-  kMissing,    // no record: channel dead, retries exhausted, or budget hit
+  kFresh = 0,    // collected this query, complete, from the primary
+  kStale,        // served from an earlier collection; timestamp is honest
+  kTorn,         // collected this query but attrs are missing
+  kMissing,      // no record: channel dead, retries exhausted, or budget hit
+  kReplica,      // complete record, but served by a mirror (primary failed)
 };
 
 const char* to_string(DataQuality q);
 
+// Severity rank: fresh < replica < stale < torn < missing.  A replica answer
+// is a complete, current record — trustworthy for diagnosis — but coverage
+// reports must still distinguish it from a fresh primary read.
+inline int quality_rank(DataQuality q) {
+  switch (q) {
+    case DataQuality::kFresh:
+      return 0;
+    case DataQuality::kReplica:
+      return 1;
+    case DataQuality::kStale:
+      return 2;
+    case DataQuality::kTorn:
+      return 3;
+    case DataQuality::kMissing:
+      return 4;
+  }
+  return 4;
+}
+
 inline bool is_fresh(DataQuality q) { return q == DataQuality::kFresh; }
+// True when the record is complete and current enough for Algorithm 1/2 to
+// rank on: a fresh primary read or a quorum replica answer.
+inline bool is_measured(DataQuality q) {
+  return q == DataQuality::kFresh || q == DataQuality::kReplica;
+}
 inline DataQuality worse(DataQuality a, DataQuality b) {
-  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+  return quality_rank(a) >= quality_rank(b) ? a : b;
 }
 
 // Per-query fault probabilities for one channel (or one element).
@@ -85,6 +112,17 @@ struct ChannelFaultSpec {
 struct FaultDecision {
   FaultKind kind = FaultKind::kNone;
   uint64_t torn_salt = 0;  // selects which attrs a torn read loses
+};
+
+// A half-open window [start, end) during which an agent (or every agent on a
+// host) is down: every channel attempt fails with Status::unavailable, no
+// Bernoulli draw consulted.  Campaigns are pure schedule — the same plan
+// yields the same outage at the same simulated time from any thread.
+struct OutageWindow {
+  SimTime start;
+  SimTime end;
+
+  bool contains(SimTime t) const { return start <= t && t < end; }
 };
 
 class FaultPlan {
@@ -116,6 +154,49 @@ class FaultPlan {
   size_t crashes_between(const std::string& agent, SimTime since,
                          SimTime until) const;
 
+  // --- Scheduled campaigns (windowed outages, not Bernoulli) ---------------
+
+  // Agent `agent` is down for [start, end): every channel attempt in the
+  // window fails like a transient error, retries and breakers included.
+  void schedule_outage(const std::string& agent, SimTime start, SimTime end) {
+    outages_[agent].push_back(OutageWindow{start, end});
+  }
+
+  // Tags `agent` as living on host `tag` so host-level windows reach it.
+  void set_host(const std::string& agent, const std::string& tag) {
+    host_of_[agent] = tag;
+  }
+  // The host tag of `agent`, or "" when untagged.
+  const std::string& host_of(const std::string& agent) const;
+
+  // Correlated failure: every agent tagged with `tag` is down for
+  // [start, end) together.
+  void schedule_host_outage(const std::string& tag, SimTime start,
+                            SimTime end) {
+    host_outages_[tag].push_back(OutageWindow{start, end});
+  }
+
+  // Rolling upgrade: agents[i] is down for
+  // [start + i*window, start + (i+1)*window) — one agent at a time, in fleet
+  // order.  Desugars to per-agent windows at schedule time, so agent_down()
+  // stays a plain window-containment check.
+  void schedule_rolling_upgrade(const std::vector<std::string>& agents,
+                                SimTime start, Duration window);
+
+  // True when `agent` is inside any scheduled outage window at `now`
+  // (its own windows or its host's).
+  bool agent_down(const std::string& agent, SimTime now) const;
+
+  // True when any outage window (agent- or host-level) contains `now`.
+  bool campaign_active(SimTime now) const;
+
+  // True when any campaign windows are scheduled at all; gates the
+  // perfsight_fault_campaign_active exposition and the per-query
+  // agent_down() check (no campaign → no per-sweep map lookups).
+  bool has_campaign() const {
+    return !outages_.empty() || !host_outages_.empty();
+  }
+
   // True when any fault source is configured (agents skip the fault path
   // entirely otherwise, preserving the exact pre-fault behaviour).
   bool enabled() const;
@@ -145,10 +226,17 @@ class FaultPlan {
 
   // Builds a plan from the PERFSIGHT_FAULTS environment variable, e.g.
   //   PERFSIGHT_FAULTS="seed=7,transient=0.05,timeout=0.01,stale=0.02,torn=0.02"
-  // (probabilities apply to every channel kind).  nullopt when the variable
-  // is unset or empty.  Parsing is strict: an unknown key, a value with
-  // trailing garbage, or an empty value is rejected with a warning (never
-  // silently treated as 0), and probabilities are clamped to [0,1].
+  // (probabilities apply to every channel kind).  Campaign grammar, all
+  // times in integer simulated milliseconds:
+  //   outage=NAME@T0-T1       agent NAME down for [T0ms, T1ms)
+  //   host=NAME:TAG           tag agent NAME as living on host TAG
+  //   host_outage=TAG@T0-T1   every agent tagged TAG down for [T0ms, T1ms)
+  //   rolling=PREFIX*N@T0+W   rolling upgrade of agents PREFIX0..PREFIX(N-1):
+  //                           agent i down for [T0+i*W, T0+(i+1)*W) ms
+  // nullopt when the variable is unset or empty.  Parsing is strict: an
+  // unknown key, a value with trailing garbage, or an empty value is
+  // rejected with a warning (never silently treated as 0), and
+  // probabilities are clamped to [0,1].
   static std::optional<FaultPlan> from_env();
 
  private:
@@ -157,6 +245,9 @@ class FaultPlan {
   std::array<ChannelFaultSpec, kNumChannelKinds> channel_ = {};
   std::unordered_map<ElementId, ChannelFaultSpec> element_;
   std::unordered_map<std::string, std::vector<SimTime>> crashes_;
+  std::unordered_map<std::string, std::vector<OutageWindow>> outages_;
+  std::unordered_map<std::string, std::string> host_of_;
+  std::unordered_map<std::string, std::vector<OutageWindow>> host_outages_;
 };
 
 // Deterministically drops a subset of `r`'s attrs (at least one survives,

@@ -6,6 +6,7 @@
 
 #include "common/threadpool.h"
 #include "perfsight/agent.h"
+#include "perfsight/faults.h"
 #include "perfsight/json_export.h"
 #include "perfsight/trace.h"
 
@@ -211,7 +212,36 @@ std::string MetricsRegistry::expose(SimTime now) const {
         emit("breaker_fast_fails", fs.breaker_fast_fails);
         emit("crashes", fs.crashes);
       }
+
+      // Live breaker position per agent x channel kind, so a dashboard can
+      // tell "open right now" from "opened at some point" (the counters
+      // above).  Same any_faults gate: fault-free exposition is unchanged.
+      out += "# HELP perfsight_agent_breaker_state Circuit breaker position "
+             "per channel kind (0 closed, 1 open, 2 half-open)\n";
+      out += "# TYPE perfsight_agent_breaker_state gauge\n";
+      for (Agent* a : agents_) {
+        if (!a->fault_stats().any()) continue;
+        for (size_t k = 0; k < kNumChannelKinds; ++k) {
+          const BreakerState bs = a->breaker_state(static_cast<ChannelKind>(k));
+          out += "perfsight_agent_breaker_state{agent=\"" +
+                 prom_escape(a->name()) + "\",channel=\"" +
+                 to_string(static_cast<ChannelKind>(k)) + "\"} " +
+                 std::to_string(static_cast<int>(bs)) + "\n";
+        }
+      }
     }
+  }
+
+  // --- scheduled fault campaigns ---------------------------------------------
+  // Emitted only when the armed plan carries a campaign (windowed outages /
+  // host outages / rolling upgrades), so plans of pure Bernoulli faults —
+  // and fault-free runs — keep their exact exposition.
+  if (fault_plan_ != nullptr && fault_plan_->has_campaign()) {
+    out += "# HELP perfsight_fault_campaign_active Whether any scheduled "
+           "outage window covers the current time\n";
+    out += "# TYPE perfsight_fault_campaign_active gauge\n";
+    out += std::string("perfsight_fault_campaign_active ") +
+           (fault_plan_->campaign_active(now) ? "1" : "0") + "\n";
   }
 
   // --- registered instruments ----------------------------------------------

@@ -28,6 +28,7 @@ namespace perfsight {
 
 class Agent;
 class AgentClient;
+class FaultPlan;
 class ThreadPool;
 
 // Histogram of latencies in seconds over fixed exponential buckets
@@ -111,6 +112,14 @@ class MetricsRegistry {
   // to the sequential scrape).  Null, the default, scrapes sequentially.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  // Fault plan driving the agents, if any; not owned.  With a plan armed
+  // and fault counters moving, expose() adds per-agent-per-kind breaker
+  // gauges (perfsight_agent_breaker_state: 0 closed, 1 open, 2 half-open)
+  // and, when the plan carries a scheduled campaign, a
+  // perfsight_fault_campaign_active gauge.  Fault-free exposition is
+  // byte-identical to the pre-fault format.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
   // Renders the full exposition: every element attribute of every agent
   // (in-process and client-wrapped) as perfsight_element_stat gauges (the
   // scrape itself travels the modelled channels, feeding the agents'
@@ -137,6 +146,7 @@ class MetricsRegistry {
   std::vector<Agent*> agents_;
   std::vector<AgentClient*> agent_clients_;
   ThreadPool* pool_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;
   std::vector<Family<Gauge>> gauges_;
   std::vector<Family<CounterMetric>> counters_;
   std::vector<Family<LatencyHistogram>> histograms_;

@@ -123,6 +123,21 @@ std::string RemoteAgentServer::hello_bytes() const {
       hello.roster.push_back({a->name(), a->element_ids()});
     }
   }
+  // Element-set epoch: a fingerprint over every hosted agent's name and
+  // element ids.  A reconnecting client compares it against the epoch it
+  // cached — equal means the element set is unchanged and the reconnect
+  // diff can be skipped entirely.
+  std::string fp;
+  for (Agent* a : agents_) {
+    fp += a->name();
+    fp += '\0';
+    for (const ElementId& id : a->element_ids()) {
+      fp += id.name;
+      fp += '\n';
+    }
+  }
+  hello.epoch = wire::fnv1a64(fp);
+  if (hello.epoch == 0) hello.epoch = 1;  // 0 is "not advertised" on the wire
   return wire::encode_message(wire::MessageKind::kHello,
                               wire::encode_hello(hello));
 }
@@ -495,6 +510,20 @@ RemoteAgent::TransportStats RemoteAgent::transport_stats() const {
   return stats_;
 }
 
+std::vector<RemoteAgent::RosterDiff> RemoteAgent::drain_roster_diffs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RosterDiff> out = std::move(roster_diffs_);
+  roster_diffs_.clear();
+  return out;
+}
+
+std::vector<ElementId> RemoteAgent::departed_elements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ElementId> out(departed_.begin(), departed_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 Status RemoteAgent::connect() {
   std::lock_guard<std::mutex> lock(mu_);
   return connect_locked(SimTime());
@@ -620,6 +649,45 @@ Status RemoteAgent::connect_locked(SimTime now) {
   clock_offset_ns_ = h.clock_ns - (c0 + (c1 - c0) / 2);
 
   const bool first = name_.empty();
+
+  // Reconnect-aware hello diff: compare the fresh advertisement against the
+  // cached element set.  An unchanged epoch proves the set identical and
+  // skips the walk; otherwise removed ids become departed (answered locally
+  // as "departed at reconnect" blind spots until they re-appear) and added
+  // ids are servable immediately — no full redial.  The delta is queued for
+  // the deployment layer.
+  if (!first && h.epoch != 0 && h.epoch == epoch_) {
+    ++stats_.epoch_skips;
+  } else if (!first) {
+    RosterDiff diff;
+    diff.old_epoch = epoch_;
+    diff.new_epoch = h.epoch;
+    // Both sets are ascending (hellos advertise sorted ids); a two-pointer
+    // walk yields both deltas.
+    size_t oi = 0, ni = 0;
+    while (oi < elements_.size() || ni < selected_elements.size()) {
+      if (ni >= selected_elements.size() ||
+          (oi < elements_.size() && elements_[oi] < selected_elements[ni])) {
+        diff.removed.push_back(elements_[oi++]);
+      } else if (oi >= elements_.size() ||
+                 selected_elements[ni] < elements_[oi]) {
+        diff.added.push_back(selected_elements[ni++]);
+      } else {
+        ++oi;
+        ++ni;
+      }
+    }
+    for (const ElementId& id : diff.removed) departed_.insert(id);
+    for (const ElementId& id : diff.added) departed_.erase(id);
+    if (!diff.added.empty() || !diff.removed.empty()) {
+      trace_event(transport_trace_id(), now, TraceEventKind::kTransportDamaged,
+                  static_cast<double>(diff.removed.size()),
+                  "elements departed at reconnect");
+      roster_diffs_.push_back(std::move(diff));
+    }
+  }
+  epoch_ = h.epoch;
+
   name_ = selected_name;
   roster_names_ = std::move(roster);
   elements_ = std::move(selected_elements);
@@ -629,6 +697,9 @@ Status RemoteAgent::connect_locked(SimTime now) {
 
   ++stats_.connects;
   if (!first) ++stats_.reconnects;
+  // The breaker is re-armed per the diff, not globally: the connection-level
+  // breaker closes (the dial just succeeded), while departed elements stay
+  // individually fast-failed above until a later hello re-adds them.
   consecutive_failures_ = 0;
   breaker_state_ = BreakerState::kClosed;
   if (m_connects_ != nullptr) m_connects_->increment();
@@ -682,6 +753,37 @@ BatchResponse RemoteAgent::total_loss_locked(
   return out;
 }
 
+BatchResponse RemoteAgent::finish_batch_locked(
+    BatchResponse out, const std::vector<ElementId>& departed_hit,
+    SimTime now) const {
+  if (departed_hit.empty()) return out;
+  // Two-pointer merge of two ascending sequences: the wire responses and
+  // the locally synthesized departures.  kFailedPrecondition is the marker
+  // the controller turns into the "departed at reconnect" Status — no
+  // channel attempt was spent, the roster is the authority.
+  std::vector<QueryResponse> merged;
+  merged.reserve(out.responses.size() + departed_hit.size());
+  size_t ri = 0;
+  for (const ElementId& id : departed_hit) {
+    while (ri < out.responses.size() && out.responses[ri].record.element < id) {
+      merged.push_back(std::move(out.responses[ri++]));
+    }
+    QueryResponse gone;
+    gone.record.element = id;
+    gone.record.timestamp = now;
+    gone.quality = DataQuality::kMissing;
+    gone.attempts = 1;
+    gone.fail_code = StatusCode::kFailedPrecondition;
+    merged.push_back(std::move(gone));
+    ++out.degraded;
+  }
+  while (ri < out.responses.size()) {
+    merged.push_back(std::move(out.responses[ri++]));
+  }
+  out.responses = std::move(merged);
+  return out;
+}
+
 BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
                                        SimTime now, ThreadPool* /*pool*/) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -695,6 +797,21 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
   std::vector<ElementId> sorted = ids;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Departed ids never travel the wire: the reconnect hello already proved
+  // the far end dropped them, so they are answered locally as blind spots
+  // (finish_batch_locked) and stripped from the request.
+  std::vector<ElementId> departed_hit;
+  if (!departed_.empty()) {
+    auto keep = std::remove_if(sorted.begin(), sorted.end(),
+                               [&](const ElementId& id) {
+                                 if (departed_.count(id) == 0) return false;
+                                 departed_hit.push_back(id);
+                                 return true;
+                               });
+    sorted.erase(keep, sorted.end());
+  }
+
   std::vector<ElementId> known;
   known.reserve(sorted.size());
   for (const ElementId& id : sorted) {
@@ -703,7 +820,10 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
   const size_t unknown = sorted.size() - known.size();
 
   Status st = ensure_connected_locked(now);
-  if (!st.is_ok()) return total_loss_locked(known, unknown);
+  if (!st.is_ok()) {
+    return finish_batch_locked(total_loss_locked(known, unknown), departed_hit,
+                               now);
+  }
 
   // The caller's trace context rides the envelope; {0, 0} (untraced) keeps
   // the request — and the server's reply — byte-identical to a build
@@ -728,9 +848,15 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
       if (!read.bytes.empty()) break;  // partial reply: reconcile below
     }
     drop_connection_locked();
-    if (attempt >= 1) return total_loss_locked(known, unknown);
+    if (attempt >= 1) {
+      return finish_batch_locked(total_loss_locked(known, unknown),
+                                 departed_hit, now);
+    }
     Status re = ensure_connected_locked(now);
-    if (!re.is_ok()) return total_loss_locked(known, unknown);
+    if (!re.is_ok()) {
+      return finish_batch_locked(total_loss_locked(known, unknown),
+                                 departed_hit, now);
+    }
     trace_event(transport_trace_id(), now, TraceEventKind::kTransportReconnect,
                 1.0, "resend");
   }
@@ -742,7 +868,8 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
     drop_connection_locked();
     ++stats_.damaged;
     if (m_damaged_ != nullptr) m_damaged_->increment();
-    return total_loss_locked(known, unknown);
+    return finish_batch_locked(total_loss_locked(known, unknown), departed_hit,
+                               now);
   }
 
   if (read.clean() && dstats.complete()) {
@@ -759,7 +886,7 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
       // loss here costs the lane (recoverable by harvest), not the batch.
       read_trace_data_locked();
     }
-    return std::move(decoded).take();
+    return finish_batch_locked(std::move(decoded).take(), departed_hit, now);
   }
 
   // Torn or corrupt stream: the connection's framing is gone, so drop it,
@@ -783,12 +910,18 @@ BatchResponse RemoteAgent::query_batch(const std::vector<ElementId>& ids,
       static_cast<double>(expected.size() - decoded.value().responses.size());
   trace_event(transport_trace_id(), now, TraceEventKind::kTransportDamaged,
               lost, name_);
-  return out;
+  return finish_batch_locked(std::move(out), departed_hit, now);
 }
 
 Result<QueryResponse> RemoteAgent::query_attrs(
     const ElementId& id, const std::vector<std::string>& attrs, SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
+
+  // Departed at a reconnect: fail fast with the departure status — the
+  // roster is the authority, no dial or channel attempt is owed.
+  if (departed_.count(id) > 0) {
+    return query_failure_status(name_, id, 1, StatusCode::kFailedPrecondition);
+  }
 
   Status st = ensure_connected_locked(now);
   if (!st.is_ok()) {

@@ -264,8 +264,30 @@ class RemoteAgent : public AgentClient {
     uint64_t batches = 0;     // batch round trips attempted
     uint64_t damaged = 0;     // batches that came back short/corrupt
     uint64_t fast_fails = 0;  // queries skipped while the breaker was open
+    uint64_t epoch_skips = 0;  // reconnects whose unchanged epoch skipped
+                               // the element-set diff
   };
   TransportStats transport_stats() const;
+
+  // One reconnect's element-set delta: what the fresh hello advertises for
+  // the bound agent versus what this adapter cached at the previous
+  // connection.  Removed ids become immediate "departed at reconnect"
+  // blind spots; added ids are servable right away — no full redial, the
+  // reconnect's hello already registered them.
+  struct RosterDiff {
+    uint64_t old_epoch = 0;  // 0: the previous hello predates epochs
+    uint64_t new_epoch = 0;
+    std::vector<ElementId> added;    // ascending
+    std::vector<ElementId> removed;  // ascending
+  };
+  // Drains the diffs observed at reconnects, oldest first (empty when every
+  // reconnect found the element set unchanged).  The Deployment layer reads
+  // these to keep its registrations honest.
+  std::vector<RosterDiff> drain_roster_diffs();
+  // Elements that departed at some reconnect and have not re-appeared
+  // (ascending).  Queries to them fail immediately with the
+  // "departed at reconnect" status instead of travelling the wire.
+  std::vector<ElementId> departed_elements() const;
 
  private:
   // All _locked members require mu_.
@@ -279,6 +301,12 @@ class RemoteAgent : public AgentClient {
   // id kMissing/kUnavailable, unknowns counted like the in-process agent).
   BatchResponse total_loss_locked(const std::vector<ElementId>& sorted_known,
                                   size_t unknown) const;
+  // Merges synthesized "departed at reconnect" blind spots (ascending
+  // `departed_hit`) into an ascending batch.  No-op for an empty hit list,
+  // keeping the fault-free path byte-identical.
+  BatchResponse finish_batch_locked(BatchResponse out,
+                                    const std::vector<ElementId>& departed_hit,
+                                    SimTime now) const;
 
   // Reads a piggybacked/harvested kTraceData message off the live socket
   // and merges it into the global recorder as a remote lane.
@@ -295,6 +323,11 @@ class RemoteAgent : public AgentClient {
   std::vector<std::string> roster_names_;    // from the last hello
   std::vector<ElementId> elements_;          // ascending, from the hello
   std::unordered_set<ElementId> element_set_;
+  uint64_t epoch_ = 0;  // element-set epoch of the last hello (0: none)
+  // Elements lost at a reconnect and not re-added since; queries to them
+  // are answered locally with kFailedPrecondition (departed at reconnect).
+  std::unordered_set<ElementId> departed_;
+  std::vector<RosterDiff> roster_diffs_;  // pending drain_roster_diffs()
   RetryPolicy retry_;
   CircuitBreakerConfig breaker_cfg_;
   BreakerState breaker_state_ = BreakerState::kClosed;

@@ -104,10 +104,11 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
     MbObservation obs;
     obs.id = mb;
     obs.quality = worse(s1.quality, s2.quality);
-    // Refusal to exonerate on degraded data: only a fresh sample pair may
-    // classify a middlebox as blocked (and thereby remove candidates).  A
-    // stale/torn/missing middlebox stays kNormal — still a suspect.
-    if (s1.valid && s2.valid && is_fresh(obs.quality)) {
+    // Refusal to exonerate on degraded data: only a measured sample pair
+    // (fresh primary or quorum replica) may classify a middlebox as blocked
+    // (and thereby remove candidates).  A stale/torn/missing middlebox stays
+    // kNormal — still a suspect.
+    if (s1.valid && s2.valid && is_measured(obs.quality)) {
       double db_in = s2.in_bytes - s1.in_bytes;
       double dt_in = s2.in_time_ns - s1.in_time_ns;
       double db_out = s2.out_bytes - s1.out_bytes;
@@ -128,7 +129,7 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
       }
     }
     states[mb] = obs.state;
-    if (!is_fresh(obs.quality)) report.blind_spots.push_back(obs);
+    if (!is_measured(obs.quality)) report.blind_spots.push_back(obs);
     report.observations.push_back(obs);
   }
   if (!mbs.empty()) {
@@ -206,7 +207,7 @@ RootCauseReport RootCauseAnalyzer::analyze(TenantId tenant,
       report.narrative += " " + report.root_causes[i].name + " (" +
                           to_string(report.root_cause_roles[i]) + ")";
       const DataQuality q = quality_of[report.root_causes[i]];
-      if (!is_fresh(q)) {
+      if (!is_measured(q)) {
         // A candidate that survived because it *could not* be measured is a
         // different claim than one measured and not exonerated.
         report.narrative += std::string(" [unverified: ") + to_string(q) +

@@ -102,7 +102,7 @@ bool decode_payload(std::string_view payload, QueryResponse* r) {
   if (!get(payload, at, &fail_code)) return false;
   if (!get(payload, at, &attempts)) return false;
   if (!get(payload, at, &rt)) return false;
-  if (quality > static_cast<uint8_t>(DataQuality::kMissing)) return false;
+  if (quality > static_cast<uint8_t>(DataQuality::kReplica)) return false;
   if (fail_code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return false;
   }
@@ -392,6 +392,10 @@ std::string encode_hello(const HelloMsg& h) {
       put_id_list(body, a.elements);
     }
   }
+  // Element-set epoch, appended last and only when advertised: a pre-epoch
+  // hello stays byte-identical, and the 8-byte trailer cannot be mistaken
+  // for a roster section (which is at least 16 bytes).
+  if (h.epoch != 0) put<uint64_t>(body, h.epoch);
   return body;
 }
 
@@ -404,6 +408,14 @@ Result<HelloMsg> decode_hello(std::string_view body) {
     return Status::invalid_argument("wire hello structurally damaged");
   }
   if (at == body.size()) return h;  // single-agent hello: no roster section
+  if (body.size() - at == 8) {
+    // Exactly one u64 left: the epoch trailer of a single-agent hello (a
+    // roster section is at least 16 bytes, so this cannot be one).
+    if (!get(body, at, &h.epoch)) {
+      return Status::invalid_argument("wire hello structurally damaged");
+    }
+    return h;
+  }
   uint32_t count = 0;
   if (!get(body, at, &count)) {
     return Status::invalid_argument("wire hello structurally damaged");
@@ -423,7 +435,10 @@ Result<HelloMsg> decode_hello(std::string_view body) {
     h.roster.push_back(std::move(a));
   }
   if (at != body.size()) {
-    return Status::invalid_argument("wire hello structurally damaged");
+    // The only valid thing after a roster is the 8-byte epoch trailer.
+    if (body.size() - at != 8 || !get(body, at, &h.epoch)) {
+      return Status::invalid_argument("wire hello structurally damaged");
+    }
   }
   return h;
 }

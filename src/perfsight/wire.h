@@ -173,6 +173,17 @@ struct HelloMsg {
   // Empty on a single-agent hello; encode emits the roster section only
   // when it names more than one agent.
   std::vector<AgentInfo> roster;
+
+  // Element-set epoch: a fingerprint of the advertised roster (agent names
+  // + element ids).  A reconnecting client compares epochs to decide
+  // whether the element set changed while it was away — equal epochs skip
+  // the diff entirely.  0 means "not advertised" (pre-epoch server);
+  // encode emits the trailing epoch section only when nonzero, so legacy
+  // hellos stay byte-identical.  The 8-byte trailer is unambiguous: a
+  // roster section is at least 16 bytes (u32 count + two entries of
+  // name-length + id-count prefixes), so exactly 8 trailing bytes can only
+  // be an epoch.
+  uint64_t epoch = 0;
 };
 std::string encode_hello(const HelloMsg& h);
 Result<HelloMsg> decode_hello(std::string_view body);
