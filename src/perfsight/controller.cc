@@ -80,6 +80,10 @@ std::vector<ElementId> Controller::stack_elements_for(TenantId tenant) const {
     out.insert(out.end(), sit->second.begin(), sit->second.end());
   }
   std::sort(out.begin(), out.end());
+  // A mirrored element is registered as a stack element on its primary AND
+  // its replica agent; the scan set is a set — without this, quorum-served
+  // elements count twice in loss rankings and coverage denominators.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -136,6 +136,16 @@ bool FaultPlan::campaign_active(SimTime now) const {
   return false;
 }
 
+bool FaultPlan::stream_drop(const std::string& agent, uint64_t seq) const {
+  if (stream_drop_p_ <= 0) return false;
+  // Same decorrelation shape as decide(), salted so stream fates never
+  // alias channel fates: one independent draw per (agent, seq).
+  uint64_t h = mix64(seed_ ^ mix64(fnv1a(agent)) ^
+                     mix64(seq ^ 0x5354524d53ULL));  // "STRMS"
+  Pcg32 rng(h, h >> 1);
+  return rng.next_double() < stream_drop_p_;
+}
+
 bool FaultPlan::serves_stale() const {
   for (const ChannelFaultSpec& s : channel_) {
     if (s.stale_p > 0) return true;
@@ -224,8 +234,14 @@ bool parse_window_ms(const std::string& s, SimTime* start, SimTime* end) {
 std::optional<FaultPlan> FaultPlan::from_env() {
   const char* env = std::getenv("PERFSIGHT_FAULTS");
   if (env == nullptr || *env == '\0') return std::nullopt;
+  return parse(env);
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& spec_string) {
+  if (spec_string.empty()) return std::nullopt;
 
   uint64_t seed = 1;
+  double stream_drop = 0;
   ChannelFaultSpec spec;
   // Campaign items are collected first and applied once the seed is known
   // (the seed key may appear anywhere in the list).
@@ -244,7 +260,7 @@ std::optional<FaultPlan> FaultPlan::from_env() {
     Duration window;
   };
   std::vector<PendingRolling> rollings;
-  std::string kv(env);
+  const std::string& kv = spec_string;
   size_t pos = 0;
   while (pos < kv.size()) {
     size_t comma = kv.find(',', pos);
@@ -339,6 +355,8 @@ std::optional<FaultPlan> FaultPlan::from_env() {
       spec.stale_p = clamp_probability(key, value);
     } else if (key == "torn") {
       spec.torn_p = clamp_probability(key, value);
+    } else if (key == "stream_drop") {
+      stream_drop = clamp_probability(key, value);
     } else {
       // A typo'd key ("transiet=0.05") silently skipped means the operator
       // believes faults are on when they are not.
@@ -347,6 +365,7 @@ std::optional<FaultPlan> FaultPlan::from_env() {
   }
 
   FaultPlan plan(seed);
+  plan.set_stream_drop(stream_drop);
   for (size_t k = 0; k < kNumChannelKinds; ++k) {
     plan.set_channel_faults(static_cast<ChannelKind>(k), spec);
   }
@@ -364,6 +383,63 @@ std::optional<FaultPlan> FaultPlan::from_env() {
     plan.schedule_rolling_upgrade(agents, r.start, r.window);
   }
   return plan;
+}
+
+std::string FaultPlan::to_env_string() const {
+  // Shortest-round-trip number formatting: parse_double_strict reads the
+  // emitted string back to the exact same double, so the string form is a
+  // fixed point of parse ∘ to_env_string.
+  auto num = [](double v) {
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    PS_CHECK(ec == std::errc());
+    return std::string(buf, ptr);
+  };
+  // Window times project to the grammar's integer milliseconds.
+  auto window = [](const OutageWindow& w) {
+    return std::to_string(w.start.ns() / 1000000) + "-" +
+           std::to_string(w.end.ns() / 1000000);
+  };
+  std::string out = "seed=" + std::to_string(seed_);
+  // parse() applies one uniform spec to every kind; emit kind 0's.
+  const ChannelFaultSpec& s = channel_[0];
+  if (s.transient_p > 0) out += ",transient=" + num(s.transient_p);
+  if (s.timeout_p > 0) out += ",timeout=" + num(s.timeout_p);
+  if (s.stale_p > 0) out += ",stale=" + num(s.stale_p);
+  if (s.torn_p > 0) out += ",torn=" + num(s.torn_p);
+  if (stream_drop_p_ > 0) out += ",stream_drop=" + num(stream_drop_p_);
+
+  std::vector<std::pair<std::string, OutageWindow>> outages;
+  for (const auto& [agent, windows] : outages_) {
+    for (const OutageWindow& w : windows) outages.emplace_back(agent, w);
+  }
+  auto by_name_window = [](const std::pair<std::string, OutageWindow>& a,
+                           const std::pair<std::string, OutageWindow>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    if (a.second.start != b.second.start) {
+      return a.second.start < b.second.start;
+    }
+    return a.second.end < b.second.end;
+  };
+  std::sort(outages.begin(), outages.end(), by_name_window);
+  for (const auto& [agent, w] : outages) {
+    out += ",outage=" + agent + "@" + window(w);
+  }
+
+  std::vector<std::pair<std::string, std::string>> hosts(host_of_.begin(),
+                                                         host_of_.end());
+  std::sort(hosts.begin(), hosts.end());
+  for (const auto& [agent, tag] : hosts) out += ",host=" + agent + ":" + tag;
+
+  std::vector<std::pair<std::string, OutageWindow>> host_outages;
+  for (const auto& [tag, windows] : host_outages_) {
+    for (const OutageWindow& w : windows) host_outages.emplace_back(tag, w);
+  }
+  std::sort(host_outages.begin(), host_outages.end(), by_name_window);
+  for (const auto& [tag, w] : host_outages) {
+    out += ",host_outage=" + tag + "@" + window(w);
+  }
+  return out;
 }
 
 StatsRecord apply_torn_read(const StatsRecord& r, uint64_t salt) {

@@ -217,6 +217,22 @@ class FaultPlan {
   // last-good records stale serving needs while this holds.
   bool serves_stale() const;
 
+  // --- push-mode stream faults ----------------------------------------------
+  // Probability that one published stream frame is lost in transit.  This is
+  // a transport-layer fault consumed by the streaming pipeline (streaming.h),
+  // not by agents: a dropped frame becomes a sequence gap the subscriber
+  // must detect and repair with a targeted pull, while the channel queries
+  // behind the capture are untouched.  Deliberately NOT part of enabled():
+  // agents never consult it.
+  void set_stream_drop(double p) { stream_drop_p_ = p; }
+  double stream_drop_p() const { return stream_drop_p_; }
+
+  // The fate of stream frame `seq` published by `agent`.  Pure function of
+  // (seed, agent, seq) — campaigns and channel decisions draw nothing from
+  // it, and it draws nothing from them — so a repair pull replaying the
+  // dropped window reproduces the capture exactly.
+  bool stream_drop(const std::string& agent, uint64_t seq) const;
+
   // The fate of attempt `attempt` (1-based) of a query to `id` over `kind`
   // at simulated time `now`.  Pure function of the plan's seed and the
   // arguments: same plan, same query, same fate — in any order, from any
@@ -239,8 +255,24 @@ class FaultPlan {
   // probabilities are clamped to [0,1].
   static std::optional<FaultPlan> from_env();
 
+  // The parser behind from_env(), usable on any spec string (tests feed it
+  // generated plans without touching the process environment).  Rejected
+  // items never poison valid keys around them and never half-apply.
+  static std::optional<FaultPlan> parse(const std::string& spec);
+
+  // The plan re-serialized in the PERFSIGHT_FAULTS grammar, canonically
+  // ordered (probabilities, then outage=/host=/host_outage= sorted by name
+  // and window) with shortest-round-trip number formatting, so
+  // parse(p.to_env_string()) reconstructs the same schedule and the string
+  // form is a fixed point.  Grammar-expressible state only: per-element and
+  // per-kind spec overrides, scheduled crashes, and rolling upgrades (which
+  // desugar to plain outage windows at schedule time) project onto the
+  // grammar — a plan built programmatically beyond it loses those extras.
+  std::string to_env_string() const;
+
  private:
   uint64_t seed_;
+  double stream_drop_p_ = 0;
   Duration timeout_spike_ = Duration::millis(10);
   std::array<ChannelFaultSpec, kNumChannelKinds> channel_ = {};
   std::unordered_map<ElementId, ChannelFaultSpec> element_;

@@ -99,6 +99,78 @@ void RemoteAgentServer::inject_drop_next_reply() {
   drop_next_ = true;
 }
 
+void RemoteAgentServer::inject_skip_next_publish() {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  skip_next_publish_ = true;
+}
+
+void RemoteAgentServer::request_publish(SimTime at) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  pending_publishes_.push_back(at);
+}
+
+void RemoteAgentServer::publish_tick(
+    SimTime at, std::vector<std::unique_ptr<Conn>>& conns) {
+  bool skip = false;
+  {
+    std::lock_guard<std::mutex> lock(inject_mu_);
+    skip = skip_next_publish_;
+    skip_next_publish_ = false;
+  }
+  for (Agent* agent : agents_) {
+    bool subscribed = false;
+    for (const auto& c : conns) {
+      if (!c->dead && c->sub_agent == agent->name()) {
+        subscribed = true;
+        break;
+      }
+    }
+    // No subscribers: no capture, no seq advance, zero stream bytes.
+    if (!subscribed) continue;
+
+    // One capture and one seq per agent per boundary, shared by every
+    // subscriber — gap detection works across connections.
+    const uint64_t seq = ++stream_seq_[agent->name()];
+    BatchResponse b = agent->query_batch(agent->element_ids(), at);
+    wire::StreamDataMsg msg;
+    msg.agent = agent->name();
+    msg.seq = seq;
+    msg.window_start = at;
+    msg.channel_time = b.channel_time;
+    msg.responses = std::move(b.responses);
+
+    for (auto& c : conns) {
+      if (c->dead || c->sub_agent != agent->name()) continue;
+      if (skip) {
+        // Injected transport loss: the capture was paid and the delta chain
+        // must stay coherent, so a connection that already has a base
+        // advances it (the client repairs the missed window with a pull
+        // whose bytes, by fault-plan purity, equal this capture).  A fresh
+        // connection keeps waiting for its snapshot — its first *sent*
+        // frame must stand alone.
+        if (c->stream_prev != nullptr) *c->stream_prev = msg;
+        continue;
+      }
+      // Delta against THIS connection's last frame; a fresh subscriber has
+      // no base yet, so its first frame is automatically a snapshot.
+      Result<std::string> body =
+          wire::encode_stream_data(msg, c->stream_prev.get());
+      if (!body.ok()) {
+        c->dead = true;
+        continue;
+      }
+      c->wbuf += wire::encode_message(wire::MessageKind::kStreamData,
+                                      body.value());
+      if (c->stream_prev == nullptr) {
+        c->stream_prev = std::make_unique<wire::StreamDataMsg>();
+      }
+      *c->stream_prev = msg;
+      stream_frames_.fetch_add(1, std::memory_order_relaxed);
+      if (!flush_writes(*c)) c->dead = true;
+    }
+  }
+}
+
 int64_t RemoteAgentServer::clock_ns() const {
   return transport::span_clock_ns() +
          clock_skew_ns_.load(std::memory_order_relaxed);
@@ -225,6 +297,22 @@ void RemoteAgentServer::serve() {
                                  return c->dead;
                                }),
                 conns.end());
+
+    // Push-mode boundaries requested since the last tick: capture once per
+    // subscribed agent per boundary and queue the frames.
+    std::vector<SimTime> publishes;
+    {
+      std::lock_guard<std::mutex> lock(publish_mu_);
+      publishes.swap(pending_publishes_);
+    }
+    for (SimTime at : publishes) publish_tick(at, conns);
+    if (!publishes.empty()) {
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const std::unique_ptr<Conn>& c) {
+                                   return c->dead;
+                                 }),
+                  conns.end());
+    }
 
     if (accepting && (fds[0].revents & POLLIN)) {
       // Drain every pending connection; a zero deadline makes accept()
@@ -408,6 +496,17 @@ bool RemoteAgentServer::handle_message(Conn& c, const wire::Message& msg) {
     case wire::MessageKind::kTraceHarvest:
       c.wbuf += trace_data_bytes(agents_.front()->name());
       return true;
+    case wire::MessageKind::kSubscribe: {
+      Result<wire::SubscribeMsg> req = wire::decode_subscribe(msg.body);
+      if (!req.ok()) return false;
+      // Same routing contract as batch requests: "" = primary, an unknown
+      // name closes the connection (bindings are validated at connect).
+      Agent* agent = route(req.value().agent);
+      if (agent == nullptr) return false;
+      c.sub_agent = agent->name();
+      c.stream_prev.reset();  // first frame to this connection: snapshot
+      return true;
+    }
     default:
       return false;  // a client speaking server->client kinds is confused
   }

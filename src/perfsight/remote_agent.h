@@ -58,10 +58,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -75,7 +77,8 @@
 namespace perfsight {
 
 namespace wire {
-struct Message;  // wire.h; only referenced, never stored, in this header
+struct Message;        // wire.h; only referenced, never stored, in this header
+struct StreamDataMsg;  // wire.h; held by pointer (per-connection delta base)
 }
 
 // --- server stub -------------------------------------------------------------
@@ -138,6 +141,23 @@ class RemoteAgentServer {
     clock_skew_ns_.store(skew_ns, std::memory_order_relaxed);
   }
 
+  // --- push-mode streaming (kSubscribe / kStreamData) ----------------------
+  // Captures one window at `at` for every agent with at least one subscribed
+  // connection and queues the kStreamData frames on those connections' write
+  // buffers.  Callable from any thread: the serve loop (which owns the
+  // connections) performs the capture + enqueue on its next tick, so a
+  // subscriber sees the frame within one poll interval.  With no subscribers
+  // the request is free — nothing is captured and not one stream byte is
+  // queued, keeping unsubscribed deployments byte-identical.  Per-agent
+  // sequence numbers advance once per published window (shared by every
+  // subscriber of that agent), giving clients cross-connection gap
+  // detection; each connection's first frame is a full snapshot.
+  void request_publish(SimTime at);
+  // Stream frames enqueued to subscribers (all connections, all agents).
+  uint64_t stream_frames_published() const {
+    return stream_frames_.load(std::memory_order_relaxed);
+  }
+
   // --- damage injection (tests) --------------------------------------------
   // Each arms the *next* batch reply, once.  Truncate sends only the first
   // `bytes` of the encoded batch and then kills the connection (a torn
@@ -146,6 +166,9 @@ class RemoteAgentServer {
   void inject_truncate_next_batch(size_t bytes);
   void inject_corrupt_next_batch(size_t index);
   void inject_drop_next_reply();
+  // Arms the next publish tick, once: sequence numbers advance but no frame
+  // is sent — every subscriber observes a gap it must repair.
+  void inject_skip_next_publish();
 
  private:
   // One multiplexed connection's state machine.  Owned exclusively by the
@@ -161,9 +184,17 @@ class RemoteAgentServer {
     // started.  time_point{} (epoch) = nothing pending.
     transport::Clock::time_point read_since{};
     transport::Clock::time_point write_since{};
+    // Push-mode subscription: non-empty = resolved agent name this
+    // connection subscribed to.  `stream_prev` is the delta base — the last
+    // frame queued on THIS connection (null until the snapshot goes out).
+    std::string sub_agent;
+    std::unique_ptr<wire::StreamDataMsg> stream_prev;
   };
 
   void serve();
+  // Drains request_publish() boundaries: one capture per subscribed agent
+  // per boundary, frames delta-coded per connection.  Serve thread only.
+  void publish_tick(SimTime at, std::vector<std::unique_ptr<Conn>>& conns);
   // Parses + dispatches every complete message in c.rbuf.  False when the
   // connection must close (protocol damage, injected drop, dead peer).
   bool drain_messages(Conn& c);
@@ -195,10 +226,19 @@ class RemoteAgentServer {
   TraceRecorder trace_recorder_;
   std::atomic<int64_t> clock_skew_ns_{0};
 
+  // Push-mode state.  stream_seq_ is serve-thread-only; the pending queue
+  // is the one cross-thread handoff (request_publish may be called from
+  // anywhere).
+  std::unordered_map<std::string, uint64_t> stream_seq_;
+  std::mutex publish_mu_;
+  std::vector<SimTime> pending_publishes_;
+  std::atomic<uint64_t> stream_frames_{0};
+
   std::mutex inject_mu_;
   std::optional<size_t> truncate_next_;
   std::optional<size_t> corrupt_next_;
   bool drop_next_ = false;
+  bool skip_next_publish_ = false;
 };
 
 // --- controller-side adapter -------------------------------------------------

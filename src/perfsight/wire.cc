@@ -1,5 +1,6 @@
 #include "perfsight/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace perfsight::wire {
@@ -330,6 +331,10 @@ const char* to_string(MessageKind k) {
       return "trace_harvest";
     case MessageKind::kTraceData:
       return "trace_data";
+    case MessageKind::kSubscribe:
+      return "subscribe";
+    case MessageKind::kStreamData:
+      return "stream_data";
   }
   return "?";
 }
@@ -360,7 +365,7 @@ Result<Message> decode_message(std::string_view bytes, size_t* consumed) {
     return Status::invalid_argument("wire message bad magic");
   }
   if (kind < static_cast<uint8_t>(MessageKind::kHello) ||
-      kind > static_cast<uint8_t>(MessageKind::kTraceData)) {
+      kind > static_cast<uint8_t>(MessageKind::kStreamData)) {
     return Status::invalid_argument("wire message unknown kind");
   }
   if (len > kMaxPayload || bytes.size() - at < len) {
@@ -603,6 +608,286 @@ Result<ErrorMsg> decode_error(std::string_view body) {
   e.code = static_cast<StatusCode>(code);
   e.message.assign(body.data() + at, body.size() - at);
   return e;
+}
+
+// --- push-mode streaming -----------------------------------------------------
+// body   := u16-str agent | u64 seq | i64 window_start_ns |
+//           i64 channel_time_ns | u32 record_count | record*
+// record := i64 timestamp_ns | u8 quality | u8 fail_code | u32 attempts |
+//           i64 response_time_ns | u16-str element | u16 attr_count |
+//           { u8 mode [| u16-str name] [| payload] }*
+// attr_count bit 15 is the schema-elision flag: when set, this record's
+// attr names (and order) are inherited from the previous frame's same
+// element and the per-attr name strings are omitted — steady-state
+// telemetry re-ships identical schemas every window, and the names are
+// most of the record.  The low 15 bits are the count (stream cap 32767).
+// Value payload by mode: 0 = u64 absolute IEEE-754 bits; 1 = u64 IEEE-754
+// delta bits vs the previous frame's same (element, attr); 2 = u32
+// non-negative integral delta vs the same base; 3 = unchanged (no payload,
+// the base value verbatim).  Deltas are emitted only when prev + delta
+// reproduces the value bit-exactly, preferring 3, then 2, then 1.
+
+namespace {
+
+// Fixed-width portion of an encoded stream record; caps what a corrupted
+// count can make the decoder reserve.
+constexpr size_t kMinStreamRecordSize = 8 + 1 + 1 + 4 + 8 + 2 + 2;
+
+// The previous frame's response for `element`, or null.  Frames keep
+// ascending element-id order, so this is a binary search.
+const QueryResponse* prev_response(const StreamDataMsg* prev,
+                                   const ElementId& element) {
+  if (prev == nullptr) return nullptr;
+  auto it = std::lower_bound(
+      prev->responses.begin(), prev->responses.end(), element,
+      [](const QueryResponse& r, const ElementId& id) {
+        return r.record.element < id;
+      });
+  if (it == prev->responses.end() || !(it->record.element == element)) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+uint64_t double_bits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string encode_subscribe(const SubscribeMsg& s) {
+  std::string body;
+  put_string(body, s.agent);
+  put<uint64_t>(body, s.from_seq);
+  put<int64_t>(body, s.window_ns);
+  return body;
+}
+
+Result<SubscribeMsg> decode_subscribe(std::string_view body) {
+  SubscribeMsg s;
+  size_t at = 0;
+  if (!get_string(body, at, &s.agent) || !get(body, at, &s.from_seq) ||
+      !get(body, at, &s.window_ns) || at != body.size()) {
+    return Status::invalid_argument("wire subscribe structurally damaged");
+  }
+  return s;
+}
+
+Result<std::string> encode_stream_data(const StreamDataMsg& m,
+                                       const StreamDataMsg* prev) {
+  if (m.agent.size() > 0xffff) {
+    return Status::invalid_argument("wire: agent name exceeds 64 KiB: " +
+                                    m.agent.substr(0, 64));
+  }
+  for (const QueryResponse& r : m.responses) {
+    Status st = check_encodable(r);
+    if (!st.is_ok()) return st;
+  }
+  std::string body;
+  put_string(body, m.agent);
+  put<uint64_t>(body, m.seq);
+  put<int64_t>(body, m.window_start.ns());
+  put<int64_t>(body, m.channel_time.ns());
+  put<uint32_t>(body, static_cast<uint32_t>(m.responses.size()));
+  for (const QueryResponse& r : m.responses) {
+    put<int64_t>(body, r.record.timestamp.ns());
+    put<uint8_t>(body, static_cast<uint8_t>(r.quality));
+    put<uint8_t>(body, static_cast<uint8_t>(r.fail_code));
+    put<uint32_t>(body, r.attempts);
+    put<int64_t>(body, r.response_time.ns());
+    put_string(body, r.record.element.name);
+    if (r.record.attrs.size() > 0x7fff) {
+      return Status::invalid_argument(
+          "wire: element " + r.record.element.name + " has " +
+          std::to_string(r.record.attrs.size()) +
+          " attrs (stream limit 32767)");
+    }
+    const QueryResponse* base = prev_response(prev, r.record.element);
+    // Schema elision: when the base record carries the same attr names in
+    // the same order — the steady state — the names are omitted entirely.
+    bool same_schema =
+        base != nullptr && base->record.attrs.size() == r.record.attrs.size();
+    for (size_t i = 0; same_schema && i < r.record.attrs.size(); ++i) {
+      same_schema = base->record.attrs[i].name == r.record.attrs[i].name;
+    }
+    uint16_t count_field = static_cast<uint16_t>(r.record.attrs.size());
+    if (same_schema) count_field |= 0x8000;
+    put<uint16_t>(body, count_field);
+    for (size_t i = 0; i < r.record.attrs.size(); ++i) {
+      const Attr& a = r.record.attrs[i];
+      // Delta only when the receiver's reconstruction (base + delta, in
+      // double arithmetic) is bit-exact; counters between adjacent windows
+      // are, NaNs / wildly rescaled gauges are not and travel absolute.
+      // Unchanged values (gauges, type/vm tags) ship zero payload bytes
+      // (mode 3); small non-negative integral deltas — the overwhelmingly
+      // common counter advance — four (mode 2) instead of eight.
+      uint8_t mode = 0;
+      uint64_t bits = double_bits(a.value);
+      std::optional<double> pv;
+      if (same_schema) {
+        pv = base->record.attrs[i].value;
+      } else if (base != nullptr) {
+        pv = base->record.get(a.name);
+      }
+      if (pv.has_value()) {
+        if (double_bits(*pv) == double_bits(a.value)) {
+          mode = 3;
+        } else {
+          const double delta = a.value - *pv;
+          if (double_bits(*pv + delta) == double_bits(a.value)) {
+            const uint32_t small = static_cast<uint32_t>(delta);
+            if (delta >= 0 && delta < 4294967296.0 &&
+                static_cast<double>(small) == delta) {
+              mode = 2;
+              bits = small;
+            } else {
+              mode = 1;
+              bits = double_bits(delta);
+            }
+          }
+        }
+      }
+      put<uint8_t>(body, mode);
+      if (!same_schema) put_string(body, a.name);
+      if (mode == 3) {
+        // no payload
+      } else if (mode == 2) {
+        put<uint32_t>(body, static_cast<uint32_t>(bits));
+      } else {
+        put<uint64_t>(body, bits);
+      }
+    }
+  }
+  if (body.size() > kMaxPayload) {
+    return Status::invalid_argument(
+        "wire: stream frame of " + std::to_string(body.size()) +
+        " bytes exceeds the structural cap");
+  }
+  return body;
+}
+
+Result<StreamFrameInfo> peek_stream_data(std::string_view body) {
+  StreamFrameInfo info;
+  size_t at = 0;
+  int64_t window_ns = 0, channel_ns = 0;
+  if (!get_string(body, at, &info.agent) || !get(body, at, &info.seq) ||
+      !get(body, at, &window_ns) || !get(body, at, &channel_ns) ||
+      !get(body, at, &info.record_count)) {
+    return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  if (info.record_count > (body.size() - at) / kMinStreamRecordSize + 1) {
+    return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  info.window_start = SimTime::nanos(window_ns);
+  return info;
+}
+
+Result<StreamDataMsg> decode_stream_data(std::string_view body,
+                                         const StreamDataMsg* prev) {
+  StreamDataMsg m;
+  size_t at = 0;
+  int64_t window_ns = 0, channel_ns = 0;
+  uint32_t count = 0;
+  if (!get_string(body, at, &m.agent) || !get(body, at, &m.seq) ||
+      !get(body, at, &window_ns) || !get(body, at, &channel_ns) ||
+      !get(body, at, &count)) {
+    return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  if (count > (body.size() - at) / kMinStreamRecordSize + 1) {
+    return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  m.window_start = SimTime::nanos(window_ns);
+  m.channel_time = Duration::nanos(channel_ns);
+  m.responses.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryResponse r;
+    int64_t ts = 0, rt = 0;
+    uint8_t quality = 0, fail_code = 0;
+    std::string name;
+    uint16_t attrs = 0;
+    if (!get(body, at, &ts) || !get(body, at, &quality) ||
+        !get(body, at, &fail_code) || !get(body, at, &r.attempts) ||
+        !get(body, at, &rt) || !get_string(body, at, &name) ||
+        !get(body, at, &attrs) ||
+        quality > static_cast<uint8_t>(DataQuality::kReplica) ||
+        fail_code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+      return Status::invalid_argument("wire stream data structurally damaged");
+    }
+    r.record.timestamp = SimTime::nanos(ts);
+    r.record.element = ElementId{std::move(name)};
+    r.quality = static_cast<DataQuality>(quality);
+    r.fail_code = static_cast<StatusCode>(fail_code);
+    r.response_time = Duration::nanos(rt);
+    const QueryResponse* base = prev_response(prev, r.record.element);
+    const bool same_schema = (attrs & 0x8000) != 0;
+    attrs &= 0x7fff;
+    // Elided schema without its base record (or with a base of a different
+    // shape) is the same class of damage as a delta without its base.
+    if (same_schema &&
+        (base == nullptr || base->record.attrs.size() != attrs)) {
+      return Status::invalid_argument("wire stream data delta without base");
+    }
+    r.record.attrs.reserve(attrs);
+    for (uint16_t j = 0; j < attrs; ++j) {
+      uint8_t mode = 0;
+      Attr a;
+      if (!get(body, at, &mode) || mode > 3 ||
+          (!same_schema && !get_string(body, at, &a.name))) {
+        return Status::invalid_argument(
+            "wire stream data structurally damaged");
+      }
+      if (same_schema) a.name = base->record.attrs[j].name;
+      uint64_t bits = 0;
+      if (mode == 3) {
+        // unchanged: no payload bytes
+      } else if (mode == 2) {
+        uint32_t small = 0;
+        if (!get(body, at, &small)) {
+          return Status::invalid_argument(
+              "wire stream data structurally damaged");
+        }
+        bits = small;
+      } else if (!get(body, at, &bits)) {
+        return Status::invalid_argument(
+            "wire stream data structurally damaged");
+      }
+      if (mode == 0) {
+        a.value = bits_double(bits);
+      } else {
+        // Delta without its base is damage, never a silently wrong value:
+        // a receiver that missed a window must repair before applying.
+        std::optional<double> pv =
+            same_schema ? std::optional<double>(base->record.attrs[j].value)
+            : base != nullptr ? base->record.get(a.name)
+                              : std::nullopt;
+        if (!pv.has_value()) {
+          return Status::invalid_argument(
+              "wire stream data delta without base");
+        }
+        if (mode == 3) {
+          a.value = *pv;
+        } else {
+          a.value = mode == 2 ? *pv + static_cast<double>(bits)
+                              : *pv + bits_double(bits);
+        }
+      }
+      r.record.attrs.push_back(std::move(a));
+    }
+    m.responses.push_back(std::move(r));
+  }
+  if (at != body.size()) {
+    return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  return m;
 }
 
 }  // namespace perfsight::wire

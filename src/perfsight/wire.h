@@ -131,6 +131,8 @@ enum class MessageKind : uint8_t {
   kTraceHarvest = 7,    // client → server: drain your trace rings to me
   kTraceData = 8,       // server → client: drained spans (also piggybacked
                         // after a batch reply when the request was traced)
+  kSubscribe = 9,       // client → server: push me this agent's windows
+  kStreamData = 10,     // server → client: one captured window (push mode)
 };
 
 const char* to_string(MessageKind k);
@@ -240,5 +242,77 @@ struct ErrorMsg {
 };
 std::string encode_error(const ErrorMsg& e);
 Result<ErrorMsg> decode_error(std::string_view body);
+
+// --- push-mode streaming (kSubscribe / kStreamData) --------------------------
+// Inverts the collection direction: instead of the controller pulling a
+// sweep per diagnosis window, an agent-side publisher captures every element
+// once per window and ships the capture as a kStreamData frame.  Frames
+// carry a per-stream sequence number (1-based, monotonically increasing for
+// the lifetime of the publisher) so a receiver detects dropped windows,
+// reconnect gaps and campaign outages as seq jumps and repairs them with
+// targeted pull sweeps (streaming.h).
+
+// Opens a stream: push me `agent`'s windows from `from_seq` on.  The first
+// frame after a subscribe is always a full snapshot (every attr absolute),
+// so a resubscribing client can rebase its delta state without history.
+struct SubscribeMsg {
+  std::string agent;      // roster entry to stream ("" = primary)
+  uint64_t from_seq = 0;  // resume hint; 0 = whatever the publisher is at
+  int64_t window_ns = 0;  // requested cadence (informational; the publisher
+                          // owns the actual capture schedule)
+};
+std::string encode_subscribe(const SubscribeMsg& s);
+Result<SubscribeMsg> decode_subscribe(std::string_view body);
+
+// One captured window: the publishing agent's full element set in ascending
+// element-id order, each element a QueryResponse exactly as query_batch
+// produced it at the window boundary.
+//
+// Attr values travel delta-coded against the previous frame of the same
+// stream when that is bit-exact, absolute otherwise: each attr carries a
+// mode byte (0 = absolute IEEE-754 bits as u64, 1 = IEEE-754 delta bits as
+// u64, 2 = non-negative integral delta as u32, 3 = unchanged with no
+// payload, where prev + delta reconstructs the current value exactly — the
+// encoder checks the round trip in double arithmetic and falls back to
+// absolute when addition would lose bits), and a record whose attr names
+// match the previous frame's same element sets the schema-elision bit in
+// its attr count and omits the name strings entirely.  Counters between
+// consecutive windows differ by small integral deltas and tags/gauges sit
+// still, so modes 2/3 plus elided schemas dominate steady state, which is
+// what makes push-mode cheap on the wire; the
+// exactness guard is what keeps streamed bytes losslessly reconstructible,
+// so streamed diagnosis can be byte-identical to sweep diagnosis.  A frame
+// that arrives after a seq gap MUST NOT be delta-decoded against stale
+// state — the receiver repairs the missed windows first (restoring the
+// delta base) and only then applies the frame.
+struct StreamDataMsg {
+  std::string agent;           // publishing agent (roster name)
+  uint64_t seq = 0;            // per-stream sequence number, starts at 1
+  SimTime window_start;        // capture timestamp (the window boundary)
+  Duration channel_time;       // modelled channel cost of the capture batch
+  std::vector<QueryResponse> responses;  // ascending element-id order
+};
+
+// `prev` is the previous frame of the same stream (null: encode everything
+// absolute — the snapshot form a subscribe answer uses).  Fails, never
+// clamps, on unencodable input, like encode_frame.
+Result<std::string> encode_stream_data(const StreamDataMsg& m,
+                                       const StreamDataMsg* prev);
+// Decodes against the same `prev` the encoder used.  A delta-mode attr with
+// no base in `prev` is structural damage ("delta without base"), never a
+// silently wrong value.
+Result<StreamDataMsg> decode_stream_data(std::string_view body,
+                                         const StreamDataMsg* prev);
+
+// Header-only decode: agent, seq and window timestamp without touching the
+// records.  Receivers use it to check the sequence number *before*
+// committing to a delta decode (a gapped frame must wait for repair).
+struct StreamFrameInfo {
+  std::string agent;
+  uint64_t seq = 0;
+  SimTime window_start;
+  uint32_t record_count = 0;
+};
+Result<StreamFrameInfo> peek_stream_data(std::string_view body);
 
 }  // namespace perfsight::wire

@@ -17,6 +17,7 @@
 
 #include "common/threadpool.h"
 #include "perfsight/agent.h"
+#include "perfsight/contention.h"
 #include "perfsight/controller.h"
 #include "perfsight/faults.h"
 #include "perfsight/remote_agent.h"
@@ -497,6 +498,145 @@ TEST(QuorumTest, MirrorIsNotConsultedWhenElementIsUnknown) {
       c.get_attr_q(TenantId{1}, ElementId{"m0/ghost"}, {attr::kRxPkts});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// Whichever side of a quorum pair fails first, once both are down the
+// re-raised Status is the PRIMARY's — byte-identical between the two onset
+// orders and to an unmirrored run.  The paths differ before the double
+// failure (replica-first leaves the primary serving fresh; primary-first
+// has the replica serving kReplica), which must leave no residue in the
+// error.
+TEST(QuorumTest, DoubleFailureReRaisesPrimaryStatusRegardlessOfOrder) {
+  auto build = [](Agent& primary, Agent& replica, FakeSource& s0,
+                  SimTime& now, FaultPlan* plan) {
+    s0.attrs = {{attr::kRxPkts, 42}};
+    ASSERT_TRUE(primary.add_element(&s0).is_ok());
+    ASSERT_TRUE(replica.add_element(&s0).is_ok());
+    for (Agent* a : {&primary, &replica}) {
+      a->set_fault_plan(plan);
+      a->set_breaker_config(no_breakers());
+    }
+    now = SimTime::millis(100);
+  };
+  auto controller_for = [](Agent& primary, SimTime& now) {
+    auto c = std::make_unique<Controller>(
+        [&now](Duration d) {
+          now = now + d;
+          return now;
+        },
+        [&now] { return now; });
+    c->register_agent(&primary);
+    return c;
+  };
+  const TenantId tenant{1};
+
+  // Golden: unmirrored primary-down failure text.
+  std::string golden;
+  {
+    FakeSource s0("m0/el0", ChannelKind::kProcFs);
+    FaultPlan plan(7);
+    plan.schedule_outage("primary", SimTime::millis(0), SimTime::millis(5000));
+    Agent primary("primary", 1), replica("replica", 2);
+    SimTime now;
+    build(primary, replica, s0, now, &plan);
+    auto c = controller_for(primary, now);
+    ASSERT_TRUE(c->register_element(tenant, s0.id(), &primary).is_ok());
+    Result<Controller::QualifiedRecord> q =
+        c->get_attr_q(tenant, s0.id(), {attr::kRxPkts});
+    ASSERT_FALSE(q.ok());
+    golden = fmt(q);
+  }
+
+  auto run = [&](bool primary_first) {
+    FakeSource s0("m0/el0", ChannelKind::kProcFs);
+    FaultPlan plan(7);
+    plan.schedule_outage(primary_first ? "primary" : "replica",
+                         SimTime::millis(0), SimTime::millis(5000));
+    plan.schedule_outage(primary_first ? "replica" : "primary",
+                         SimTime::millis(400), SimTime::millis(5000));
+    Agent primary("primary", 1), replica("replica", 2);
+    SimTime now;
+    build(primary, replica, s0, now, &plan);
+    auto c = controller_for(primary, now);
+    c->register_agent(&replica);
+    EXPECT_TRUE(c->register_element(tenant, s0.id(), &primary).is_ok());
+    EXPECT_TRUE(c->register_mirror(tenant, s0.id(), &replica).is_ok());
+
+    // Single-failure phase: one side down, the element still answers.
+    Result<Controller::QualifiedRecord> single =
+        c->get_attr_q(tenant, s0.id(), {attr::kRxPkts});
+    EXPECT_TRUE(single.ok()) << single.status().message();
+    if (single.ok()) {
+      EXPECT_EQ(static_cast<int>(single.value().quality),
+                static_cast<int>(primary_first ? DataQuality::kReplica
+                                               : DataQuality::kFresh));
+      EXPECT_EQ(single.value().record.get_or(attr::kRxPkts, -1), 42);
+    }
+
+    // Both down: the re-raised error.
+    now = SimTime::millis(450);
+    Result<Controller::QualifiedRecord> dbl =
+        c->get_attr_q(tenant, s0.id(), {attr::kRxPkts});
+    EXPECT_FALSE(dbl.ok());
+    return fmt(dbl);
+  };
+
+  EXPECT_EQ(run(/*primary_first=*/true), golden);
+  EXPECT_EQ(run(/*primary_first=*/false), golden);
+}
+
+// A mirrored stack element is registered on its primary AND its replica
+// agent; the diagnosis scan set must still count it once.  Mid-rolling-
+// upgrade — primary down, quorum serving kReplica — a double-counted
+// element would both inflate the coverage denominator and rank its loss
+// twice.
+TEST(QuorumTest, MirroredStackElementCountsOnceInCoverageMidRollingUpgrade) {
+  FakeSource mirrored("h0/el0", ChannelKind::kProcFs);
+  mirrored.attrs = {{attr::kRxPkts, 5000}, {attr::kTxPkts, 5000}};
+  FakeSource plain("h1/el0", ChannelKind::kProcFs);
+  plain.attrs = {{attr::kRxPkts, 3000}, {attr::kTxPkts, 3000}};
+
+  FaultPlan plan(7);
+  // h0 down [1000, 1500), h1 down [1500, 2000): mid-upgrade at 1200ms the
+  // mirrored element is quorum-served by h1.
+  plan.schedule_rolling_upgrade({"h0", "h1"}, SimTime::millis(1000),
+                                Duration::millis(500));
+
+  Agent h0("h0", 1), h1("h1", 2);
+  ASSERT_TRUE(h0.add_element(&mirrored).is_ok());
+  ASSERT_TRUE(h1.add_element(&mirrored).is_ok());
+  ASSERT_TRUE(h1.add_element(&plain).is_ok());
+  for (Agent* a : {&h0, &h1}) {
+    a->set_fault_plan(&plan);
+    a->set_breaker_config(no_breakers());
+  }
+
+  SimTime now = SimTime::millis(1050);
+  Controller c(
+      [&now](Duration d) {
+        now = now + d;
+        return now;
+      },
+      [&now] { return now; });
+  const TenantId tenant{1};
+  c.register_agent(&h0);
+  c.register_agent(&h1);
+  ASSERT_TRUE(c.register_element(tenant, mirrored.id(), &h0).is_ok());
+  ASSERT_TRUE(c.register_element(tenant, plain.id(), &h1).is_ok());
+  ASSERT_TRUE(c.register_mirror(tenant, mirrored.id(), &h1).is_ok());
+  c.register_stack_element(&h0, mirrored.id());
+  c.register_stack_element(&h1, mirrored.id());  // replica's stack view
+  c.register_stack_element(&h1, plain.id());
+
+  ContentionDetector det(&c, RuleBook::standard());
+  ContentionReport report = det.diagnose(tenant, Duration::millis(100));
+
+  // Two distinct elements, each once: the mirrored one served kReplica by
+  // h1 while h0 is down, the plain one fresh.
+  EXPECT_TRUE(report.blind_spots.empty());
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  ASSERT_EQ(report.ranked.size(), 2u);
+  EXPECT_NE(report.ranked[0].id, report.ranked[1].id);
 }
 
 // --- reconnect-aware hello diffing -------------------------------------------

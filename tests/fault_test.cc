@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/deployment.h"
+#include "common/rng.h"
 #include "common/threadpool.h"
 #include "perfsight/agent.h"
 #include "perfsight/alert.h"
@@ -1003,6 +1004,143 @@ TEST(FaultChurnTest, ConcurrentPollsQueriesAndChurnUnderFaults) {
   stop.store(true);
   churn.join();
   querier.join();
+}
+
+// --- campaign grammar properties ---------------------------------------------
+
+// Two plans are schedule-equivalent when every observable the grammar can
+// express agrees: seed, Bernoulli knobs (via decide()/stream_drop(), which
+// are pure in their arguments), and agent_down() over a sampling grid that
+// straddles every window boundary either plan could have scheduled.
+void expect_schedule_equivalent(const FaultPlan& a, const FaultPlan& b) {
+  EXPECT_EQ(a.seed(), b.seed());
+  EXPECT_EQ(a.enabled(), b.enabled());
+  EXPECT_EQ(a.has_campaign(), b.has_campaign());
+  const std::vector<std::string> agents = {"a0", "a1", "a2", "a3", "a4",
+                                           "b0", "b1", "zz"};
+  for (const std::string& ag : agents) {
+    for (int ms = 0; ms <= 2200; ms += 25) {
+      SimTime t = SimTime::millis(ms);
+      EXPECT_EQ(a.agent_down(ag, t), b.agent_down(ag, t))
+          << ag << " @ " << ms << "ms";
+    }
+    for (uint64_t seq = 1; seq <= 64; ++seq) {
+      EXPECT_EQ(a.stream_drop(ag, seq), b.stream_drop(ag, seq))
+          << ag << " seq " << seq;
+    }
+  }
+  const ElementId e{"grid/e"};
+  for (size_t k = 0; k < kNumChannelKinds; ++k) {
+    auto kind = static_cast<ChannelKind>(k);
+    for (int ms = 1; ms <= 400; ms += 7) {
+      for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+        FaultDecision da = a.decide(e, kind, SimTime::millis(ms), attempt);
+        FaultDecision db = b.decide(e, kind, SimTime::millis(ms), attempt);
+        EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind));
+      }
+    }
+  }
+}
+
+// Malformed campaign items are rejected whole: the plan never gains a
+// partial window, never crashes, and well-formed items sharing the spec
+// string still apply.  Each entry here violates the grammar one way —
+// missing separator, non-numeric time, empty name, inverted/empty window,
+// zero count, trailing garbage.
+TEST(CampaignGrammarTest, MalformedCampaignItemsRejectedWholeNeverApply) {
+  const std::vector<std::string> malformed = {
+      "outage=a1@300",        // no end time
+      "outage=a1@300-",       // empty end time
+      "outage=a1@-500",       // empty start time
+      "outage=a1@x-500",      // non-numeric start
+      "outage=a1@300-500x",   // trailing garbage on end
+      "outage=a1@500-300",    // inverted window
+      "outage=a1@300-300",    // empty window
+      "outage=@300-500",      // empty agent name
+      "outage=a1",            // no window at all
+      "host=a1",              // no tag
+      "host=a1:",             // empty tag
+      "host=:rack0",          // empty agent name
+      "host_outage=rack0@70-x",
+      "host_outage=@100-200",
+      "rolling=a*2@100",      // no +W
+      "rolling=a*2@100+",     // empty W
+      "rolling=a*2@100+0",    // zero-width step
+      "rolling=a*0@100+50",   // zero agents
+      "rolling=a*x@100+50",   // non-numeric count
+      "rolling=*2@100+50",    // empty prefix
+      "rolling=a2@100+50",    // no star
+  };
+  for (const std::string& bad : malformed) {
+    std::optional<FaultPlan> alone = FaultPlan::parse(bad);
+    ASSERT_TRUE(alone.has_value()) << bad;
+    EXPECT_FALSE(alone->has_campaign()) << bad;
+    for (int ms = 0; ms <= 1000; ms += 50) {
+      EXPECT_FALSE(alone->agent_down("a1", SimTime::millis(ms))) << bad;
+      EXPECT_FALSE(alone->agent_down("a0", SimTime::millis(ms))) << bad;
+    }
+
+    // A valid outage in the same string survives its malformed neighbor,
+    // and the malformed item contributes nothing alongside it.
+    std::optional<FaultPlan> mixed =
+        FaultPlan::parse("seed=9," + bad + ",outage=ok@100-200");
+    ASSERT_TRUE(mixed.has_value()) << bad;
+    EXPECT_EQ(mixed->seed(), 9u) << bad;
+    EXPECT_TRUE(mixed->agent_down("ok", SimTime::millis(150))) << bad;
+    EXPECT_FALSE(mixed->agent_down("ok", SimTime::millis(250))) << bad;
+    EXPECT_FALSE(mixed->agent_down("a1", SimTime::millis(350))) << bad;
+    expect_schedule_equivalent(
+        *mixed, *FaultPlan::parse("seed=9,outage=ok@100-200"));
+  }
+}
+
+// Property: for any grammar-expressible plan, to_env_string() is a fixed
+// point of the parse/serialize loop and the round-tripped plan schedules
+// the identical campaign.  Rolling upgrades desugar to plain outages at
+// schedule time, so they survive one extra hop: the generated spec's canon
+// form spells them as outage= items, and that form is already fixed.
+TEST(CampaignGrammarTest, GeneratedPlansRoundTripToFixedPoint) {
+  Pcg32 rng(20260808);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::string spec = "seed=" + std::to_string(rng.next_below(1000) + 1);
+    auto prob = [&rng] {
+      // Multiples of 1/64 round-trip exactly through decimal formatting.
+      return std::to_string(rng.next_below(65) / 64.0);
+    };
+    if (rng.next_below(2) == 0) spec += ",transient=" + prob();
+    if (rng.next_below(2) == 0) spec += ",timeout=" + prob();
+    if (rng.next_below(2) == 0) spec += ",stale=" + prob();
+    if (rng.next_below(2) == 0) spec += ",torn=" + prob();
+    if (rng.next_below(2) == 0) spec += ",stream_drop=" + prob();
+    const uint32_t n_outages = rng.next_below(3);
+    for (uint32_t i = 0; i < n_outages; ++i) {
+      const uint64_t t0 = rng.next_below(1000);
+      const uint64_t t1 = t0 + 1 + rng.next_below(500);
+      spec += ",outage=a" + std::to_string(rng.next_below(5)) + "@" +
+              std::to_string(t0) + "-" + std::to_string(t1);
+    }
+    if (rng.next_below(3) == 0) {
+      // Tag a couple of agents onto a host and take the host down.
+      spec += ",host=a0:rack0,host=a1:rack0";
+      const uint64_t t0 = rng.next_below(1000);
+      spec += ",host_outage=rack0@" + std::to_string(t0) + "-" +
+              std::to_string(t0 + 1 + rng.next_below(300));
+    }
+    if (rng.next_below(3) == 0) {
+      const uint64_t t0 = rng.next_below(500);
+      spec += ",rolling=b*" + std::to_string(1 + rng.next_below(3)) + "@" +
+              std::to_string(t0) + "+" +
+              std::to_string(1 + rng.next_below(200));
+    }
+
+    std::optional<FaultPlan> p1 = FaultPlan::parse(spec);
+    ASSERT_TRUE(p1.has_value()) << spec;
+    const std::string canon = p1->to_env_string();
+    std::optional<FaultPlan> p2 = FaultPlan::parse(canon);
+    ASSERT_TRUE(p2.has_value()) << spec;
+    EXPECT_EQ(p2->to_env_string(), canon) << spec;
+    expect_schedule_equivalent(*p1, *p2);
+  }
 }
 
 }  // namespace

@@ -588,5 +588,212 @@ TEST(WireCodecTest, ChecksumIsFnv1a64) {
   EXPECT_EQ(wire::kMagic, 0x31425350u);
 }
 
+// --- kSubscribe / kStreamData codec ------------------------------------------
+
+wire::StreamDataMsg random_stream_frame(Pcg32& rng, uint64_t seq) {
+  wire::StreamDataMsg m;
+  m.agent = random_name(rng, 12);
+  m.seq = seq;
+  m.window_start = SimTime::nanos(static_cast<int64_t>(rng.next_u32()) * 100);
+  m.channel_time = Duration::nanos(rng.next_below(1u << 26));
+  size_t n = rng.next_below(6);
+  for (size_t i = 0; i < n; ++i) m.responses.push_back(random_response(rng));
+  return m;
+}
+
+// The next window of the same stream: same elements, counters advanced by
+// small integral deltas — the shape the delta coder is built for.
+wire::StreamDataMsg next_window(Pcg32& rng, const wire::StreamDataMsg& prev) {
+  wire::StreamDataMsg m = prev;
+  m.seq = prev.seq + 1;
+  m.window_start = prev.window_start + Duration::millis(100);
+  for (QueryResponse& r : m.responses) {
+    r.record.timestamp = m.window_start;
+    for (Attr& a : r.record.attrs) {
+      a.value += static_cast<double>(rng.next_below(100000));
+    }
+  }
+  return m;
+}
+
+// Canonical byte form of one stream frame: its all-absolute encoding.  Two
+// frames are equal iff their snapshots are byte-equal — covers agent, seq,
+// window, channel time, and every record bit.
+std::string canon_stream(const wire::StreamDataMsg& m) {
+  return wire::encode_stream_data(m, nullptr).value();
+}
+
+TEST(StreamCodecTest, SubscribeRoundTrips) {
+  Pcg32 rng(808);
+  for (int trial = 0; trial < 50; ++trial) {
+    wire::SubscribeMsg s;
+    s.agent = trial % 5 == 0 ? "" : random_name(rng, 20);
+    s.from_seq = (static_cast<uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+    s.window_ns = static_cast<int64_t>(rng.next_u32());
+    Result<wire::SubscribeMsg> got =
+        wire::decode_subscribe(wire::encode_subscribe(s));
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value().agent, s.agent);
+    EXPECT_EQ(got.value().from_seq, s.from_seq);
+    EXPECT_EQ(got.value().window_ns, s.window_ns);
+  }
+}
+
+TEST(StreamCodecTest, RoundTripIdentitySnapshotAndDeltaChains) {
+  Pcg32 rng(6060);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Snapshot (no base) round-trips.
+    wire::StreamDataMsg f1 = random_stream_frame(rng, 1);
+    Result<std::string> b1 = wire::encode_stream_data(f1, nullptr);
+    ASSERT_TRUE(b1.ok()) << b1.status().message();
+    Result<wire::StreamDataMsg> d1 = wire::decode_stream_data(b1.value(), nullptr);
+    ASSERT_TRUE(d1.ok()) << d1.status().message();
+    EXPECT_EQ(canon_stream(d1.value()), canon_stream(f1));
+
+    // A chain of delta-coded windows round-trips frame by frame, and the
+    // delta form really is smaller than the snapshot form for counter-like
+    // updates (that is the point of push mode).
+    wire::StreamDataMsg prev = f1;
+    size_t delta_bytes = 0, snapshot_bytes = 0;
+    for (int k = 0; k < 4; ++k) {
+      wire::StreamDataMsg cur = next_window(rng, prev);
+      Result<std::string> body = wire::encode_stream_data(cur, &prev);
+      ASSERT_TRUE(body.ok()) << body.status().message();
+      Result<wire::StreamDataMsg> got =
+          wire::decode_stream_data(body.value(), &prev);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(canon_stream(got.value()), canon_stream(cur))
+          << "trial " << trial << " chain step " << k;
+      delta_bytes += body.value().size();
+      snapshot_bytes += canon_stream(cur).size();
+      prev = cur;
+    }
+    if (!f1.responses.empty()) EXPECT_LE(delta_bytes, snapshot_bytes);
+  }
+}
+
+TEST(StreamCodecTest, EveryPrefixTruncationNeverSilentlyWrong) {
+  Pcg32 rng(71);
+  for (int trial = 0; trial < 25; ++trial) {
+    wire::StreamDataMsg f1 = random_stream_frame(rng, 1);
+    wire::StreamDataMsg f2 = next_window(rng, f1);
+    for (const bool delta : {false, true}) {
+      const wire::StreamDataMsg* prev = delta ? &f1 : nullptr;
+      const wire::StreamDataMsg& m = delta ? f2 : f1;
+      std::string bytes = wire::encode_stream_data(m, prev).value();
+      for (size_t cut = 0; cut < bytes.size(); ++cut) {
+        Result<wire::StreamDataMsg> got = wire::decode_stream_data(
+            std::string_view(bytes.data(), cut), prev);
+        // A strict prefix must never decode to anything but the original
+        // (and with a fixed record count in the header it should fail).
+        if (got.ok()) {
+          EXPECT_EQ(canon_stream(got.value()), canon_stream(m))
+              << "cut=" << cut << " fabricated a frame";
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamCodecTest, BitFlipOnEnvelopedFrameNeverSilentlyWrong) {
+  Pcg32 rng(4343);
+  int damaged_detected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    wire::StreamDataMsg f1 = random_stream_frame(rng, 1);
+    wire::StreamDataMsg f2 = next_window(rng, f1);
+    const bool delta = trial % 2 != 0;
+    const wire::StreamDataMsg& sent = delta ? f2 : f1;
+    std::string body =
+        wire::encode_stream_data(sent, delta ? &f1 : nullptr).value();
+    std::string msg = wire::encode_message(wire::MessageKind::kStreamData, body);
+    size_t pos = rng.next_below(static_cast<uint32_t>(msg.size()));
+    msg[pos] = static_cast<char>(static_cast<unsigned char>(msg[pos]) ^
+                                 (1u << rng.next_below(8)));
+
+    Result<wire::Message> env = wire::decode_message(msg);
+    if (!env.ok() || env.value().kind != wire::MessageKind::kStreamData) {
+      ++damaged_detected;  // checksum/framing caught it (or re-kinded it)
+      continue;
+    }
+    Result<wire::StreamDataMsg> got =
+        wire::decode_stream_data(env.value().body, delta ? &f1 : nullptr);
+    if (!got.ok()) {
+      ++damaged_detected;
+      continue;
+    }
+    // The envelope checksum passed and the frame decoded: it must BE the
+    // original, bit for bit.
+    EXPECT_EQ(canon_stream(got.value()), canon_stream(sent))
+        << "trial " << trial << ": flip at byte " << pos
+        << " survived the checksum AND the frame decode";
+  }
+  EXPECT_GT(damaged_detected, 250);
+}
+
+TEST(StreamCodecTest, DeltaWithoutBaseIsStructuralDamage) {
+  // Construct a frame guaranteed to carry delta-mode attrs (integral
+  // counters advance by an exactly-representable step).
+  wire::StreamDataMsg f1;
+  f1.agent = "a0";
+  f1.seq = 1;
+  f1.window_start = SimTime::millis(100);
+  QueryResponse r;
+  r.record.timestamp = f1.window_start;
+  r.record.element = ElementId{"m0/pnic"};
+  r.record.attrs = {{"rxPkts", 12000.0}, {"dropPkts", 800.0}};
+  f1.responses.push_back(r);
+  wire::StreamDataMsg f2 = f1;
+  f2.seq = 2;
+  f2.window_start = SimTime::millis(200);
+  f2.responses[0].record.timestamp = f2.window_start;
+  f2.responses[0].record.attrs = {{"rxPkts", 24000.0}, {"dropPkts", 1600.0}};
+
+  std::string delta_body = wire::encode_stream_data(f2, &f1).value();
+  // With the base, the delta frame reconstructs exactly.
+  Result<wire::StreamDataMsg> with_base =
+      wire::decode_stream_data(delta_body, &f1);
+  ASSERT_TRUE(with_base.ok());
+  EXPECT_EQ(canon_stream(with_base.value()), canon_stream(f2));
+  // The delta form must actually be in play for this test to mean anything.
+  ASSERT_LT(delta_body.size(), canon_stream(f2).size());
+
+  // Without the base the same bytes are structural damage, never a guess.
+  Result<wire::StreamDataMsg> without_base =
+      wire::decode_stream_data(delta_body, nullptr);
+  ASSERT_FALSE(without_base.ok());
+  EXPECT_NE(without_base.status().message().find("delta without base"),
+            std::string::npos)
+      << without_base.status().message();
+}
+
+TEST(StreamCodecTest, PeekPinsSeqAgentWindowAndCount) {
+  Pcg32 rng(512);
+  wire::StreamDataMsg prev;
+  bool has_prev = false;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    wire::StreamDataMsg m =
+        has_prev ? next_window(rng, prev) : random_stream_frame(rng, 1);
+    std::string body =
+        wire::encode_stream_data(m, has_prev ? &prev : nullptr).value();
+    Result<wire::StreamFrameInfo> info = wire::peek_stream_data(body);
+    ASSERT_TRUE(info.ok()) << info.status().message();
+    EXPECT_EQ(info.value().agent, m.agent);
+    EXPECT_EQ(info.value().seq, m.seq);
+    EXPECT_EQ(info.value().window_start, m.window_start);
+    EXPECT_EQ(info.value().record_count, m.responses.size());
+    prev = m;
+    has_prev = true;
+  }
+  // Peek on garbage never crashes and never invents a frame.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk;
+    size_t len = rng.next_below(64);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    (void)wire::peek_stream_data(junk);  // must not crash
+  }
+}
+
 }  // namespace
 }  // namespace perfsight
