@@ -21,6 +21,10 @@
 #include "perfsight/stats_source.h"
 #include "perfsight/trace.h"
 
+namespace perfsight::inband {
+class IntStamper;
+}
+
 namespace perfsight::dp {
 
 // Channel the agent uses for an element of this kind (§6's implementation
@@ -51,6 +55,19 @@ class Element : public StatsSource {
   const PacketSizeHistogram* size_histogram() const {
     return size_hist_.get();
   }
+
+  // In-band telemetry attachment (perfsight/inband.h), set by
+  // IntStamper::attach.  A never-attached element's INT hooks reduce to one
+  // null-pointer test, so the default packet path is bit-identical to a
+  // build without INT.
+  void set_int_stamper(inband::IntStamper* s, int slot) {
+    int_stamper_ = s;
+    int_slot_ = slot;
+  }
+  inband::IntStamper* int_stamper() const { return int_stamper_; }
+  int int_slot() const { return int_slot_; }
+  // Attached AND the slot's enable bit is on.
+  bool int_active() const;
 
  protected:
   // Counter updates used by subclasses on their datapaths.
@@ -87,6 +104,8 @@ class Element : public StatsSource {
   ElementKind kind_;
   int vm_;
   std::unique_ptr<PacketSizeHistogram> size_hist_;
+  inband::IntStamper* int_stamper_ = nullptr;
+  int int_slot_ = -1;
 };
 
 // Anything that accepts traffic pushed by an upstream element.

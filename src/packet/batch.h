@@ -20,6 +20,13 @@ struct PacketBatch {
   FlowId flow;
   uint64_t packets = 0;
   uint64_t bytes = 0;
+  // In-band telemetry tag (perfsight/inband.h): nonzero when one sampled
+  // packet of this batch carries an INT metadata flight.  0 — the only
+  // value the packet path ever sees with stamping disabled — costs nothing:
+  // no counter, split or drop decision reads it.  Splits keep the tag on
+  // the front part (the tag rides a single packet, modelled as the batch's
+  // first), merges keep the receiving batch's tag.
+  uint64_t int_tag = 0;
 
   bool empty() const { return packets == 0; }
   // Average packet size; batches are same-flow so this is the flow's MTU-ish
@@ -46,12 +53,16 @@ inline PacketBatch take_front(PacketBatch& b, uint64_t max_packets,
     b = PacketBatch{b.flow, 0, 0};
     return all;
   }
-  uint64_t taken_bytes =
+  if (n == 0) return PacketBatch{b.flow, 0, 0};
+  // The INT tag rides the batch's first packet, so the front keeps it and
+  // the remainder continues untagged.
+  PacketBatch front{b.flow, n, 0, b.int_tag};
+  front.bytes =
       static_cast<uint64_t>(static_cast<double>(b.bytes) * static_cast<double>(n) /
                             static_cast<double>(b.packets));
-  PacketBatch front{b.flow, n, taken_bytes};
   b.packets -= n;
-  b.bytes -= taken_bytes;
+  b.bytes -= front.bytes;
+  b.int_tag = 0;
   return front;
 }
 

@@ -79,6 +79,10 @@ class BoundedPacketQueue {
     if (!q_.empty() && q_.back().flow == b.flow) {
       q_.back().packets += b.packets;
       q_.back().bytes += b.bytes;
+      // A merged batch can carry only one INT tag; the tail keeps its own,
+      // an untagged tail adopts the arrival's.  (A tag lost this way is an
+      // orphaned flight the stamper expires — never a wrong counter.)
+      if (q_.back().int_tag == 0) q_.back().int_tag = b.int_tag;
     } else {
       q_.push_back(b);
     }

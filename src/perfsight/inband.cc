@@ -1,0 +1,278 @@
+#include "perfsight/inband.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "packet/batch.h"
+#include "perfsight/agent.h"
+#include "perfsight/stats.h"
+#include "perfsight/streaming.h"
+#include "perfsight/wire.h"
+
+namespace perfsight::inband {
+
+// --- IntStamper --------------------------------------------------------------
+
+int IntStamper::register_element(const ElementId& id, ElementKind kind,
+                                 int vm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(Slot{id, kind, vm, false, false});
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void IntStamper::enable(int slot, bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (valid_slot(slot)) slots_[static_cast<size_t>(slot)].enabled = on;
+}
+
+void IntStamper::enable_all(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& s : slots_) s.enabled = on;
+}
+
+bool IntStamper::enabled(int slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return valid_slot(slot) && slots_[static_cast<size_t>(slot)].enabled;
+}
+
+void IntStamper::set_harvest(int slot, bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (valid_slot(slot)) slots_[static_cast<size_t>(slot)].harvest = on;
+}
+
+bool IntStamper::harvesting(int slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return valid_slot(slot) && slots_[static_cast<size_t>(slot)].harvest;
+}
+
+void IntStamper::set_now(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = now;
+}
+
+void IntStamper::set_sample_every(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cfg_.sample_every = n == 0 ? 1 : n;
+}
+
+void IntStamper::append_hop_locked(Flight& f, int slot, uint64_t queue_pkts) {
+  if (f.hops.size() >= cfg_.max_hops) {
+    ++stats_.hops_truncated;
+    return;
+  }
+  const Slot& s = slots_[static_cast<size_t>(slot)];
+  f.hops.push_back(Hop{s.id, s.kind, s.vm, queue_pkts, Duration{}, false});
+  ++stats_.hops_stamped;
+}
+
+void IntStamper::finalize_locked(uint64_t tag, bool dropped) {
+  auto it = inflight_.find(tag);
+  if (it == inflight_.end()) return;
+  it->second.dropped = dropped;
+  it->second.end = now_;
+  finished_.push_back(std::move(it->second));
+  inflight_.erase(it);
+  if (dropped) {
+    ++stats_.flights_dropped;
+  } else {
+    ++stats_.flights_harvested;
+  }
+}
+
+uint64_t IntStamper::maybe_tag(int slot, const PacketBatch& b,
+                               uint64_t queue_pkts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_slot(slot) || !slots_[static_cast<size_t>(slot)].enabled ||
+      b.packets == 0) {
+    return 0;
+  }
+  const uint64_t n = cfg_.sample_every == 0 ? 1 : cfg_.sample_every;
+  const uint64_t before = stats_.pkts_seen;
+  stats_.pkts_seen += b.packets;
+  // One flight per crossed sample boundary, at most one per batch: exact
+  // 1-in-N over the admitted packet count, deterministic in arrival order.
+  if (before / n == stats_.pkts_seen / n) return 0;
+  if (inflight_.size() >= cfg_.max_inflight) return 0;
+  const uint64_t tag = next_tag_++;
+  Flight f;
+  f.tag = tag;
+  f.start = now_;
+  f.end = now_;
+  append_hop_locked(f, slot, queue_pkts);
+  ++stats_.flights_started;
+  inflight_.emplace(tag, std::move(f));
+  return tag;
+}
+
+void IntStamper::stamp(int slot, uint64_t tag, uint64_t queue_pkts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_slot(slot) || !slots_[static_cast<size_t>(slot)].enabled ||
+      tag == 0) {
+    return;
+  }
+  auto it = inflight_.find(tag);
+  if (it == inflight_.end()) return;  // expired orphan: the tag outlived us
+  append_hop_locked(it->second, slot, queue_pkts);
+  it->second.end = now_;
+}
+
+void IntStamper::add_io_time(uint64_t tag, Duration d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(tag);
+  if (it == inflight_.end() || it->second.hops.empty()) return;
+  it->second.hops.back().io_time += d;
+}
+
+void IntStamper::mark_dropped(int slot, uint64_t tag, uint64_t queue_pkts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_slot(slot) || tag == 0) return;
+  auto it = inflight_.find(tag);
+  if (it == inflight_.end()) return;
+  Flight& f = it->second;
+  const Slot& s = slots_[static_cast<size_t>(slot)];
+  if (!f.hops.empty() && f.hops.back().element == s.id) {
+    // The arrival hop was already stamped; just mark it.
+    f.hops.back().drop_tail = true;
+  } else {
+    append_hop_locked(f, slot, queue_pkts);
+    if (!f.hops.empty()) f.hops.back().drop_tail = true;
+  }
+  finalize_locked(tag, true);
+}
+
+void IntStamper::harvest(int slot, uint64_t tag, uint64_t queue_pkts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_slot(slot) || !slots_[static_cast<size_t>(slot)].enabled ||
+      tag == 0) {
+    return;
+  }
+  auto it = inflight_.find(tag);
+  if (it == inflight_.end()) return;
+  append_hop_locked(it->second, slot, queue_pkts);
+  finalize_locked(tag, false);
+}
+
+std::vector<Flight> IntStamper::take_finished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Flight> out;
+  out.swap(finished_);
+  return out;
+}
+
+void IntStamper::expire(Duration max_age) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (now_ - it->second.start > max_age) {
+      it = inflight_.erase(it);
+      ++stats_.flights_expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+IntStamper::Stats IntStamper::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- IntHarvester ------------------------------------------------------------
+
+IntHarvester::IntHarvester(IntStamper* stamper, StreamCache* cache, Config cfg)
+    : stamper_(stamper), cache_(cache), cfg_(std::move(cfg)) {}
+
+size_t IntHarvester::close_window(SimTime window_start) {
+  stamper_->expire(cfg_.expire_after);
+  std::vector<Flight> flights = stamper_->take_finished();
+  ++stats_.windows_closed;
+  stats_.flights_absorbed += flights.size();
+
+  struct PerElement {
+    ElementKind kind = ElementKind::kOther;
+    int vm = -1;
+    uint64_t samples = 0;
+    uint64_t peak_pkts = 0;
+    uint64_t drop_tail = 0;
+    int64_t io_ns = 0;
+  };
+  std::map<ElementId, PerElement> agg;
+
+  for (const Flight& f : flights) {
+    // Wire-cost accounting: what this flight's report costs as a kIntReport
+    // body — the overhead figure the bench gates against BASELINE.json.
+    wire::IntReportMsg m;
+    m.agent = cfg_.agent;
+    m.tag = f.tag;
+    m.start = f.start;
+    m.end = f.end;
+    m.dropped = f.dropped;
+    m.hops.reserve(f.hops.size());
+    for (const Hop& h : f.hops) {
+      m.hops.push_back(wire::IntHopWire{
+          h.element, h.queue_pkts, h.io_time.ns(),
+          static_cast<uint8_t>(h.drop_tail ? 1 : 0)});
+    }
+    Result<std::string> enc = wire::encode_int_report(m);
+    if (enc.ok()) stats_.report_bytes += enc.value().size();
+
+    for (const Hop& h : f.hops) {
+      PerElement& pe = agg[h.element];
+      pe.kind = h.kind;
+      pe.vm = h.vm;
+      ++pe.samples;
+      if (h.queue_pkts > pe.peak_pkts) pe.peak_pkts = h.queue_pkts;
+      pe.io_ns += h.io_time.ns();
+      if (h.drop_tail) ++pe.drop_tail;
+    }
+  }
+
+  const uint64_t every = stamper_->config().sample_every;
+  Microburst burst;
+  burst.window_start = window_start;
+
+  std::vector<QueryResponse> responses;
+  responses.reserve(agg.size());
+  for (const auto& [id, pe] : agg) {
+    QueryResponse qr;
+    qr.record.timestamp = window_start;
+    qr.record.element = id;
+    // Standard names first, so rule books / alert rules written against the
+    // agent channels read INT windows unchanged; int* raw aggregates after.
+    // kDropPkts is the 1-in-N scaled estimate of packets lost where a
+    // sampled flight tail-dropped.
+    qr.record.attrs = {
+        {attr::kQueuePkts, static_cast<double>(pe.peak_pkts)},
+        {attr::kDropPkts, static_cast<double>(pe.drop_tail * every)},
+        {attr::kInTimeNs, static_cast<double>(pe.io_ns)},
+        {attr::kType, static_cast<double>(static_cast<int>(pe.kind))},
+        {attr::kVm, static_cast<double>(pe.vm)},
+        {kIntSamples, static_cast<double>(pe.samples)},
+        {kIntQueuePeakPkts, static_cast<double>(pe.peak_pkts)},
+        {kIntIoTimeNs, static_cast<double>(pe.io_ns)},
+        {kIntDropTailFlights, static_cast<double>(pe.drop_tail)},
+    };
+    qr.quality = DataQuality::kFresh;
+    qr.attempts = 1;
+    responses.push_back(std::move(qr));
+
+    if (cfg_.microburst_depth_pkts > 0 &&
+        pe.peak_pkts >= cfg_.microburst_depth_pkts) {
+      burst.elements.push_back(id);
+      if (pe.peak_pkts > burst.peak_depth_pkts) {
+        burst.peak_depth_pkts = pe.peak_pkts;
+      }
+    }
+  }
+
+  if (cache_ != nullptr && !responses.empty()) {
+    cache_->ingest(cfg_.agent, window_start, StreamCache::Provenance::kInband,
+                   std::move(responses));
+  }
+  if (!burst.elements.empty()) {
+    ++stats_.microbursts;
+    if (on_microburst_) on_microburst_(burst);
+  }
+  return flights.size();
+}
+
+}  // namespace perfsight::inband

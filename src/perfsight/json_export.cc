@@ -40,6 +40,65 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+namespace {
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<std::string> unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= s.size()) {
+      return Status::invalid_argument("json unescape: dangling backslash");
+    }
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) {
+          return Status::invalid_argument("json unescape: truncated \\u");
+        }
+        int v = 0;
+        for (int k = 1; k <= 4; ++k) {
+          int h = hex_val(s[i + static_cast<size_t>(k)]);
+          if (h < 0) {
+            return Status::invalid_argument("json unescape: bad \\u digit");
+          }
+          v = v * 16 + h;
+        }
+        i += 4;
+        if (v > 0xff) {
+          return Status::invalid_argument(
+              "json unescape: \\u beyond one byte at offset " +
+              std::to_string(i - 5));
+        }
+        out += static_cast<char>(v);
+        break;
+      }
+      default:
+        return Status::invalid_argument(
+            std::string("json unescape: unknown escape \\") + s[i]);
+    }
+  }
+  return out;
+}
+
 std::string number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[64];

@@ -15,6 +15,11 @@ namespace perfsight::json {
 
 // Low-level helpers (exposed for operator extensions).
 std::string escape(const std::string& s);
+// Inverse of escape(): decodes JSON string-body escapes back to raw bytes.
+// Accepts every escape the grammar allows (\" \\ \/ \b \f \n \r \t \uXXXX);
+// \u above 0x00ff is refused — escape() only ever emits byte values, and a
+// silent multi-byte transcode here would break round-trip identity.
+Result<std::string> unescape(const std::string& s);
 std::string number(double v);
 
 // Every numeric value appearing as `"key": <number>` in `text`, in document

@@ -13,6 +13,8 @@ const char* to_string(StreamCache::Provenance p) {
       return "streamed";
     case StreamCache::Provenance::kRepaired:
       return "repaired";
+    case StreamCache::Provenance::kInband:
+      return "inband";
   }
   return "?";
 }
@@ -68,6 +70,15 @@ void StreamCache::store_locked(Stream& s, SimTime window_start,
   }
 }
 
+bool StreamCache::beyond_horizon_locked(const Stream& s,
+                                        int64_t window_ns) const {
+  // A window older than everything retained would be inserted only to be
+  // pruned back out — or worse, evict a live window to make room.  Only a
+  // full cache has a horizon; a filling one accepts any boundary.
+  return retention_ > 0 && s.windows.size() >= retention_ &&
+         !s.windows.empty() && window_ns < s.windows.begin()->first;
+}
+
 Result<StreamCache::ApplyResult> StreamCache::apply(std::string_view body) {
   Result<wire::StreamFrameInfo> info = wire::peek_stream_data(body);
   if (!info.ok()) return info.status();
@@ -95,8 +106,24 @@ Result<StreamCache::ApplyResult> StreamCache::apply(std::string_view body) {
   // must stand alone, so decode it snapshot-style.  Delta attrs then fail
   // with "delta without base" instead of applying against the wrong world.
   const wire::StreamDataMsg* base = (fresh || regressed) ? nullptr : &s.prev;
-  Result<wire::StreamDataMsg> decoded = wire::decode_stream_data(body, base);
-  if (!decoded.ok()) return decoded.status();
+  bool no_base = false;
+  Result<wire::StreamDataMsg> decoded =
+      wire::decode_stream_data(body, base, &no_base);
+  if (!decoded.ok()) {
+    if (no_base && base == nullptr) {
+      // Not damage: a well-formed delta frame met a stream with no base to
+      // decode it against — a fresh/reset cache joining mid-stream, or a
+      // restarted publisher's epoch entered at a delta frame.  Answer
+      // needs_snapshot (stream state untouched) so the caller resyncs via
+      // StreamPublisher::force_snapshot or a resubscribe, instead of the
+      // permanent decode-error loop a hard Status would cause here.
+      ++stats_.snapshot_requests;
+      r.regressed = regressed;
+      r.needs_snapshot = true;
+      return r;
+    }
+    return decoded.status();
+  }
   wire::StreamDataMsg msg = std::move(decoded.value());
 
   if (regressed) {
@@ -121,6 +148,15 @@ void StreamCache::repair(const std::string& agent, SimTime window_start,
   std::lock_guard<std::mutex> lock(mu_);
   Stream& s = streams_[agent];
 
+  if (beyond_horizon_locked(s, window_start.ns())) {
+    // Resurrecting a window past the retention horizon would transiently
+    // push windows.size() over retention_ and skew windows_pruned; worse,
+    // rebasing the delta cursor onto ancient data would corrupt every later
+    // in-order decode.  Drop the stale backfill whole.
+    ++stats_.repairs_clamped;
+    return;
+  }
+
   store_locked(s, window_start, Provenance::kRepaired, batch.responses);
 
   // The repaired window becomes the delta base: the next in-order frame was
@@ -138,6 +174,23 @@ void StreamCache::repair(const std::string& agent, SimTime window_start,
 
   ++stats_.repairs;
   if (m_repairs_ != nullptr) m_repairs_->increment();
+}
+
+void StreamCache::ingest(const std::string& agent, SimTime window_start,
+                         Provenance p, std::vector<QueryResponse> responses) {
+  std::sort(responses.begin(), responses.end(),
+            [](const QueryResponse& a, const QueryResponse& b) {
+              return a.record.element < b.record.element;
+            });
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream& s = streams_[agent];
+  if (beyond_horizon_locked(s, window_start.ns())) {
+    ++stats_.repairs_clamped;
+    return;
+  }
+  // Side-door windows (in-band telemetry) never touch the seq/delta cursor:
+  // they live on their own agent key and carry no wire base to rebase onto.
+  store_locked(s, window_start, p, std::move(responses));
 }
 
 void StreamCache::reset_stream(const std::string& agent) {
@@ -314,6 +367,18 @@ Status StreamPipeline::pump(SimTime at, ThreadPool* pool) {
     bytes_published_ += pub.value().body.size();
     Result<StreamCache::ApplyResult> applied = cache_->apply(pub.value().body);
     if (!applied.ok()) return applied.status();
+    if (!applied.value().applied && applied.value().needs_snapshot) {
+      // The cache lost its delta base (reset, or a restarted publisher's
+      // epoch): republish this boundary as a snapshot.  The fault plan's
+      // purity makes the re-capture bit-identical, and a fresh/regressed
+      // stream accepts the bumped seq.
+      e.pub.force_snapshot();
+      Result<StreamPublisher::Published> again = e.pub.publish(at, pool);
+      if (!again.ok()) return again.status();
+      bytes_published_ += again.value().body.size();
+      applied = cache_->apply(again.value().body);
+      if (!applied.ok()) return applied.status();
+    }
     if (!applied.value().applied) {
       return Status::failed_precondition(
           "stream pipeline: unexpected gap for agent " + e.agent->name());

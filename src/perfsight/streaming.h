@@ -81,6 +81,12 @@ class StreamPublisher {
   // the drop visible downstream as a gap.
   Result<Published> publish(SimTime at, ThreadPool* pool = nullptr);
 
+  // Forgets the delta base: the next publish() is a full snapshot.  This is
+  // the resync handle for a receiver that answered needs_snapshot — its
+  // cache lost (or never had) the delta base, so only an all-absolute frame
+  // can re-anchor the stream.
+  void force_snapshot() { has_prev_ = false; }
+
   uint64_t seq() const { return seq_; }
   uint64_t frames_dropped() const { return dropped_; }
   const std::vector<ElementId>& elements() const { return ids_; }
@@ -106,6 +112,7 @@ class StreamCache {
   enum class Provenance {
     kStreamed,  // arrived in order on the stream
     kRepaired,  // backfilled by a targeted pull after a gap
+    kInband,    // aggregated from in-band telemetry flights (inband.h)
   };
 
   struct ApplyResult {
@@ -114,6 +121,12 @@ class StreamCache {
     uint64_t expected = 0;   // what the stream state expected next
     uint64_t missed = 0;     // windows missing before this frame (gap size)
     bool regressed = false;  // seq went backward: publisher restarted
+    // The frame is delta-coded but this stream has no delta base (fresh
+    // after a reset, or a regressed epoch joined mid-stream): not damage
+    // and not a repairable gap — the publisher must resend as a snapshot
+    // (StreamPublisher::force_snapshot, or a remote resubscribe).  Stream
+    // state is untouched, so retrying with a snapshot always succeeds.
+    bool needs_snapshot = false;
     SimTime window_start;
   };
 
@@ -124,9 +137,23 @@ class StreamCache {
 
   // Backfills one window of `agent` from a targeted pull taken at the same
   // boundary, advancing the stream cursor by one and restoring the delta
-  // base for the next in-order frame.
+  // base for the next in-order frame.  A stale backfill — a boundary older
+  // than the retention horizon (the oldest kept window, with the cache at
+  // capacity) — is clamped whole: storing it would resurrect a pruned
+  // window, and rebasing the live stream's delta cursor onto ancient data
+  // would corrupt every frame after it.  Clamps count in
+  // Stats::repairs_clamped and leave cache and cursor untouched.
   void repair(const std::string& agent, SimTime window_start,
               const BatchResponse& batch);
+
+  // Absorbs a window produced outside the frame stream — the in-band
+  // telemetry harvester's per-window aggregation (Provenance::kInband).
+  // Callers key INT windows under a dedicated agent name (e.g. "a0/int")
+  // so they never collide with the same agent's streamed windows; the
+  // stream's sequence/delta state is not consulted or advanced.  Subject to
+  // the same retention-horizon clamp as repair().
+  void ingest(const std::string& agent, SimTime window_start, Provenance p,
+              std::vector<QueryResponse> responses);
 
   // Forgets `agent`'s delta/sequence state (a reconnecting subscriber calls
   // this: the next frame must be a snapshot and may carry any seq).  Cached
@@ -155,6 +182,9 @@ class StreamCache {
     uint64_t resets = 0;          // stream rebases (reconnect/restart)
     uint64_t windows_pruned = 0;  // retention evictions
     uint64_t bytes_applied = 0;   // encoded stream bytes accepted
+    uint64_t repairs_clamped = 0;      // stale backfills refused at the
+                                       // retention horizon (repair/ingest)
+    uint64_t snapshot_requests = 0;    // applies answered needs_snapshot
   };
   Stats stats() const;
 
@@ -176,6 +206,10 @@ class StreamCache {
 
   void store_locked(Stream& s, SimTime window_start, Provenance provenance,
                     std::vector<QueryResponse> responses);
+  // True when storing `window_ns` would resurrect a window beyond the
+  // retention horizon (cache at capacity and the boundary older than the
+  // oldest kept window).
+  bool beyond_horizon_locked(const Stream& s, int64_t window_ns) const;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Stream> streams_;

@@ -335,6 +335,8 @@ const char* to_string(MessageKind k) {
       return "subscribe";
     case MessageKind::kStreamData:
       return "stream_data";
+    case MessageKind::kIntReport:
+      return "int_report";
   }
   return "?";
 }
@@ -365,7 +367,7 @@ Result<Message> decode_message(std::string_view bytes, size_t* consumed) {
     return Status::invalid_argument("wire message bad magic");
   }
   if (kind < static_cast<uint8_t>(MessageKind::kHello) ||
-      kind > static_cast<uint8_t>(MessageKind::kStreamData)) {
+      kind > static_cast<uint8_t>(MessageKind::kIntReport)) {
     return Status::invalid_argument("wire message unknown kind");
   }
   if (len > kMaxPayload || bytes.size() - at < len) {
@@ -792,7 +794,9 @@ Result<StreamFrameInfo> peek_stream_data(std::string_view body) {
 }
 
 Result<StreamDataMsg> decode_stream_data(std::string_view body,
-                                         const StreamDataMsg* prev) {
+                                         const StreamDataMsg* prev,
+                                         bool* delta_without_base) {
+  if (delta_without_base != nullptr) *delta_without_base = false;
   StreamDataMsg m;
   size_t at = 0;
   int64_t window_ns = 0, channel_ns = 0;
@@ -834,6 +838,7 @@ Result<StreamDataMsg> decode_stream_data(std::string_view body,
     // shape) is the same class of damage as a delta without its base.
     if (same_schema &&
         (base == nullptr || base->record.attrs.size() != attrs)) {
+      if (delta_without_base != nullptr) *delta_without_base = true;
       return Status::invalid_argument("wire stream data delta without base");
     }
     r.record.attrs.reserve(attrs);
@@ -870,6 +875,7 @@ Result<StreamDataMsg> decode_stream_data(std::string_view body,
             : base != nullptr ? base->record.get(a.name)
                               : std::nullopt;
         if (!pv.has_value()) {
+          if (delta_without_base != nullptr) *delta_without_base = true;
           return Status::invalid_argument(
               "wire stream data delta without base");
         }
@@ -886,6 +892,93 @@ Result<StreamDataMsg> decode_stream_data(std::string_view body,
   }
   if (at != body.size()) {
     return Status::invalid_argument("wire stream data structurally damaged");
+  }
+  return m;
+}
+
+// --- in-band telemetry reports -----------------------------------------------
+// body := u16-str agent | u64 tag | i64 start_ns | i64 end_ns | u8 flags |
+//         u16 hop_count | hop*
+// hop  := u16-str element | u64 queue_pkts | i64 io_time_ns | u8 flags
+
+namespace {
+
+// Fixed-width portion of an encoded hop; caps what a corrupted hop count
+// can make the decoder reserve.
+constexpr size_t kMinIntHopSize = 2 + 8 + 8 + 1;
+
+}  // namespace
+
+Result<std::string> encode_int_report(const IntReportMsg& m) {
+  if (m.agent.size() > 0xffff) {
+    return Status::invalid_argument("wire: agent name exceeds 64 KiB: " +
+                                    m.agent.substr(0, 64));
+  }
+  if (m.hops.size() > 0xffff) {
+    return Status::invalid_argument(
+        "wire: int report of " + std::to_string(m.hops.size()) +
+        " hops exceeds the structural cap");
+  }
+  std::string body;
+  put_string(body, m.agent);
+  put<uint64_t>(body, m.tag);
+  put<int64_t>(body, m.start.ns());
+  put<int64_t>(body, m.end.ns());
+  put<uint8_t>(body, m.dropped ? 1 : 0);
+  put<uint16_t>(body, static_cast<uint16_t>(m.hops.size()));
+  for (const IntHopWire& h : m.hops) {
+    if (h.element.name.size() > 0xffff) {
+      return Status::invalid_argument("wire: element name exceeds 64 KiB: " +
+                                      h.element.name.substr(0, 64));
+    }
+    if (h.flags > 1) {
+      return Status::invalid_argument(
+          "wire: int hop carries reserved flag bits");
+    }
+    put_string(body, h.element.name);
+    put<uint64_t>(body, h.queue_pkts);
+    put<int64_t>(body, h.io_time_ns);
+    put<uint8_t>(body, h.flags);
+  }
+  if (body.size() > kMaxPayload) {
+    return Status::invalid_argument(
+        "wire: int report of " + std::to_string(body.size()) +
+        " bytes exceeds the structural cap");
+  }
+  return body;
+}
+
+Result<IntReportMsg> decode_int_report(std::string_view body) {
+  IntReportMsg m;
+  size_t at = 0;
+  int64_t start_ns = 0, end_ns = 0;
+  uint8_t flags = 0;
+  uint16_t count = 0;
+  if (!get_string(body, at, &m.agent) || !get(body, at, &m.tag) ||
+      !get(body, at, &start_ns) || !get(body, at, &end_ns) ||
+      !get(body, at, &flags) || flags > 1 || !get(body, at, &count)) {
+    return Status::invalid_argument("wire int report structurally damaged");
+  }
+  if (count > (body.size() - at) / kMinIntHopSize + 1) {
+    return Status::invalid_argument("wire int report structurally damaged");
+  }
+  m.start = SimTime::nanos(start_ns);
+  m.end = SimTime::nanos(end_ns);
+  m.dropped = flags != 0;
+  m.hops.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    IntHopWire h;
+    std::string name;
+    if (!get_string(body, at, &name) || !get(body, at, &h.queue_pkts) ||
+        !get(body, at, &h.io_time_ns) || !get(body, at, &h.flags) ||
+        h.flags > 1) {
+      return Status::invalid_argument("wire int report structurally damaged");
+    }
+    h.element = ElementId{std::move(name)};
+    m.hops.push_back(std::move(h));
+  }
+  if (at != body.size()) {
+    return Status::invalid_argument("wire int report structurally damaged");
   }
   return m;
 }

@@ -133,6 +133,8 @@ enum class MessageKind : uint8_t {
                         // after a batch reply when the request was traced)
   kSubscribe = 9,       // client → server: push me this agent's windows
   kStreamData = 10,     // server → client: one captured window (push mode)
+  kIntReport = 11,      // harvester → controller: one in-band telemetry
+                        // flight (per-hop metadata stack)
 };
 
 const char* to_string(MessageKind k);
@@ -300,9 +302,14 @@ Result<std::string> encode_stream_data(const StreamDataMsg& m,
                                        const StreamDataMsg* prev);
 // Decodes against the same `prev` the encoder used.  A delta-mode attr with
 // no base in `prev` is structural damage ("delta without base"), never a
-// silently wrong value.
+// silently wrong value.  `delta_without_base` (optional) is set true when
+// the failure is exactly that missing base — with `prev == nullptr` this
+// means the frame is delta-coded and the receiver needs a snapshot to
+// resync (StreamCache turns it into ApplyResult::needs_snapshot), whereas
+// with a live base it is genuine damage.
 Result<StreamDataMsg> decode_stream_data(std::string_view body,
-                                         const StreamDataMsg* prev);
+                                         const StreamDataMsg* prev,
+                                         bool* delta_without_base = nullptr);
 
 // Header-only decode: agent, seq and window timestamp without touching the
 // records.  Receivers use it to check the sequence number *before*
@@ -314,5 +321,41 @@ struct StreamFrameInfo {
   uint32_t record_count = 0;
 };
 Result<StreamFrameInfo> peek_stream_data(std::string_view body);
+
+// --- in-band telemetry reports (kIntReport) ----------------------------------
+// One sampled packet's completed metadata stack crossing a process boundary
+// (harvester → controller).  In-process harvesting bypasses the envelope;
+// the codec is also what prices INT overhead (report bytes per flight).
+//
+//   body := u16-str agent | u64 tag | i64 start_ns | i64 end_ns | u8 flags |
+//           u16 hop_count | hop*
+//   hop  := u16-str element | u64 queue_pkts | i64 io_time_ns | u8 flags
+//
+// Message flags bit 0: the flight ended in a drop-tail.  Hop flags bit 0:
+// the drop happened at this hop.  All other flag bits must be zero — a
+// flipped bit is structural damage, never a silently different flight.
+
+struct IntHopWire {
+  ElementId element;
+  uint64_t queue_pkts = 0;
+  int64_t io_time_ns = 0;
+  uint8_t flags = 0;  // bit 0: drop-tail at this hop
+};
+
+struct IntReportMsg {
+  std::string agent;  // harvest key (the StreamCache agent key for INT)
+  uint64_t tag = 0;   // flight id
+  SimTime start;      // ingress tag time
+  SimTime end;        // harvest / drop time
+  bool dropped = false;
+  std::vector<IntHopWire> hops;
+};
+
+// Fails (never clamps) on a name over 64 KiB, more than 65535 hops, or a
+// body past kMaxPayload — a report that encodes decodes back identical.
+Result<std::string> encode_int_report(const IntReportMsg& m);
+// Total over arbitrary bytes: truncation (any strict prefix), trailing
+// bytes, and reserved flag bits all fail loudly.
+Result<IntReportMsg> decode_int_report(std::string_view body);
 
 }  // namespace perfsight::wire

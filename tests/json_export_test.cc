@@ -6,6 +6,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace perfsight::json {
 namespace {
@@ -53,6 +57,45 @@ TEST(JsonNumberTest, LargeCountersRoundTripExactly) {
 
   // Integral counters above 1e10 keep the plain-integer fast path.
   EXPECT_EQ(number(12500000000.0), "12500000000");
+}
+
+// Property: escape() and unescape() are exact inverses over every byte
+// value 0x00..0xff, in random strings and in the worst-case string holding
+// all 256 values — and the escaped form always survives the linter inside
+// a quoted JSON document.
+TEST(JsonEscapeTest, EscapeUnescapeRoundTripsEveryByteValue) {
+  std::string all;
+  for (int v = 0; v < 256; ++v) all.push_back(static_cast<char>(v));
+  Pcg32 rng(4096);
+  std::vector<std::string> inputs = {all, "", std::string(1, '\0')};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string s;
+    size_t len = rng.next_below(96);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    inputs.push_back(std::move(s));
+  }
+  for (const std::string& s : inputs) {
+    const std::string esc = escape(s);
+    Result<std::string> back = unescape(esc);
+    ASSERT_TRUE(back.ok()) << back.status().message();
+    EXPECT_EQ(back.value(), s);
+    Status ok = lint("{\"k\":\"" + esc + "\"}");
+    EXPECT_TRUE(ok.is_ok()) << ok.message();
+  }
+}
+
+TEST(JsonEscapeTest, UnescapeRejectsDamage) {
+  EXPECT_FALSE(unescape("\\").ok());          // dangling backslash
+  EXPECT_FALSE(unescape("\\q").ok());         // unknown escape
+  EXPECT_FALSE(unescape("\\u12").ok());       // truncated \u
+  EXPECT_FALSE(unescape("\\u12zq").ok());     // bad hex digit
+  EXPECT_FALSE(unescape("\\u0100").ok());     // beyond one byte
+  // The full grammar is accepted, including escapes escape() never emits.
+  Result<std::string> r = unescape("\\u0041\\/\\b\\f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "A/\b\f");
 }
 
 TEST(JsonRecordTest, SerializesRecord) {

@@ -472,6 +472,157 @@ TEST(StreamCacheTest, PublisherRestartRebasesViaSnapshot) {
   EXPECT_TRUE(cache.window_present("a0", SimTime::millis(400)));
 }
 
+TEST(StreamCacheTest, RepairBeyondRetentionHorizonIsClamped) {
+  auto sources = make_scenario();
+  Agent a0("a0", 11);
+  std::vector<ElementId> ids;
+  for (const auto& s : sources) {
+    if (!starts_with(s->id().name, "m0/")) continue;
+    ASSERT_TRUE(a0.add_element(s.get()).is_ok());
+    ids.push_back(s->id());
+  }
+  StreamCache cache;
+  cache.set_retention(3);
+  StreamPublisher pub(&a0);
+  for (int k = 1; k <= 8; ++k) {
+    Result<StreamPublisher::Published> p =
+        pub.publish(SimTime::millis(100 * k));
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(cache.apply(p.value().body).ok());
+  }
+  const uint64_t pruned_before = cache.stats().windows_pruned;
+  const uint64_t next_before = cache.next_seq("a0");
+
+  // A late watchdog repairs a boundary that has already aged past the
+  // retention horizon (only 600..800 are retained).  The backfill must be
+  // dropped whole: no resurrected window, no extra prune, no cursor damage.
+  cache.repair("a0", SimTime::millis(200),
+               a0.query_batch(ids, SimTime::millis(200)));
+  EXPECT_FALSE(cache.window_present("a0", SimTime::millis(200)));
+  EXPECT_EQ(cache.stats().windows_pruned, pruned_before);
+  EXPECT_EQ(cache.stats().repairs, 0u);
+  EXPECT_EQ(cache.stats().repairs_clamped, 1u);
+  EXPECT_EQ(cache.next_seq("a0"), next_before);
+
+  // The live edge is untouched: the next in-order frame still applies.
+  Result<StreamPublisher::Published> p9 = pub.publish(SimTime::millis(900));
+  ASSERT_TRUE(p9.ok());
+  Result<StreamCache::ApplyResult> r9 = cache.apply(p9.value().body);
+  ASSERT_TRUE(r9.ok()) << r9.status().message();
+  EXPECT_TRUE(r9.value().applied);
+  EXPECT_TRUE(cache.window_present("a0", SimTime::millis(900)));
+}
+
+TEST(StreamCacheTest, RestartedPublisherDeltaFrameResyncsViaSnapshot) {
+  auto sources = make_scenario();
+  Agent a0("a0", 11);
+  std::vector<ElementId> ids;
+  for (const auto& s : sources) {
+    if (!starts_with(s->id().name, "m0/")) continue;
+    ASSERT_TRUE(a0.add_element(s.get()).is_ok());
+    ids.push_back(s->id());
+  }
+  StreamCache cache;
+  {
+    StreamPublisher pub(&a0);
+    for (int k = 1; k <= 3; ++k) {
+      Result<StreamPublisher::Published> p =
+          pub.publish(SimTime::millis(100 * k));
+      ASSERT_TRUE(p.ok());
+      ASSERT_TRUE(cache.apply(p.value().body).value().applied);
+    }
+  }
+
+  // The publisher restarts with the same element set and its seq reset to
+  // 1.  Its snapshot (seq 1) is lost in transit; what the subscriber first
+  // sees of the new epoch is a DELTA frame (seq 2).  The old behavior was a
+  // permanent failure loop: regressed -> decode without base -> hard error,
+  // on every subsequent frame, forever.
+  StreamPublisher restarted(&a0);
+  ASSERT_TRUE(restarted.publish(SimTime::millis(400)).ok());  // lost
+  Result<StreamPublisher::Published> delta =
+      restarted.publish(SimTime::millis(500));
+  ASSERT_TRUE(delta.ok());
+
+  Result<StreamCache::ApplyResult> r = cache.apply(delta.value().body);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_FALSE(r.value().applied);
+  EXPECT_TRUE(r.value().needs_snapshot);
+  EXPECT_TRUE(r.value().regressed);
+  EXPECT_EQ(cache.stats().snapshot_requests, 1u);
+  // The stream cursor is untouched — no half-applied epoch.
+  EXPECT_EQ(cache.next_seq("a0"), 4u);
+
+  // The resync: the publisher re-keys the next frame as a snapshot, which
+  // rebases the cache onto the new epoch.
+  restarted.force_snapshot();
+  Result<StreamPublisher::Published> snap =
+      restarted.publish(SimTime::millis(600));
+  ASSERT_TRUE(snap.ok());
+  Result<StreamCache::ApplyResult> r2 = cache.apply(snap.value().body);
+  ASSERT_TRUE(r2.ok()) << r2.status().message();
+  EXPECT_TRUE(r2.value().applied);
+  EXPECT_TRUE(r2.value().regressed);
+  EXPECT_EQ(cache.next_seq("a0"), 4u);  // rebased onto the new epoch's seq 3
+
+  // Deltas of the new epoch now flow, and every cached window carries
+  // exactly the bits a direct pull at that boundary returns.
+  Result<StreamPublisher::Published> next =
+      restarted.publish(SimTime::millis(700));
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(cache.apply(next.value().body).value().applied);
+  for (int ms : {100, 200, 300, 600, 700}) {
+    const BatchResponse direct = a0.query_batch(ids, SimTime::millis(ms));
+    ASSERT_EQ(direct.responses.size(), ids.size());
+    for (const QueryResponse& want : direct.responses) {
+      std::optional<QueryResponse> cached =
+          cache.find("a0", want.record.element, SimTime::millis(ms));
+      ASSERT_TRUE(cached.has_value())
+          << want.record.element.name << " @ " << ms;
+      expect_attrs_eq(cached->record.attrs, want.record.attrs,
+                      want.record.element.name + " @ " + std::to_string(ms));
+    }
+  }
+}
+
+TEST(StreamPipelineTest, CacheResetMidStreamResyncsViaSnapshot) {
+  auto sources = make_scenario();
+  Agent a0("a0", 11);
+  std::vector<ElementId> ids;
+  for (const auto& s : sources) {
+    if (!starts_with(s->id().name, "m0/")) continue;
+    ASSERT_TRUE(a0.add_element(s.get()).is_ok());
+    ids.push_back(s->id());
+  }
+  StreamCache cache;
+  StreamPipeline pipe(&cache, nullptr);
+  pipe.add_agent(&a0);
+  ASSERT_TRUE(pipe.pump(SimTime::millis(100), nullptr).is_ok());
+  ASSERT_TRUE(pipe.pump(SimTime::millis(200), nullptr).is_ok());
+
+  // The cache loses its stream state mid-run (operator restart, failover to
+  // a cold replica).  The next pump ships a delta the cache cannot decode;
+  // the pipeline must resync via a snapshot republish, not error out.
+  cache.reset_stream("a0");
+  Status st = pipe.pump(SimTime::millis(300), nullptr);
+  EXPECT_TRUE(st.is_ok()) << st.message();
+  EXPECT_EQ(cache.stats().snapshot_requests, 1u);
+  EXPECT_TRUE(cache.window_present("a0", SimTime::millis(300)));
+  // And the stream continues delta-coded afterwards.
+  ASSERT_TRUE(pipe.pump(SimTime::millis(400), nullptr).is_ok());
+  for (int ms : {300, 400}) {
+    const BatchResponse direct = a0.query_batch(ids, SimTime::millis(ms));
+    for (const QueryResponse& want : direct.responses) {
+      std::optional<QueryResponse> cached =
+          cache.find("a0", want.record.element, SimTime::millis(ms));
+      ASSERT_TRUE(cached.has_value())
+          << want.record.element.name << " @ " << ms;
+      expect_attrs_eq(cached->record.attrs, want.record.attrs,
+                      want.record.element.name + " @ " + std::to_string(ms));
+    }
+  }
+}
+
 TEST(StreamCacheTest, RetentionPrunesOldestWindows) {
   auto sources = make_scenario();
   Agent a0("a0", 11);

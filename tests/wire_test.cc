@@ -766,6 +766,132 @@ TEST(StreamCodecTest, DeltaWithoutBaseIsStructuralDamage) {
       << without_base.status().message();
 }
 
+// --- kIntReport codec --------------------------------------------------------
+
+wire::IntReportMsg random_int_report(Pcg32& rng) {
+  wire::IntReportMsg m;
+  m.agent = rng.next_below(6) == 0 ? "" : random_name(rng, 20);
+  m.tag = (static_cast<uint64_t>(rng.next_u32()) << 32) | rng.next_u32();
+  m.start = SimTime::nanos(static_cast<int64_t>(rng.next_u32()));
+  m.end = m.start + Duration::nanos(rng.next_below(1u << 20));
+  m.dropped = rng.next_below(4) == 0;
+  size_t hops = rng.next_below(9);
+  for (size_t i = 0; i < hops; ++i) {
+    wire::IntHopWire h;
+    h.element = ElementId{random_name(rng, 24)};
+    h.queue_pkts = rng.next_below(1u << 16);
+    h.io_time_ns = static_cast<int64_t>(rng.next_below(1u << 24));
+    h.flags = (m.dropped && i + 1 == hops) ? 1 : 0;
+    m.hops.push_back(h);
+  }
+  return m;
+}
+
+std::string canon_int(const wire::IntReportMsg& m) {
+  return wire::encode_int_report(m).value();
+}
+
+TEST(IntReportCodecTest, RoundTripIdentity) {
+  Pcg32 rng(2727);
+  for (int trial = 0; trial < 100; ++trial) {
+    wire::IntReportMsg m = random_int_report(rng);
+    Result<std::string> body = wire::encode_int_report(m);
+    ASSERT_TRUE(body.ok()) << body.status().message();
+    Result<wire::IntReportMsg> got = wire::decode_int_report(body.value());
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value().agent, m.agent);
+    EXPECT_EQ(got.value().tag, m.tag);
+    EXPECT_EQ(got.value().start, m.start);
+    EXPECT_EQ(got.value().end, m.end);
+    EXPECT_EQ(got.value().dropped, m.dropped);
+    ASSERT_EQ(got.value().hops.size(), m.hops.size());
+    EXPECT_EQ(canon_int(got.value()), canon_int(m)) << "trial " << trial;
+  }
+}
+
+TEST(IntReportCodecTest, EveryPrefixTruncationFails) {
+  Pcg32 rng(929);
+  for (int trial = 0; trial < 25; ++trial) {
+    wire::IntReportMsg m = random_int_report(rng);
+    std::string bytes = wire::encode_int_report(m).value();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      Result<wire::IntReportMsg> got =
+          wire::decode_int_report(std::string_view(bytes.data(), cut));
+      // The layout is fully length-pinned (string lengths + hop count), so
+      // no strict prefix can be a valid report.
+      EXPECT_FALSE(got.ok()) << "trial " << trial << " cut=" << cut
+                             << " decoded a truncated report";
+    }
+    // Trailing garbage is damage too.
+    Result<wire::IntReportMsg> longer = wire::decode_int_report(bytes + "x");
+    EXPECT_FALSE(longer.ok());
+  }
+}
+
+TEST(IntReportCodecTest, BitFlipOnEnvelopedReportNeverSilentlyWrong) {
+  Pcg32 rng(1717);
+  int damaged_detected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    wire::IntReportMsg sent = random_int_report(rng);
+    std::string body = wire::encode_int_report(sent).value();
+    std::string msg =
+        wire::encode_message(wire::MessageKind::kIntReport, body);
+    size_t pos = rng.next_below(static_cast<uint32_t>(msg.size()));
+    msg[pos] = static_cast<char>(static_cast<unsigned char>(msg[pos]) ^
+                                 (1u << rng.next_below(8)));
+
+    Result<wire::Message> env = wire::decode_message(msg);
+    if (!env.ok() || env.value().kind != wire::MessageKind::kIntReport) {
+      ++damaged_detected;
+      continue;
+    }
+    Result<wire::IntReportMsg> got =
+        wire::decode_int_report(env.value().body);
+    if (!got.ok()) {
+      ++damaged_detected;
+      continue;
+    }
+    EXPECT_EQ(canon_int(got.value()), canon_int(sent))
+        << "trial " << trial << ": flip at byte " << pos
+        << " survived the checksum AND the report decode";
+  }
+  EXPECT_GT(damaged_detected, 250);
+}
+
+TEST(IntReportCodecTest, ReservedFlagBitsAreStructuralDamage) {
+  wire::IntReportMsg m;
+  m.agent = "a0/int";
+  m.tag = 7;
+  m.start = SimTime::millis(100);
+  m.end = SimTime::millis(101);
+  wire::IntHopWire h;
+  h.element = ElementId{"m0/pnic"};
+  h.queue_pkts = 12;
+  h.io_time_ns = 500;
+  m.hops.push_back(h);
+  std::string bytes = wire::encode_int_report(m).value();
+  // Message flags byte sits after agent (2 + len) + tag(8) + times(16).
+  const size_t msg_flags_at = 2 + m.agent.size() + 8 + 16;
+  for (int bit = 1; bit < 8; ++bit) {
+    std::string bad = bytes;
+    bad[msg_flags_at] =
+        static_cast<char>(static_cast<unsigned char>(bad[msg_flags_at]) |
+                          (1u << bit));
+    EXPECT_FALSE(wire::decode_int_report(bad).ok()) << "msg bit " << bit;
+  }
+  // Hop flags is the last byte of the body.
+  for (int bit = 1; bit < 8; ++bit) {
+    std::string bad = bytes;
+    bad.back() = static_cast<char>(
+        static_cast<unsigned char>(bad.back()) | (1u << bit));
+    EXPECT_FALSE(wire::decode_int_report(bad).ok()) << "hop bit " << bit;
+  }
+  // Oversize inputs are rejected, never clamped.
+  wire::IntReportMsg big = m;
+  big.agent.assign(70000, 'x');
+  EXPECT_FALSE(wire::encode_int_report(big).ok());
+}
+
 TEST(StreamCodecTest, PeekPinsSeqAgentWindowAndCount) {
   Pcg32 rng(512);
   wire::StreamDataMsg prev;
